@@ -1,0 +1,51 @@
+// Design-choice ablation (DESIGN.md #4): the generalized-mean exponent
+// alpha of the soft minimum in the weighted Hausdorff loss (Eq 10). The
+// paper adopts alpha = -1 following Ribera et al.; more negative values
+// approximate min() more closely but give rougher gradients.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+std::vector<std::pair<double, EvalRow>> g_rows;
+
+void BM_Alpha(benchmark::State& state, double alpha) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  EvalRow row;
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.alpha = alpha;
+    tcss::TcssModel model(cfg);
+    row = FitAndEvaluate(&model, world);
+  }
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_rows.emplace_back(alpha, row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (double alpha : {-0.5, -1.0, -2.0, -4.0}) {
+    std::string name = "ablation_alpha/alpha=" + std::to_string(alpha);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Alpha, alpha)
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Ablation: soft-min exponent alpha (gowalla-like) ===\n");
+  std::printf("%-8s %-8s %-8s\n", "alpha", "Hit@10", "MRR");
+  for (const auto& [alpha, row] : g_rows) {
+    std::printf("%-8g %-8.4f %-8.4f\n", alpha, row.hit_at_10, row.mrr);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Design-choice ablation (DESIGN.md #2): size of the Hausdorff candidate
+// pool S(v_i). The paper's formulation uses all J POIs (pool = 0 here);
+// bounded pools trade a little quality for a large reduction of the per-
+// epoch Hausdorff cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+struct PoolRow {
+  size_t pool;
+  EvalRow eval;
+};
+
+std::vector<PoolRow> g_rows;
+
+void BM_Pool(benchmark::State& state, size_t pool) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  PoolRow r{pool, {}};
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.hausdorff_pool = pool;
+    tcss::TcssModel model(cfg);
+    r.eval = FitAndEvaluate(&model, world);
+  }
+  state.counters["Hit@10"] = r.eval.hit_at_10;
+  state.counters["MRR"] = r.eval.mrr;
+  state.counters["fit_s"] = r.eval.fit_seconds;
+  g_rows.push_back(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (size_t pool : {size_t{32}, size_t{64}, size_t{160}, size_t{0}}) {
+    std::string name =
+        "ablation_pool/" + (pool == 0 ? std::string("all-pois")
+                                      : std::to_string(pool));
+    benchmark::RegisterBenchmark(name.c_str(), BM_Pool, pool)
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Ablation: Hausdorff candidate pool size "
+              "(gowalla-like) ===\n");
+  std::printf("%-12s %-8s %-8s %-10s\n", "pool |S(v)|", "Hit@10", "MRR",
+              "fit time");
+  for (const auto& r : g_rows) {
+    std::printf("%-12s %-8.4f %-8.4f %-10.2fs\n",
+                r.pool == 0 ? "all" : std::to_string(r.pool).c_str(),
+                r.eval.hit_at_10, r.eval.mrr, r.eval.fit_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "bench_common.h"
+
+#include "common/logging.h"
+
+namespace tcss::bench {
+
+const World& GetWorld(SyntheticPreset preset, TimeGranularity granularity) {
+  static std::map<std::pair<int, int>, std::unique_ptr<World>> cache;
+  auto key = std::make_pair(static_cast<int>(preset),
+                            static_cast<int>(granularity));
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+
+  SyntheticConfig cfg = PresetConfig(preset, BenchScale());
+  auto data = GenerateSyntheticLbsn(cfg);
+  TCSS_CHECK(data.ok()) << data.status().ToString();
+  auto world = std::make_unique<World>();
+  world->name = PresetName(preset);
+  world->data = data.MoveValue();
+  world->split = SplitCheckins(world->data, 0.8, /*seed=*/42);
+  auto train = BuildCheckinTensor(world->data, world->split.train,
+                                  granularity);
+  TCSS_CHECK(train.ok()) << train.status().ToString();
+  world->train = train.MoveValue();
+  world->test_cells = EventsToCells(world->split.test, granularity);
+  auto [pos, inserted] = cache.emplace(key, std::move(world));
+  (void)inserted;
+  return *pos->second;
+}
+
+World MakeWorld(std::string name, const Dataset& data,
+                TimeGranularity granularity) {
+  World world;
+  world.name = std::move(name);
+  world.data = data;
+  world.split = SplitCheckins(world.data, 0.8, /*seed=*/42);
+  auto train = BuildCheckinTensor(world.data, world.split.train, granularity);
+  TCSS_CHECK(train.ok()) << train.status().ToString();
+  world.train = train.MoveValue();
+  world.test_cells = EventsToCells(world.split.test, granularity);
+  return world;
+}
+
+EvalRow FitAndEvaluate(Recommender* model, const World& world,
+                       uint64_t eval_seed) {
+  EvalRow row;
+  row.model = model->name();
+  row.dataset = world.name;
+  Stopwatch sw;
+  TimeGranularity g = TimeGranularity::kMonthOfYear;
+  switch (world.train.dim_k()) {
+    case 12:
+      g = TimeGranularity::kMonthOfYear;
+      break;
+    case 53:
+      g = TimeGranularity::kWeekOfYear;
+      break;
+    case 24:
+      g = TimeGranularity::kHourOfDay;
+      break;
+  }
+  Status st = model->Fit({&world.data, &world.train, g, /*seed=*/7});
+  TCSS_CHECK(st.ok()) << model->name() << ": " << st.ToString();
+  row.fit_seconds = sw.ElapsedSeconds();
+  RankingProtocolOptions opts;
+  opts.seed = eval_seed;
+  RankingMetrics m =
+      EvaluateRanking(*model, world.data.num_pois(), world.test_cells, opts);
+  row.hit_at_10 = m.hit_at_k;
+  row.mrr = m.mrr;
+  return row;
+}
+
+void PrintResultsTable(const std::string& title,
+                       const std::vector<std::string>& datasets,
+                       const std::vector<std::string>& models,
+                       const std::map<std::pair<std::string, std::string>,
+                                      EvalRow>& cells) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-24s", "Model");
+  for (const auto& d : datasets) std::printf(" | %-17s", d.c_str());
+  std::printf("\n%-24s", "");
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    std::printf(" | %-8s %-8s", "Hit@10", "MRR");
+  }
+  std::printf("\n");
+  for (const auto& m : models) {
+    std::printf("%-24s", m.c_str());
+    for (const auto& d : datasets) {
+      auto it = cells.find({m, d});
+      if (it == cells.end()) {
+        std::printf(" | %-8s %-8s", "-", "-");
+      } else {
+        std::printf(" | %-8.4f %-8.4f", it->second.hit_at_10,
+                    it->second.mrr);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::vector<SyntheticPreset> AllPresets() {
+  return {SyntheticPreset::kGowallaLike, SyntheticPreset::kYelpLike,
+          SyntheticPreset::kFoursquareLike, SyntheticPreset::kGmu5kLike};
+}
+
+}  // namespace tcss::bench

@@ -1,0 +1,77 @@
+#ifndef TCSS_BENCH_BENCH_COMMON_H_
+#define TCSS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/stopwatch.h"
+#include "core/tcss_model.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "eval/ranking_protocol.h"
+
+namespace tcss::bench {
+
+/// A fully prepared experiment world: dataset, 80/20 split, train tensor
+/// and deduplicated test cells for one granularity.
+struct World {
+  std::string name;
+  Dataset data;
+  TrainTestSplit split;
+  SparseTensor train;
+  std::vector<TensorCell> test_cells;
+};
+
+/// Dataset scale for all benches; override with TCSS_BENCH_SCALE (e.g. 0.3
+/// for a quick smoke run). 1.0 reproduces the committed preset sizes.
+inline double BenchScale() {
+  const char* env = std::getenv("TCSS_BENCH_SCALE");
+  if (env != nullptr) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 1.0;
+}
+
+/// Builds (and memoizes per preset x granularity) a World.
+const World& GetWorld(SyntheticPreset preset,
+                      TimeGranularity granularity =
+                          TimeGranularity::kMonthOfYear);
+
+/// Builds a world from an explicit dataset (per-category experiments).
+World MakeWorld(std::string name, const Dataset& data,
+                TimeGranularity granularity);
+
+/// Result of one (model, world) evaluation.
+struct EvalRow {
+  std::string model;
+  std::string dataset;
+  double hit_at_10 = 0.0;
+  double mrr = 0.0;
+  double fit_seconds = 0.0;
+};
+
+/// Fits a model on the world and evaluates the paper's protocol.
+EvalRow FitAndEvaluate(Recommender* model, const World& world,
+                       uint64_t eval_seed = 777);
+
+/// Paper-style results table, one row per model, Hit@10 + MRR columns
+/// grouped per dataset.
+void PrintResultsTable(const std::string& title,
+                       const std::vector<std::string>& datasets,
+                       const std::vector<std::string>& models,
+                       const std::map<std::pair<std::string, std::string>,
+                                      EvalRow>& cells);
+
+/// All four preset datasets in Table I order.
+std::vector<SyntheticPreset> AllPresets();
+
+}  // namespace tcss::bench
+
+#endif  // TCSS_BENCH_BENCH_COMMON_H_

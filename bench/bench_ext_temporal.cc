@@ -1,0 +1,72 @@
+// Extension study (not in the paper): cyclic temporal smoothness on the
+// time factors, ts * sum_k ||U3_k - U3_{k+1}||^2. Measures recommendation
+// quality and the seasonality of the learned time factors as the
+// smoothness weight varies.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+struct Row {
+  double ts;
+  double hit, mrr, season_score;
+};
+
+std::vector<Row> g_rows;
+
+double SeasonScore(const tcss::Matrix& sim) {
+  const size_t k = sim.rows();
+  double adjacent = 0, opposite = 0;
+  for (size_t a = 0; a < k; ++a) {
+    adjacent += sim(a, (a + 1) % k);
+    opposite += sim(a, (a + k / 2) % k);
+  }
+  return (adjacent - opposite) / static_cast<double>(k);
+}
+
+void BM_Temporal(benchmark::State& state, double ts) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  Row r{ts, 0, 0, 0};
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.temporal_smoothness = ts;
+    tcss::TcssModel model(cfg);
+    auto row = FitAndEvaluate(&model, world);
+    r.hit = row.hit_at_10;
+    r.mrr = row.mrr;
+    r.season_score = SeasonScore(model.TimeFactorSimilarity());
+  }
+  state.counters["Hit@10"] = r.hit;
+  state.counters["MRR"] = r.mrr;
+  state.counters["season"] = r.season_score;
+  g_rows.push_back(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (double ts : {0.0, 0.5, 2.0, 8.0}) {
+    std::string name = "ext_temporal/ts=" + std::to_string(ts);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Temporal, ts)
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Extension: temporal smoothness of the time factors "
+              "(gowalla-like) ===\n");
+  std::printf("%-8s %-8s %-8s %-14s\n", "ts", "Hit@10", "MRR",
+              "season score");
+  for (const auto& r : g_rows) {
+    std::printf("%-8g %-8.4f %-8.4f %-14.4f\n", r.ts, r.hit, r.mrr,
+                r.season_score);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extra reference baselines beyond the paper's Table I: non-personalized
+// popularity, classic user-KNN collaborative filtering, and a GeoMF-style
+// geographic matrix factorization. Contextualizes the Table I numbers:
+// TCSS must beat these simpler references too.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+using tcss::bench::PrintResultsTable;
+
+std::map<std::pair<std::string, std::string>, EvalRow> g_results;
+
+void BM_Extra(benchmark::State& state, const std::string& model_name,
+              tcss::SyntheticPreset preset) {
+  const tcss::bench::World& world = GetWorld(preset);
+  EvalRow row;
+  for (auto _ : state) {
+    auto model = tcss::MakeModel(model_name, 7);
+    row = FitAndEvaluate(model.get(), world);
+  }
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_results[{row.model, row.dataset}] = row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tcss::SyntheticPreset presets[] = {
+      tcss::SyntheticPreset::kGowallaLike,
+      tcss::SyntheticPreset::kFoursquareLike};
+  std::vector<std::string> models = tcss::ExtraModelNames();
+  models.push_back("TCSS");
+  for (auto preset : presets) {
+    for (const auto& model : models) {
+      std::string name = std::string("extra/") + tcss::PresetName(preset) +
+                         "/" + model;
+      benchmark::RegisterBenchmark(name.c_str(), BM_Extra, model, preset)
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<std::string> datasets;
+  for (auto p : presets) datasets.push_back(tcss::PresetName(p));
+  PrintResultsTable("Extra baselines (Hit@10 / MRR)", datasets, models,
+                    g_results);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 10: parameter sensitivity - Hit@10 and MRR as the tensor rank r
+// varies (r in {2, 4, 6, 8, 10}; the paper caps r at 10 < K-1 because of
+// the eigenvector computation along the 12-bin time mode).
+//
+// Expected shape (paper): larger r helps, r = 10 best.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+std::map<std::pair<std::string, size_t>, EvalRow> g_results;
+
+void BM_Rank(benchmark::State& state, tcss::SyntheticPreset preset,
+             size_t rank) {
+  const tcss::bench::World& world = GetWorld(preset);
+  EvalRow row;
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.rank = rank;
+    tcss::TcssModel model(cfg);
+    row = FitAndEvaluate(&model, world);
+  }
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_results[{tcss::PresetName(preset), rank}] = row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tcss::SyntheticPreset presets[] = {
+      tcss::SyntheticPreset::kGowallaLike, tcss::SyntheticPreset::kYelpLike,
+      tcss::SyntheticPreset::kFoursquareLike};
+  const size_t ranks[] = {2, 4, 6, 8, 10};
+  for (auto preset : presets) {
+    for (size_t r : ranks) {
+      std::string name = std::string("fig10/") + tcss::PresetName(preset) +
+                         "/r=" + std::to_string(r);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Rank, preset, r)
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figure 10: effect of tensor rank r ===\n");
+  for (const char* metric : {"Hit@10", "MRR"}) {
+    std::printf("\n%s:\n%-18s", metric, "dataset");
+    for (size_t r : ranks) std::printf(" r=%-6zu", r);
+    std::printf("\n");
+    for (auto preset : presets) {
+      std::printf("%-18s", tcss::PresetName(preset));
+      for (size_t r : ranks) {
+        const EvalRow& row = g_results[{tcss::PresetName(preset), r}];
+        std::printf(" %-8.4f", metric[0] == 'H' ? row.hit_at_10 : row.mrr);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

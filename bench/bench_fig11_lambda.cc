@@ -1,0 +1,71 @@
+// Figure 11: parameter sensitivity - Hit@10 and MRR as the social
+// Hausdorff weight lambda varies.
+//
+// Expected shape (paper): quality improves from lambda = 0.001 toward an
+// intermediate optimum and degrades when lambda grows to 1 (the
+// regularizer starts to dominate the least-squares head).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+std::map<std::pair<std::string, double>, EvalRow> g_results;
+
+void BM_Lambda(benchmark::State& state, tcss::SyntheticPreset preset,
+               double lambda) {
+  const tcss::bench::World& world = GetWorld(preset);
+  EvalRow row;
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.lambda = lambda;
+    if (lambda == 0.0) cfg.hausdorff = tcss::HausdorffMode::kNone;
+    tcss::TcssModel model(cfg);
+    row = FitAndEvaluate(&model, world);
+  }
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_results[{tcss::PresetName(preset), lambda}] = row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tcss::SyntheticPreset presets[] = {
+      tcss::SyntheticPreset::kGowallaLike, tcss::SyntheticPreset::kYelpLike,
+      tcss::SyntheticPreset::kFoursquareLike};
+  const double lambdas[] = {0.0, 0.001, 0.01, 0.1, 1.0};
+  for (auto preset : presets) {
+    for (double l : lambdas) {
+      std::string name = std::string("fig11/") + tcss::PresetName(preset) +
+                         "/lambda=" + std::to_string(l);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Lambda, preset, l)
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figure 11: effect of the social Hausdorff weight "
+              "lambda ===\n");
+  for (const char* metric : {"Hit@10", "MRR"}) {
+    std::printf("\n%s:\n%-18s", metric, "dataset");
+    for (double l : lambdas) std::printf(" l=%-7g", l);
+    std::printf("\n");
+    for (auto preset : presets) {
+      std::printf("%-18s", tcss::PresetName(preset));
+      for (double l : lambdas) {
+        const EvalRow& row = g_results[{tcss::PresetName(preset), l}];
+        std::printf(" %-9.4f", metric[0] == 'H' ? row.hit_at_10 : row.mrr);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

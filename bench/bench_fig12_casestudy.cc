@@ -1,0 +1,117 @@
+// Figure 12: case study - spatial distribution of the top-100 and top-200
+// recommended POIs for a randomly selected user at a fixed time.
+//
+// Expected shape (paper): the top-100 POIs cluster in small areas
+// (Tobler's first law); the top-200 cover a visibly larger area,
+// diversifying the recommendation as we move down the list.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.h"
+#include "geo/haversine.h"
+
+namespace {
+
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+struct SpreadStats {
+  double mean_pairwise_km = 0.0;
+  double radius_km = 0.0;  // mean distance to centroid
+  tcss::GeoBounds bounds;
+};
+
+SpreadStats Spread(const std::vector<tcss::GeoPoint>& pts) {
+  SpreadStats s;
+  if (pts.size() < 2) return s;
+  double lat = 0, lon = 0;
+  for (const auto& p : pts) {
+    lat += p.lat;
+    lon += p.lon;
+    s.bounds.Extend(p);
+  }
+  tcss::GeoPoint centroid{lat / pts.size(), lon / pts.size()};
+  double pair_sum = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < pts.size(); ++a) {
+    s.radius_km += tcss::HaversineKm(pts[a], centroid);
+    for (size_t b = a + 1; b < pts.size(); ++b) {
+      pair_sum += tcss::HaversineKm(pts[a], pts[b]);
+      ++pairs;
+    }
+  }
+  s.mean_pairwise_km = pair_sum / static_cast<double>(pairs);
+  s.radius_km /= static_cast<double>(pts.size());
+  return s;
+}
+
+struct CaseResult {
+  uint32_t user;
+  SpreadStats top20, top100, top200, all;
+};
+
+CaseResult g_result;
+
+void BM_CaseStudy(benchmark::State& state) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    tcss::TcssModel model(cfg);
+    (void)FitAndEvaluate(&model, world);
+
+    tcss::Rng rng(1234);
+    const uint32_t user =
+        static_cast<uint32_t>(rng.UniformInt(world.data.num_users()));
+    const uint32_t k = 6;  // July
+    std::vector<uint32_t> order(world.data.num_pois());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return model.Score(user, a, k) > model.Score(user, b, k);
+    });
+    auto take = [&](size_t n) {
+      std::vector<tcss::GeoPoint> pts;
+      for (size_t t = 0; t < std::min(n, order.size()); ++t) {
+        pts.push_back(world.data.poi(order[t]).location);
+      }
+      return Spread(pts);
+    };
+    g_result.user = user;
+    g_result.top20 = take(20);
+    g_result.top100 = take(100);
+    g_result.top200 = take(200);
+    g_result.all = Spread(world.data.PoiLocations());
+  }
+  state.counters["top100_radius_km"] = g_result.top100.radius_km;
+  state.counters["top200_radius_km"] = g_result.top200.radius_km;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("fig12/case_study", BM_CaseStudy)
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  auto print = [](const char* label, const SpreadStats& s) {
+    std::printf("%-10s mean pairwise %8.1f km | mean radius %8.1f km | "
+                "bbox [%.2f..%.2f] x [%.2f..%.2f]\n",
+                label, s.mean_pairwise_km, s.radius_km, s.bounds.min_lat,
+                s.bounds.max_lat, s.bounds.min_lon, s.bounds.max_lon);
+  };
+  std::printf("\n=== Figure 12: spatial spread of top-scored POIs for user "
+              "%u (gowalla-like) ===\n",
+              g_result.user);
+  print("top-20", g_result.top20);
+  print("top-100", g_result.top100);
+  print("top-200", g_result.top200);
+  print("all POIs", g_result.all);
+  std::printf("shape check: top-20 clusters tighter than top-100/200, all "
+              "tighter than the full POI cloud.\n");
+  return 0;
+}

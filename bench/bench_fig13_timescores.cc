@@ -1,0 +1,105 @@
+// Figure 13: score along the time dimension. For a randomly selected
+// *observed* entry (i, j, k) the model scores of (i, j, *) are plotted
+// across all 12 months; likewise for a randomly selected *negative*
+// (unobserved) entry.
+//
+// Expected shape (paper): TCSS gives the observed pair consistently high
+// scores (peaking near the observed month) and the negative pair scores
+// near 0; baselines sit lower / noisier on the positive pair.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+struct Series {
+  std::string model;
+  std::vector<double> pos;  // scores of the observed (i,j) across months
+  std::vector<double> neg;  // scores of the unobserved (i,j)
+};
+
+std::vector<Series> g_series;
+uint32_t g_pos_i, g_pos_j, g_pos_k, g_neg_i, g_neg_j;
+
+void PickEntries(const tcss::bench::World& world) {
+  tcss::Rng rng(77);
+  const auto& entries = world.train.entries();
+  const auto& e = entries[rng.UniformInt(entries.size())];
+  g_pos_i = e.i;
+  g_pos_j = e.j;
+  g_pos_k = e.k;
+  for (;;) {
+    const uint32_t i =
+        static_cast<uint32_t>(rng.UniformInt(world.train.dim_i()));
+    const uint32_t j =
+        static_cast<uint32_t>(rng.UniformInt(world.train.dim_j()));
+    bool any = false;
+    for (uint32_t k = 0; k < world.train.dim_k(); ++k) {
+      if (world.train.Contains(i, j, k)) any = true;
+    }
+    if (!any) {
+      g_neg_i = i;
+      g_neg_j = j;
+      break;
+    }
+  }
+}
+
+void BM_TimeScores(benchmark::State& state, const std::string& model_name) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  Series s;
+  s.model = model_name;
+  for (auto _ : state) {
+    auto model = tcss::MakeModel(model_name, 7);
+    (void)FitAndEvaluate(model.get(), world);
+    s.pos.clear();
+    s.neg.clear();
+    for (uint32_t k = 0; k < world.train.dim_k(); ++k) {
+      s.pos.push_back(model->Score(g_pos_i, g_pos_j, k));
+      s.neg.push_back(model->Score(g_neg_i, g_neg_j, k));
+    }
+  }
+  double peak = 0;
+  for (double v : s.pos) peak = std::max(peak, v);
+  state.counters["pos_peak"] = peak;
+  g_series.push_back(std::move(s));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PickEntries(GetWorld(tcss::SyntheticPreset::kGowallaLike));
+  for (const char* model : {"CP", "P-Tucker", "NCF", "TCSS"}) {
+    std::string name = std::string("fig13/") + model;
+    benchmark::RegisterBenchmark(name.c_str(), BM_TimeScores,
+                                 std::string(model))
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figure 13: score along the time dimension "
+              "(gowalla-like) ===\n");
+  std::printf("observed entry (i=%u, j=%u) with check-in at month %u; "
+              "negative entry (i=%u, j=%u)\n",
+              g_pos_i, g_pos_j, g_pos_k, g_neg_i, g_neg_j);
+  for (const char* which : {"observed", "negative"}) {
+    std::printf("\n%s (i,j) scored across months 0..11:\n%-10s", which,
+                "model");
+    for (int k = 0; k < 12; ++k) std::printf(" m%-6d", k);
+    std::printf("\n");
+    for (const auto& s : g_series) {
+      std::printf("%-10s", s.model.c_str());
+      const auto& vals = which[0] == 'o' ? s.pos : s.neg;
+      for (double v : vals) std::printf(" %-7.3f", v);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

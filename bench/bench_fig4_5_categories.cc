@@ -1,0 +1,102 @@
+// Figures 4 & 5: Hit@10 and MRR per POI category (shopping,
+// entertainment, food, outdoor) and per time granularity (month, week,
+// hour) on the Gowalla-like preset, for TCSS and representative baselines.
+//
+// Expected shape (paper): TCSS leads on every category and granularity;
+// the outdoor category is strongest (most seasonal), food weakest;
+// month granularity beats week.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::MakeWorld;
+
+const char* const kModels[] = {"CP", "P-Tucker", "NCF", "TCSS"};
+
+// world cache: category x granularity
+std::map<std::pair<int, int>, tcss::bench::World> g_worlds;
+std::map<std::tuple<std::string, int, int>, EvalRow> g_results;
+
+const tcss::bench::World& CategoryWorld(int category, int granularity) {
+  auto key = std::make_pair(category, granularity);
+  auto it = g_worlds.find(key);
+  if (it != g_worlds.end()) return it->second;
+  const tcss::bench::World& base =
+      tcss::bench::GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  tcss::Dataset filtered = base.data.FilterByCategory(
+      static_cast<tcss::PoiCategory>(category));
+  tcss::bench::World world = MakeWorld(
+      std::string(tcss::CategoryName(static_cast<tcss::PoiCategory>(category))),
+      filtered, static_cast<tcss::TimeGranularity>(granularity));
+  return g_worlds.emplace(key, std::move(world)).first->second;
+}
+
+void BM_CategoryModel(benchmark::State& state, const std::string& model_name,
+                      int category, int granularity) {
+  const tcss::bench::World& world = CategoryWorld(category, granularity);
+  EvalRow row;
+  for (auto _ : state) {
+    auto model = tcss::MakeModel(model_name, 7);
+    row = FitAndEvaluate(model.get(), world);
+  }
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_results[{model_name, category, granularity}] = row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int granularities[] = {
+      static_cast<int>(tcss::TimeGranularity::kMonthOfYear),
+      static_cast<int>(tcss::TimeGranularity::kWeekOfYear),
+      static_cast<int>(tcss::TimeGranularity::kHourOfDay)};
+  for (int cat = 0; cat < tcss::kNumCategories; ++cat) {
+    for (int g : granularities) {
+      for (const char* model : kModels) {
+        std::string name =
+            std::string("fig4_5/") +
+            tcss::CategoryName(static_cast<tcss::PoiCategory>(cat)) + "/" +
+            tcss::GranularityName(static_cast<tcss::TimeGranularity>(g)) +
+            "/" + model;
+        benchmark::RegisterBenchmark(name.c_str(), BM_CategoryModel,
+                                     std::string(model), cat, g)
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  for (const char* metric : {"Hit@10", "MRR"}) {
+    std::printf("\n=== Figure %s: %s per POI category and granularity "
+                "(gowalla-like) ===\n",
+                metric[0] == 'H' ? "4" : "5", metric);
+    std::printf("%-12s %-10s", "category", "model");
+    for (int g : granularities) {
+      std::printf(" %-8s",
+                  tcss::GranularityName(static_cast<tcss::TimeGranularity>(g)));
+    }
+    std::printf("\n");
+    for (int cat = 0; cat < tcss::kNumCategories; ++cat) {
+      for (const char* model : kModels) {
+        std::printf("%-12s %-10s",
+                    tcss::CategoryName(static_cast<tcss::PoiCategory>(cat)),
+                    model);
+        for (int g : granularities) {
+          const EvalRow& row = g_results[{model, cat, g}];
+          std::printf(" %-8.4f",
+                      metric[0] == 'H' ? row.hit_at_10 : row.mrr);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

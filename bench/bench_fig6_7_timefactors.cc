@@ -1,0 +1,97 @@
+// Figures 6 & 7: cosine-similarity heatmaps between learned time-factor
+// rows of U3.
+//   Fig 6: month / week / hour granularities on the shopping category.
+//   Fig 7: month similarity for each POI category.
+//
+// Expected shape (paper): month factors form seasonal blocks (adjacent
+// months similar); blocks are weaker for week/hour; the food category
+// shows the fewest dark blocks.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::MakeWorld;
+
+void PrintHeatmap(const char* title, const tcss::Matrix& sim) {
+  std::printf("\n--- %s (cosine similarity of time factors) ---\n", title);
+  const size_t k = sim.rows();
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = 0; b < k; ++b) std::printf("%6.2f", sim(a, b));
+    std::printf("\n");
+  }
+  // Seasonality score: mean similarity of adjacent bins minus mean
+  // similarity of bins half a cycle apart (higher = blockier heatmap).
+  double adjacent = 0.0, opposite = 0.0;
+  for (size_t a = 0; a < k; ++a) {
+    adjacent += sim(a, (a + 1) % k);
+    opposite += sim(a, (a + k / 2) % k);
+  }
+  std::printf("seasonality score (adjacent - opposite mean): %.4f\n",
+              (adjacent - opposite) / static_cast<double>(k));
+}
+
+tcss::Matrix TrainAndSimilarity(const tcss::bench::World& world) {
+  tcss::TcssConfig cfg;
+  tcss::TcssModel model(cfg);
+  (void)FitAndEvaluate(&model, world);
+  return model.TimeFactorSimilarity();
+}
+
+std::vector<std::pair<std::string, tcss::Matrix>> g_heatmaps;
+
+void BM_TimeFactors(benchmark::State& state, const std::string& label,
+                    int category, int granularity) {
+  const tcss::bench::World& base =
+      tcss::bench::GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  tcss::Dataset filtered = base.data.FilterByCategory(
+      static_cast<tcss::PoiCategory>(category));
+  tcss::bench::World world =
+      MakeWorld(label, filtered,
+                static_cast<tcss::TimeGranularity>(granularity));
+  tcss::Matrix sim;
+  for (auto _ : state) {
+    sim = TrainAndSimilarity(world);
+    benchmark::DoNotOptimize(sim.data());
+  }
+  g_heatmaps.emplace_back(label, std::move(sim));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Fig 6: shopping category across granularities.
+  const std::pair<const char*, tcss::TimeGranularity> fig6[] = {
+      {"fig6/shopping/month", tcss::TimeGranularity::kMonthOfYear},
+      {"fig6/shopping/week", tcss::TimeGranularity::kWeekOfYear},
+      {"fig6/shopping/hour", tcss::TimeGranularity::kHourOfDay}};
+  for (const auto& [label, g] : fig6) {
+    benchmark::RegisterBenchmark(label, BM_TimeFactors, std::string(label),
+                                 static_cast<int>(tcss::PoiCategory::kShopping),
+                                 static_cast<int>(g))
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  // Fig 7: month granularity across the other categories.
+  for (int cat = 1; cat < tcss::kNumCategories; ++cat) {
+    std::string label =
+        std::string("fig7/") +
+        tcss::CategoryName(static_cast<tcss::PoiCategory>(cat)) + "/month";
+    benchmark::RegisterBenchmark(
+        label.c_str(), BM_TimeFactors, label, cat,
+        static_cast<int>(tcss::TimeGranularity::kMonthOfYear))
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figures 6 & 7: time-factor similarity heatmaps ===\n");
+  for (const auto& [label, sim] : g_heatmaps) {
+    PrintHeatmap(label.c_str(), sim);
+  }
+  return 0;
+}

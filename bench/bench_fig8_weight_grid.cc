@@ -1,0 +1,70 @@
+// Figure 8: effect of different (w+, w-) weight combinations on MRR and
+// RMSE (Gowalla-like). Sweeps a grid of w+ for several fixed w- values.
+//
+// Expected shape (paper): for a fixed w-, MRR rises and RMSE falls as w+
+// grows; the absolute weight scale matters (not just the ratio) because
+// only L2 carries the weights while L1's scale is fixed by lambda.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+struct GridRow {
+  double w_pos, w_neg, mrr, rmse;
+};
+
+std::vector<GridRow> g_rows;
+
+void BM_Grid(benchmark::State& state, double w_pos, double w_neg) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  GridRow r{w_pos, w_neg, 0, 0};
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.w_pos = w_pos;
+    cfg.w_neg = w_neg;
+    tcss::TcssModel model(cfg);
+    auto row = FitAndEvaluate(&model, world);
+    r.mrr = row.mrr;
+    auto score = [&model](uint32_t i, uint32_t j, uint32_t k) {
+      return model.Score(i, j, k);
+    };
+    r.rmse = tcss::RmseAgainstConstant(score, world.test_cells, 1.0);
+  }
+  state.counters["MRR"] = r.mrr;
+  state.counters["RMSE"] = r.rmse;
+  g_rows.push_back(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double w_neg_values[] = {0.01, 0.05, 0.1};
+  const double w_pos_values[] = {0.3, 0.6, 0.9, 0.99};
+  for (double wn : w_neg_values) {
+    for (double wp : w_pos_values) {
+      std::string name = "fig8/w+=" + std::to_string(wp) +
+                         "/w-=" + std::to_string(wn);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Grid, wp, wn)
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figure 8: effect of (w+, w-) on MRR and RMSE "
+              "(gowalla-like) ===\n");
+  std::printf("%-8s %-8s %-8s %-8s\n", "w+", "w-", "MRR", "RMSE(pos)");
+  for (const auto& r : g_rows) {
+    std::printf("%-8g %-8g %-8.4f %-8.4f\n", r.w_pos, r.w_neg, r.mrr,
+                r.rmse);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 9: effectiveness of the spectral initialization - Hit@10 and MRR
+// along the training trajectory for spectral vs random vs one-hot
+// initialization (Gowalla-like).
+//
+// Expected shape (paper): the spectral start converges faster and ends at
+// or above the alternatives.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+
+namespace {
+
+using tcss::bench::GetWorld;
+
+struct Curve {
+  std::string label;
+  std::vector<int> epochs;
+  std::vector<double> hit;
+  std::vector<double> mrr;
+};
+
+std::vector<Curve> g_curves;
+
+void BM_Convergence(benchmark::State& state, tcss::InitMethod init,
+                    const std::string& label) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  Curve curve;
+  curve.label = label;
+  for (auto _ : state) {
+    curve.epochs.clear();
+    curve.hit.clear();
+    curve.mrr.clear();
+    tcss::TcssConfig cfg;
+    cfg.init = init;
+    tcss::TcssModel model(cfg);
+    const int eval_every = std::max(1, cfg.epochs / 10);
+    tcss::Status st = model.FitWithCallback(
+        {&world.data, &world.train, tcss::TimeGranularity::kMonthOfYear, 7},
+        [&](const tcss::EpochStats& s, const tcss::FactorModel& factors) {
+          if (s.epoch % eval_every != 0 && s.epoch != 1) return;
+          tcss::RankingProtocolOptions opts;
+          tcss::RankingMetrics m = tcss::EvaluateRanking(
+              [&factors](uint32_t i, uint32_t j, uint32_t k) {
+                return factors.Predict(i, j, k);
+              },
+              world.data.num_pois(), world.test_cells, opts);
+          curve.epochs.push_back(s.epoch);
+          curve.hit.push_back(m.hit_at_k);
+          curve.mrr.push_back(m.mrr);
+        });
+    TCSS_CHECK(st.ok());
+  }
+  state.counters["final_Hit@10"] = curve.hit.empty() ? 0 : curve.hit.back();
+  state.counters["final_MRR"] = curve.mrr.empty() ? 0 : curve.mrr.back();
+  g_curves.push_back(std::move(curve));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("fig9/spectral", BM_Convergence,
+                               tcss::InitMethod::kSpectral,
+                               std::string("spectral"))
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark("fig9/random", BM_Convergence,
+                               tcss::InitMethod::kRandom,
+                               std::string("random"))
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark("fig9/one-hot", BM_Convergence,
+                               tcss::InitMethod::kOneHot,
+                               std::string("one-hot"))
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figure 9: convergence of initialization methods "
+              "(gowalla-like) ===\n");
+  for (const char* metric : {"Hit@10", "MRR"}) {
+    std::printf("\n%s along training:\n%-10s", metric, "epoch");
+    if (!g_curves.empty()) {
+      for (int e : g_curves.front().epochs) std::printf(" %-7d", e);
+    }
+    std::printf("\n");
+    for (const auto& c : g_curves) {
+      std::printf("%-10s", c.label.c_str());
+      const auto& vals = metric[0] == 'H' ? c.hit : c.mrr;
+      for (double v : vals) std::printf(" %-7.4f", v);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Kernel micro-benchmark: mode-0 MTTKRP on COO vs CSF (DESIGN.md's
+// compressed-sparse-fiber decision). CSF's fiber factoring reuses the U2
+// row across a fiber's nonzeros, which pays off when (user, POI) fibers
+// are long. Measured result on the month-binned presets: fibers average
+// only ~3 nonzeros (K = 12 caps them), so plain COO wins - the library
+// therefore keeps COO in the CP-ALS hot path and CSF as an alternative
+// for long-fiber regimes (hour/week granularities, denser data).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "tensor/csf_tensor.h"
+#include "tensor/mttkrp.h"
+
+namespace {
+
+using namespace tcss;
+
+const SparseTensor& CheckinTensor(int which) {
+  static std::map<int, SparseTensor>* tensors = new std::map<int, SparseTensor>();
+  auto it = tensors->find(which);
+  if (it != tensors->end()) return it->second;
+  auto preset = which == 0 ? SyntheticPreset::kGowallaLike
+                           : SyntheticPreset::kGmu5kLike;
+  auto data = GenerateSyntheticLbsn(PresetConfig(preset, 1.0));
+  auto split = SplitCheckins(data.value(), 0.8, 42);
+  auto t = BuildCheckinTensor(data.value(), split.train,
+                              TimeGranularity::kMonthOfYear);
+  return tensors->emplace(which, t.MoveValue()).first->second;
+}
+
+void BM_MttkrpCoo(benchmark::State& state) {
+  const SparseTensor& x = CheckinTensor(static_cast<int>(state.range(1)));
+  const size_t r = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix factors[3] = {Matrix(x.dim_i(), r),
+                       Matrix::GaussianRandom(x.dim_j(), r, &rng),
+                       Matrix::GaussianRandom(x.dim_k(), r, &rng)};
+  for (auto _ : state) {
+    Matrix out = Mttkrp(x, factors, 0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["nnz"] = static_cast<double>(x.nnz());
+}
+
+void BM_MttkrpCsf(benchmark::State& state) {
+  const SparseTensor& x = CheckinTensor(static_cast<int>(state.range(1)));
+  const CsfTensor csf(x);
+  const size_t r = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix u2 = Matrix::GaussianRandom(x.dim_j(), r, &rng);
+  Matrix u3 = Matrix::GaussianRandom(x.dim_k(), r, &rng);
+  for (auto _ : state) {
+    Matrix out = csf.MttkrpMode0(u2, u3);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["fibers"] = static_cast<double>(csf.num_fibers());
+  state.counters["nnz"] = static_cast<double>(csf.nnz());
+}
+
+// Arg pairs: {rank, dataset} with dataset 0 = sparse gowalla-like
+// (short fibers; COO tends to win) and 1 = dense gmu5k-like (long
+// fibers; CSF's factoring pays off).
+BENCHMARK(BM_MttkrpCoo)
+    ->Args({4, 0})->Args({10, 0})->Args({32, 0})
+    ->Args({4, 1})->Args({10, 1})->Args({32, 1});
+BENCHMARK(BM_MttkrpCsf)
+    ->Args({4, 0})->Args({10, 0})->Args({32, 0})
+    ->Args({4, 1})->Args({10, 1})->Args({32, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

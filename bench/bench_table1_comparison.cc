@@ -1,0 +1,71 @@
+// Table I: results comparison - Hit@10 and MRR of all 13 models on the
+// four synthetic preset datasets.
+//
+// Expected shape (paper): tensor completion > matrix completion and the
+// sequential/social baselines; TCSS best on every dataset; the dense
+// GMU-like preset scores highest, the sparse Yelp-like lowest.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::AllPresets;
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+using tcss::bench::PrintResultsTable;
+
+std::map<std::pair<std::string, std::string>, EvalRow> g_results;
+
+void BM_Model(benchmark::State& state, const std::string& model_name,
+              tcss::SyntheticPreset preset) {
+  const tcss::bench::World& world = GetWorld(preset);
+  EvalRow row;
+  for (auto _ : state) {
+    auto model = tcss::MakeModel(model_name, /*seed=*/7);
+    row = FitAndEvaluate(model.get(), world);
+  }
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_results[{row.model, row.dataset}] = row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (tcss::SyntheticPreset preset : AllPresets()) {
+    for (const std::string& model : tcss::RegisteredModelNames()) {
+      std::string name = std::string("table1/") + tcss::PresetName(preset) +
+                         "/" + model;
+      benchmark::RegisterBenchmark(name.c_str(), BM_Model, model, preset)
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<std::string> datasets;
+  for (auto p : AllPresets()) datasets.push_back(tcss::PresetName(p));
+  std::vector<std::string> models;
+  for (const auto& [key, row] : g_results) {
+    if (std::find(models.begin(), models.end(), key.first) == models.end()) {
+      models.push_back(key.first);
+    }
+  }
+  // Table I row order: matrix completion, POI recommendation, tensor
+  // completion, TCSS.
+  std::vector<std::string> order = {"MCCO",   "PureSVD", "STRNN", "STAN",
+                                    "STGN",   "LFBCA",   "CP",    "Tucker",
+                                    "P-Tucker", "NCF",   "NTM",   "CoSTCo",
+                                    "TCSS"};
+  std::vector<std::string> ordered;
+  for (const auto& m : order) {
+    if (g_results.count({m, datasets[0]})) ordered.push_back(m);
+  }
+  PrintResultsTable("Table I: results comparison (Hit@10 / MRR)", datasets,
+                    ordered, g_results);
+  return 0;
+}

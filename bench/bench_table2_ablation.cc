@@ -1,0 +1,101 @@
+// Table II: ablation study - TCSS variants (random / one-hot init, no L1,
+// negative sampling, self-Hausdorff, zero-out) vs the full model on all
+// four preset datasets.
+//
+// Expected shape (paper): every ablation degrades the full TCSS.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using tcss::bench::AllPresets;
+using tcss::bench::EvalRow;
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+using tcss::bench::PrintResultsTable;
+
+struct Variant {
+  std::string label;
+  tcss::TcssConfig config;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> variants;
+  tcss::TcssConfig base;
+  {
+    tcss::TcssConfig c = base;
+    c.init = tcss::InitMethod::kRandom;
+    variants.push_back({"Random initialization", c});
+  }
+  {
+    tcss::TcssConfig c = base;
+    c.init = tcss::InitMethod::kOneHot;
+    variants.push_back({"One-hot initialization", c});
+  }
+  {
+    tcss::TcssConfig c = base;
+    c.lambda = 0.0;
+    c.hausdorff = tcss::HausdorffMode::kNone;
+    variants.push_back({"Remove L1 (lambda=0)", c});
+  }
+  {
+    tcss::TcssConfig c = base;
+    c.loss_mode = tcss::LossMode::kNegativeSampling;
+    variants.push_back({"Negative sampling", c});
+  }
+  {
+    tcss::TcssConfig c = base;
+    c.hausdorff = tcss::HausdorffMode::kSelf;
+    variants.push_back({"Self-Hausdorff", c});
+  }
+  {
+    tcss::TcssConfig c = base;
+    c.hausdorff = tcss::HausdorffMode::kZeroOut;
+    variants.push_back({"Zero-out", c});
+  }
+  variants.push_back({"Full-Fledged TCSS", base});
+  return variants;
+}
+
+std::map<std::pair<std::string, std::string>, EvalRow> g_results;
+
+void BM_Variant(benchmark::State& state, const Variant& variant,
+                tcss::SyntheticPreset preset) {
+  const tcss::bench::World& world = GetWorld(preset);
+  EvalRow row;
+  for (auto _ : state) {
+    tcss::TcssModel model(variant.config);
+    row = FitAndEvaluate(&model, world);
+  }
+  row.model = variant.label;
+  state.counters["Hit@10"] = row.hit_at_10;
+  state.counters["MRR"] = row.mrr;
+  g_results[{variant.label, row.dataset}] = row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto variants = Variants();
+  for (tcss::SyntheticPreset preset : AllPresets()) {
+    for (const Variant& v : variants) {
+      std::string name = std::string("table2/") + tcss::PresetName(preset) +
+                         "/" + v.label;
+      benchmark::RegisterBenchmark(name.c_str(), BM_Variant, v, preset)
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<std::string> datasets;
+  for (auto p : AllPresets()) datasets.push_back(tcss::PresetName(p));
+  std::vector<std::string> models;
+  for (const Variant& v : variants) models.push_back(v.label);
+  PrintResultsTable("Table II: ablation study (Hit@10 / MRR)", datasets,
+                    models, g_results);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table III: performance with different (w+, w-) class-balance weights on
+// the Gowalla-like preset. Reports RMSE on positive and (sampled)
+// negative test cells plus Hit@10 / MRR.
+//
+// Expected shape (paper): quality improves as w+/w- grows, peaks at an
+// intermediate setting, then degrades.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using tcss::bench::FitAndEvaluate;
+using tcss::bench::GetWorld;
+
+struct WeightResult {
+  double w_pos, w_neg;
+  double rmse_pos, rmse_neg;
+  double hit, mrr;
+};
+
+std::vector<WeightResult> g_rows;
+
+void BM_Weights(benchmark::State& state, double w_pos, double w_neg) {
+  const tcss::bench::World& world =
+      GetWorld(tcss::SyntheticPreset::kGowallaLike);
+  WeightResult r{w_pos, w_neg, 0, 0, 0, 0};
+  for (auto _ : state) {
+    tcss::TcssConfig cfg;
+    cfg.w_pos = w_pos;
+    cfg.w_neg = w_neg;
+    tcss::TcssModel model(cfg);
+    auto row = FitAndEvaluate(&model, world);
+    r.hit = row.hit_at_10;
+    r.mrr = row.mrr;
+
+    // RMSE columns: positive test cells vs 1; sampled unobserved cells
+    // vs 0 (the "RM Positive/Negative" columns of Table III).
+    auto score = [&model](uint32_t i, uint32_t j, uint32_t k) {
+      return model.Score(i, j, k);
+    };
+    r.rmse_pos = tcss::RmseAgainstConstant(score, world.test_cells, 1.0);
+    tcss::Rng rng(99);
+    std::vector<tcss::TensorCell> negatives;
+    while (negatives.size() < world.test_cells.size()) {
+      tcss::TensorCell c{
+          static_cast<uint32_t>(rng.UniformInt(world.train.dim_i())),
+          static_cast<uint32_t>(rng.UniformInt(world.train.dim_j())),
+          static_cast<uint32_t>(rng.UniformInt(world.train.dim_k()))};
+      if (!world.train.Contains(c.i, c.j, c.k)) negatives.push_back(c);
+    }
+    r.rmse_neg = tcss::RmseAgainstConstant(score, negatives, 0.0);
+  }
+  state.counters["Hit@10"] = r.hit;
+  state.counters["MRR"] = r.mrr;
+  state.counters["RMSE+"] = r.rmse_pos;
+  state.counters["RMSE-"] = r.rmse_neg;
+  g_rows.push_back(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::pair<double, double> weights[] = {
+      {0.9, 0.1}, {0.95, 0.05}, {0.99, 0.01}, {0.995, 0.005},
+      {0.999, 0.001}};
+  for (const auto& [wp, wn] : weights) {
+    std::string name =
+        "table3/w+=" + std::to_string(wp) + "_w-=" + std::to_string(wn);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Weights, wp, wn)
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Table III: performance with different (w+, w-) "
+              "(gowalla-like) ===\n");
+  std::printf("%-16s %-10s %-10s %-8s %-8s\n", "(w+, w-)", "RMSE(pos)",
+              "RMSE(neg)", "Hit@10", "MRR");
+  for (const auto& r : g_rows) {
+    std::printf("(%g, %g)%*s %-10.4f %-10.4f %-8.4f %-8.4f\n", r.w_pos,
+                r.w_neg,
+                static_cast<int>(16 - 4 - std::to_string(r.w_pos).size()), "",
+                r.rmse_pos, r.rmse_neg, r.hit, r.mrr);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Diversity audit: quantifies the effect of the location-entropy weights
+// (Eq 11/12). Trains TCSS with and without the e_j = exp(-E_j) weighting
+// and compares how popular / diverse the top-10 recommendations are.
+//
+//   ./diversity_audit [scale]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "core/tcss_model.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "geo/location_entropy.h"
+
+using namespace tcss;
+
+namespace {
+
+struct Audit {
+  double mean_entropy_top10 = 0.0;   // popularity of recommended POIs
+  double distinct_fraction = 0.0;    // catalogue coverage of the top-10s
+};
+
+Audit AuditModel(const TcssModel& model, const Dataset& data,
+                 const std::vector<double>& entropy) {
+  Audit a;
+  std::set<uint32_t> distinct;
+  size_t count = 0;
+  for (uint32_t user = 0; user < data.num_users(); ++user) {
+    std::vector<uint32_t> order(data.num_pois());
+    std::iota(order.begin(), order.end(), 0u);
+    const uint32_t month = 6;
+    std::partial_sort(order.begin(), order.begin() + 10, order.end(),
+                      [&](uint32_t x, uint32_t y) {
+                        return model.Score(user, x, month) >
+                               model.Score(user, y, month);
+                      });
+    for (int t = 0; t < 10; ++t) {
+      a.mean_entropy_top10 += entropy[order[t]];
+      distinct.insert(order[t]);
+      ++count;
+    }
+  }
+  a.mean_entropy_top10 /= static_cast<double>(count);
+  a.distinct_fraction =
+      static_cast<double>(distinct.size()) / data.num_pois();
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  auto data_or = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, scale));
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+  const TrainTestSplit split = SplitCheckins(data, 0.8, 42);
+  auto train_or =
+      BuildCheckinTensor(data, split.train, TimeGranularity::kMonthOfYear);
+  if (!train_or.ok()) return 1;
+  const SparseTensor& train = train_or.value();
+
+  // Location entropy of every POI (high = visited by many users).
+  const std::vector<double> entropy = ComputeLocationEntropy(train);
+  const double catalogue_mean =
+      std::accumulate(entropy.begin(), entropy.end(), 0.0) /
+      static_cast<double>(entropy.size());
+
+  std::printf("dataset: %s\n", data.Summary().c_str());
+  std::printf("mean location entropy over the catalogue: %.3f\n\n",
+              catalogue_mean);
+
+  Audit audits[2];
+  const char* labels[2] = {"with entropy weights (full TCSS)",
+                           "without entropy weights"};
+  for (int variant = 0; variant < 2; ++variant) {
+    TcssConfig cfg;
+    cfg.epochs = 250;
+    cfg.use_location_entropy = (variant == 0);
+    TcssModel model(cfg);
+    std::printf("training %-34s ...\n", labels[variant]);
+    Status st = model.Fit({&data, &train, TimeGranularity::kMonthOfYear, 13});
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    audits[variant] = AuditModel(model, data, entropy);
+  }
+
+  std::printf("\n%-36s %-22s %-s\n", "variant", "mean entropy of top-10",
+              "distinct POIs recommended");
+  for (int variant = 0; variant < 2; ++variant) {
+    std::printf("%-36s %-22.3f %.1f%% of catalogue\n", labels[variant],
+                audits[variant].mean_entropy_top10,
+                100.0 * audits[variant].distinct_fraction);
+  }
+  std::printf("\nLower mean entropy / higher distinct coverage with the "
+              "weights on means the recommender favours niche places over "
+              "the same few crowd-pleasers - the diversity effect the "
+              "paper attributes to Eq 11/12.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#ifndef TCSS_BASELINES_COSTCO_H_
+#define TCSS_BASELINES_COSTCO_H_
+
+#include "baselines/neural_common.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+
+namespace tcss {
+
+/// CoSTCo (Liu et al., KDD'19): convolutional tensor completion. The three
+/// mode embeddings of a triple are stacked into an r x 3 "image"; a first
+/// conv layer with 1x3 kernels mixes the modes per latent dimension
+/// (weights shared across latent dimensions - exactly the paper's
+/// parameter-sharing scheme), a second conv with r x 1 kernels mixes the
+/// latent dimensions (realized as a dense layer over the flattened
+/// channel maps, its exact general form), followed by a dense + sigmoid
+/// head. Trained pointwise with BCE and sampled negatives.
+class CoSTCo : public Recommender {
+ public:
+  struct Options {
+    size_t emb_dim = 10;
+    size_t channels = 8;    ///< conv-1 output channels
+    size_t hidden = 32;     ///< conv-2 output size
+    int epochs = 8;
+    size_t batch_positives = 256;
+    size_t neg_ratio = 2;
+    double lr = 5e-3;
+    uint64_t seed = 47;
+  };
+
+  CoSTCo() : CoSTCo(Options()) {}
+  explicit CoSTCo(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "CoSTCo"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  nn::ParameterStore store_;
+  nn::Parameter *eu_ = nullptr, *ep_ = nullptr, *et_ = nullptr;
+  // conv-1: one 1x3 kernel per channel, stored as three 1 x channels rows.
+  nn::Parameter *wu_ = nullptr, *wv_ = nullptr, *ww_ = nullptr, *wb_ = nullptr;
+  nn::Dense conv2_;  ///< (r * channels) -> hidden, the r x 1 conv stage
+  nn::Dense out_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_COSTCO_H_

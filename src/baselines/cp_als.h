@@ -1,0 +1,40 @@
+#ifndef TCSS_BASELINES_CP_ALS_H_
+#define TCSS_BASELINES_CP_ALS_H_
+
+#include "eval/recommender.h"
+#include "linalg/matrix.h"
+
+namespace tcss {
+
+/// CP (CANDECOMP/PARAFAC) decomposition fitted by alternating least
+/// squares on the zero-filled binary tensor (the classical baseline of
+/// Table I, Eq 1). Each ALS sweep solves, e.g. for the user factors,
+///   A <- MTTKRP(X; B, C) * pinv((B^T B) .* (C^T C))
+/// using the sparse MTTKRP kernel; missing entries count as zeros, which
+/// is the standard implicit-feedback treatment for CP on check-in data.
+class CpAls : public Recommender {
+ public:
+  struct Options {
+    size_t rank = 10;
+    int sweeps = 30;
+    double ridge = 1e-9;  ///< regularizer for the r x r normal equations
+    uint64_t seed = 21;
+  };
+
+  CpAls() : CpAls(Options()) {}
+  explicit CpAls(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "CP"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+  const Matrix& factor(int mode) const { return factors_[mode]; }
+
+ private:
+  Options opts_;
+  Matrix factors_[3];
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_CP_ALS_H_

@@ -1,0 +1,48 @@
+#ifndef TCSS_BASELINES_LFBCA_H_
+#define TCSS_BASELINES_LFBCA_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace tcss {
+
+/// LFBCA (Wang, Terrovitis & Mamoulis, SIGSPATIAL'13): location-friendship
+/// bookmark-coloring. Builds a heterogeneous graph over users and POIs
+/// (friendship edges between users, visit edges between users and POIs,
+/// similarity edges between nearby POIs) and scores POIs for each user by
+/// personalized PageRank computed with the bookmark-coloring (push)
+/// algorithm. Time-unaware.
+class Lfbca : public Recommender {
+ public:
+  struct Options {
+    double restart_alpha = 0.15;   ///< PPR restart probability
+    double friend_edge_weight = 1.0;
+    double visit_edge_weight = 1.0;
+    /// POI-POI similarity edges connect POIs within this many km.
+    double poi_radius_km = 10.0;
+    double poi_edge_weight = 0.3;
+    double push_epsilon = 1e-7;
+    /// The original LFBCA recommends *new* locations, heavily demoting
+    /// POIs the user already visited. This factor multiplies the walk
+    /// mass of visited POIs (0 = hard exclusion, 1 = rank everything).
+    double revisit_damping = 0.18;
+  };
+
+  Lfbca() : Lfbca(Options()) {}
+  explicit Lfbca(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "LFBCA"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  size_t num_pois_ = 0;
+  /// scores_[i * num_pois + j] = PPR mass of POI j for user i.
+  std::vector<float> scores_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_LFBCA_H_

@@ -1,0 +1,39 @@
+#ifndef TCSS_BASELINES_MCCO_H_
+#define TCSS_BASELINES_MCCO_H_
+
+#include "eval/recommender.h"
+#include "linalg/matrix.h"
+
+namespace tcss {
+
+/// Convex matrix completion baseline (Candes & Recht). The exact
+/// semidefinite program of MCCO is impractical without an SDP solver, so
+/// this implements Soft-Impute (Mazumder et al.) - the standard scalable
+/// solver for the *same* nuclear-norm relaxation: iterate
+///   Z <- SVT_tau( P_Omega(X) + P_Omega_perp(Z) )
+/// where SVT shrinks singular values by tau. Operates on the dense
+/// user x POI matrix (fine at library scale); time dimension ignored.
+class Mcco : public Recommender {
+ public:
+  struct Options {
+    size_t max_rank = 10;   ///< truncation rank of each SVT step (= r of Table I)
+    double tau = 3.0;       ///< singular-value shrinkage
+    int iterations = 15;
+    uint64_t seed = 37;
+  };
+
+  Mcco() : Mcco(Options()) {}
+  explicit Mcco(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "MCCO"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  Matrix z_;  ///< completed user x POI matrix
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_MCCO_H_

@@ -1,0 +1,51 @@
+#ifndef TCSS_BASELINES_NCF_H_
+#define TCSS_BASELINES_NCF_H_
+
+#include <memory>
+
+#include "baselines/neural_common.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace tcss {
+
+/// Neural Collaborative Filtering (He et al., WWW'17), extended to three
+/// modes as in the NTM paper's protocol: the GMF path takes the
+/// element-wise product of user/POI/time embeddings, the MLP path takes
+/// their concatenation through a ReLU tower, and a final dense layer on
+/// [gmf | mlp] produces the interaction probability. Trained pointwise
+/// with BCE on positives plus sampled negatives.
+class Ncf : public Recommender {
+ public:
+  struct Options {
+    size_t emb_dim = 10;
+    std::vector<size_t> mlp_hidden = {32, 16};
+    int epochs = 8;
+    size_t batch_positives = 256;
+    size_t neg_ratio = 2;
+    double lr = 5e-3;
+    uint64_t seed = 41;
+  };
+
+  Ncf() : Ncf(Options()) {}
+  explicit Ncf(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "NCF"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  nn::ParameterStore store_;
+  // GMF embeddings
+  nn::Parameter *gu_ = nullptr, *gp_ = nullptr, *gt_ = nullptr;
+  // MLP embeddings
+  nn::Parameter *mu_ = nullptr, *mp_ = nullptr, *mt_ = nullptr;
+  std::vector<nn::Dense> mlp_;
+  nn::Dense out_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_NCF_H_

@@ -1,0 +1,117 @@
+#ifndef TCSS_BASELINES_NEURAL_COMMON_H_
+#define TCSS_BASELINES_NEURAL_COMMON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/time_binning.h"
+#include "nn/parameter.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// A minibatch of (user, poi, time) triples with 0/1 labels, used by the
+/// pointwise neural baselines (NCF, NTM, CoSTCo).
+struct TripleBatch {
+  std::vector<uint32_t> users;
+  std::vector<uint32_t> pois;
+  std::vector<uint32_t> times;
+  Matrix labels;  ///< batch x 1
+};
+
+/// Draws a batch of `num_pos` positives (cyclic cursor over the tensor's
+/// nonzeros) plus `neg_ratio` sampled negatives per positive (uniform
+/// unlabeled cells).
+class TripleSampler {
+ public:
+  TripleSampler(const SparseTensor& train, uint64_t seed)
+      : train_(&train), rng_(seed) {}
+
+  TripleBatch Next(size_t num_pos, size_t neg_ratio) {
+    TripleBatch b;
+    const size_t nnz = train_->nnz();
+    const size_t total = num_pos * (1 + neg_ratio);
+    b.users.reserve(total);
+    b.pois.reserve(total);
+    b.times.reserve(total);
+    b.labels = Matrix(total, 1);
+    size_t row = 0;
+    for (size_t p = 0; p < num_pos && nnz > 0; ++p) {
+      const TensorEntry& e = train_->entries()[cursor_];
+      cursor_ = (cursor_ + 1) % nnz;
+      b.users.push_back(e.i);
+      b.pois.push_back(e.j);
+      b.times.push_back(e.k);
+      b.labels(row++, 0) = 1.0;
+      for (size_t n = 0; n < neg_ratio; ++n) {
+        uint32_t i, j, k;
+        int guard = 0;
+        do {
+          i = static_cast<uint32_t>(rng_.UniformInt(train_->dim_i()));
+          j = static_cast<uint32_t>(rng_.UniformInt(train_->dim_j()));
+          k = static_cast<uint32_t>(rng_.UniformInt(train_->dim_k()));
+        } while (train_->Contains(i, j, k) && ++guard < 50);
+        b.users.push_back(i);
+        b.pois.push_back(j);
+        b.times.push_back(k);
+        b.labels(row++, 0) = 0.0;
+      }
+    }
+    b.labels.Resize(row, 1);
+    // Resize cleared values; refill (positives at stride 1+neg_ratio).
+    for (size_t t = 0; t < row; ++t) {
+      b.labels(t, 0) = (t % (1 + neg_ratio) == 0) ? 1.0 : 0.0;
+    }
+    return b;
+  }
+
+ private:
+  const SparseTensor* train_;
+  Rng rng_;
+  size_t cursor_ = 0;
+};
+
+/// y = act(x W + b) computed directly from parameter values (no tape);
+/// used by Score() paths where building a graph per call would dominate.
+inline std::vector<double> DenseForward(const nn::Parameter& w,
+                                        const nn::Parameter& b,
+                                        const std::vector<double>& x,
+                                        bool relu, bool sigmoid = false) {
+  std::vector<double> y(w.value.cols(), 0.0);
+  for (size_t i = 0; i < w.value.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = w.value.row(i);
+    for (size_t o = 0; o < y.size(); ++o) y[o] += xi * row[o];
+  }
+  for (size_t o = 0; o < y.size(); ++o) {
+    y[o] += b.value(0, o);
+    if (relu && y[o] < 0.0) y[o] = 0.0;
+    if (sigmoid) y[o] = 1.0 / (1.0 + std::exp(-y[o]));
+  }
+  return y;
+}
+
+/// One event of a user trajectory (for the sequential baselines).
+struct TrajectoryEvent {
+  uint32_t poi;
+  uint32_t time_bin;
+  int64_t timestamp;
+};
+
+/// Chronologically sorted per-user trajectories built from check-in
+/// events, truncated to the most recent `max_len` events. If
+/// `train_filter` is non-null, only events whose (user, poi, bin) cell is
+/// observed in that tensor are kept - this is how the sequential baselines
+/// avoid reading test check-ins from the dataset.
+std::vector<std::vector<TrajectoryEvent>> BuildTrajectories(
+    const Dataset& data, const std::vector<CheckInEvent>& events,
+    TimeGranularity granularity, size_t max_len,
+    const SparseTensor* train_filter = nullptr);
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_NEURAL_COMMON_H_

@@ -1,0 +1,45 @@
+#ifndef TCSS_BASELINES_NTM_H_
+#define TCSS_BASELINES_NTM_H_
+
+#include "baselines/neural_common.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+
+namespace tcss {
+
+/// NTM - Neural Tensor Machine (Chen & Li, IJCAI'20): combines a
+/// generalized CP term (learned importance weights over the element-wise
+/// product of the three embeddings, like TCSS's Eq 6) with a tensorized
+/// MLP over the concatenated embeddings; the two heads are summed and
+/// squashed. Trained pointwise with BCE and sampled negatives.
+class Ntm : public Recommender {
+ public:
+  struct Options {
+    size_t emb_dim = 10;
+    std::vector<size_t> mlp_hidden = {32};
+    int epochs = 8;
+    size_t batch_positives = 256;
+    size_t neg_ratio = 2;
+    double lr = 5e-3;
+    uint64_t seed = 43;
+  };
+
+  Ntm() : Ntm(Options()) {}
+  explicit Ntm(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "NTM"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  nn::ParameterStore store_;
+  nn::Parameter *eu_ = nullptr, *ep_ = nullptr, *et_ = nullptr;
+  nn::Parameter* cp_weights_ = nullptr;  ///< 1 x d generalized-CP head
+  std::vector<nn::Dense> mlp_;
+  nn::Dense mlp_out_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_NTM_H_

@@ -1,0 +1,199 @@
+#include "baselines/p_tucker.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+
+namespace tcss {
+namespace {
+
+// q = G x_a u x_b v, leaving `mode` free: q[t] = sum_{a,b} G[t,a,b] u[a] v[b]
+// (indices permuted per mode). Core layout is (r1, r2, r3).
+void ContractCoreVec(const DenseTensor& core, int mode, const double* u,
+                     const double* v, double* q) {
+  const size_t r1 = core.dim_i();
+  const size_t r2 = core.dim_j();
+  const size_t r3 = core.dim_k();
+  if (mode == 0) {
+    for (size_t t = 0; t < r1; ++t) {
+      double s = 0.0;
+      for (size_t a = 0; a < r2; ++a)
+        for (size_t b = 0; b < r3; ++b) s += core.at(t, a, b) * u[a] * v[b];
+      q[t] = s;
+    }
+  } else if (mode == 1) {
+    for (size_t t = 0; t < r2; ++t) {
+      double s = 0.0;
+      for (size_t a = 0; a < r1; ++a)
+        for (size_t b = 0; b < r3; ++b) s += core.at(a, t, b) * u[a] * v[b];
+      q[t] = s;
+    }
+  } else {
+    for (size_t t = 0; t < r3; ++t) {
+      double s = 0.0;
+      for (size_t a = 0; a < r1; ++a)
+        for (size_t b = 0; b < r2; ++b) s += core.at(a, b, t) * u[a] * v[b];
+      q[t] = s;
+    }
+  }
+}
+
+}  // namespace
+
+Status PTucker::UpdateMode(const SparseTensor& x, int mode) {
+  const int m1 = (mode + 1) % 3;
+  const int m2 = (mode + 2) % 3;
+  const size_t r = opts_.rank;
+  const size_t dim = x.dim(mode);
+
+  // Q_full = sum over the *entire* (other-modes) grid of q q^T, assembled
+  // from the factor Grams through the core: O(r^4) work.
+  const Matrix gram1 = Gram(factors_[m1]);
+  const Matrix gram2 = Gram(factors_[m2]);
+  Matrix q_full(r, r);
+  // q_full[s,t] = sum_{a,a',b,b'} G_s[a,b] G_t[a',b'] gram1[a,a'] gram2[b,b']
+  for (size_t s = 0; s < r; ++s) {
+    for (size_t t = s; t < r; ++t) {
+      double acc = 0.0;
+      for (size_t a = 0; a < r; ++a)
+        for (size_t ap = 0; ap < r; ++ap) {
+          const double g1 = gram1(a, ap);
+          if (g1 == 0.0) continue;
+          for (size_t b = 0; b < r; ++b)
+            for (size_t bp = 0; bp < r; ++bp) {
+              double gs, gt;
+              if (mode == 0) {
+                gs = core_.at(s, a, b);
+                gt = core_.at(t, ap, bp);
+              } else if (mode == 1) {
+                gs = core_.at(a, s, b);
+                gt = core_.at(ap, t, bp);
+              } else {
+                gs = core_.at(a, b, s);
+                gt = core_.at(ap, bp, t);
+              }
+              acc += gs * gt * g1 * gram2(b, bp);
+            }
+        }
+      q_full(s, t) = acc;
+      q_full(t, s) = acc;
+    }
+  }
+
+  // Group observed entries by this mode's index.
+  std::vector<std::vector<size_t>> rows(dim);
+  const auto& entries = x.entries();
+  for (size_t t = 0; t < entries.size(); ++t) {
+    const uint32_t idx[3] = {entries[t].i, entries[t].j, entries[t].k};
+    rows[idx[mode]].push_back(t);
+  }
+
+  std::vector<double> q(r);
+  for (size_t row = 0; row < dim; ++row) {
+    Matrix lhs = q_full;
+    lhs.Scale(opts_.w_neg);
+    std::vector<double> rhs(r, 0.0);
+    for (size_t tidx : rows[row]) {
+      const TensorEntry& e = entries[tidx];
+      const uint32_t idx[3] = {e.i, e.j, e.k};
+      ContractCoreVec(core_, mode, factors_[m1].row(idx[m1]),
+                      factors_[m2].row(idx[m2]), q.data());
+      const double dw = opts_.w_pos - opts_.w_neg;
+      for (size_t s = 0; s < r; ++s) {
+        rhs[s] += opts_.w_pos * e.value * q[s];
+        for (size_t t = 0; t < r; ++t) lhs(s, t) += dw * q[s] * q[t];
+      }
+    }
+    auto sol = CholeskySolve(lhs, rhs, opts_.ridge);
+    if (!sol.ok()) return sol.status();
+    for (size_t s = 0; s < r; ++s) factors_[mode](row, s) = sol.value()[s];
+  }
+  return Status::OK();
+}
+
+void PTucker::RefreshCore(const SparseTensor& x) {
+  const size_t r = opts_.rank;
+  // Unweighted LS core given the factors:
+  //   G = (X x1 A^T x2 B^T x3 C^T) x1 GramA^-1 x2 GramB^-1 x3 GramC^-1.
+  DenseTensor t(r, r, r);
+  for (const auto& e : x.entries()) {
+    const double* fa = factors_[0].row(e.i);
+    const double* fb = factors_[1].row(e.j);
+    const double* fc = factors_[2].row(e.k);
+    for (size_t a = 0; a < r; ++a) {
+      const double va = e.value * fa[a];
+      for (size_t b = 0; b < r; ++b) {
+        const double vb = va * fb[b];
+        for (size_t c = 0; c < r; ++c) t.at(a, b, c) += vb * fc[c];
+      }
+    }
+  }
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix gram = Gram(factors_[mode]);
+    // Unfold along `mode`, solve gram * Z = unfolding, refold.
+    Matrix unf(r, r * r);
+    for (size_t a = 0; a < r; ++a)
+      for (size_t b = 0; b < r; ++b)
+        for (size_t c = 0; c < r; ++c) {
+          const double v = t.at(a, b, c);
+          if (mode == 0) unf(a, b * r + c) = v;
+          if (mode == 1) unf(b, a * r + c) = v;
+          if (mode == 2) unf(c, a * r + b) = v;
+        }
+    auto solved = CholeskySolveMulti(gram, unf, 1e-8);
+    if (!solved.ok()) return;  // keep previous core on numerical failure
+    const Matrix& z = solved.value();
+    for (size_t a = 0; a < r; ++a)
+      for (size_t b = 0; b < r; ++b)
+        for (size_t c = 0; c < r; ++c) {
+          if (mode == 0) t.at(a, b, c) = z(a, b * r + c);
+          if (mode == 1) t.at(a, b, c) = z(b, a * r + c);
+          if (mode == 2) t.at(a, b, c) = z(c, a * r + b);
+        }
+  }
+  core_ = std::move(t);
+}
+
+Status PTucker::Fit(const TrainContext& ctx) {
+  if (ctx.train == nullptr) {
+    return Status::InvalidArgument("PTucker: null train tensor");
+  }
+  const SparseTensor& x = *ctx.train;
+  const size_t r = opts_.rank;
+  if (r > x.dim_i() || r > x.dim_j() || r > x.dim_k()) {
+    return Status::InvalidArgument("PTucker: rank exceeds a mode dimension");
+  }
+  Rng rng(opts_.seed ^ ctx.seed);
+  for (int mode = 0; mode < 3; ++mode) {
+    factors_[mode] = Matrix::GaussianRandom(x.dim(mode), r, &rng, 0.1);
+  }
+  // Superdiagonal core start (CP-like), refined between sweeps.
+  core_ = DenseTensor(r, r, r);
+  for (size_t t = 0; t < r; ++t) core_.at(t, t, t) = 1.0;
+
+  for (int sweep = 0; sweep < opts_.sweeps; ++sweep) {
+    for (int mode = 0; mode < 3; ++mode) {
+      TCSS_RETURN_IF_ERROR(UpdateMode(x, mode));
+    }
+    RefreshCore(x);
+  }
+  return Status::OK();
+}
+
+double PTucker::Score(uint32_t i, uint32_t j, uint32_t k) const {
+  const size_t r = opts_.rank;
+  const double* fa = factors_[0].row(i);
+  const double* fb = factors_[1].row(j);
+  const double* fc = factors_[2].row(k);
+  double s = 0.0;
+  for (size_t a = 0; a < r; ++a) {
+    for (size_t b = 0; b < r; ++b) {
+      const double ab = fa[a] * fb[b];
+      for (size_t c = 0; c < r; ++c) s += core_.at(a, b, c) * ab * fc[c];
+    }
+  }
+  return s;
+}
+
+}  // namespace tcss

@@ -1,0 +1,33 @@
+#include "baselines/popularity.h"
+
+#include <algorithm>
+
+namespace tcss {
+
+Status Popularity::Fit(const TrainContext& ctx) {
+  if (ctx.train == nullptr) {
+    return Status::InvalidArgument("Popularity: null train tensor");
+  }
+  const SparseTensor& x = *ctx.train;
+  num_bins_ = x.dim_k();
+  global_.assign(x.dim_j(), 0.0);
+  per_bin_.assign(x.dim_j() * num_bins_, 0.0);
+  for (const auto& e : x.entries()) {
+    global_[e.j] += 1.0;
+    per_bin_[static_cast<size_t>(e.j) * num_bins_ + e.k] += 1.0;
+  }
+  const double gmax = std::max(
+      1.0, *std::max_element(global_.begin(), global_.end()));
+  for (auto& v : global_) v /= gmax;
+  const double bmax = std::max(
+      1.0, *std::max_element(per_bin_.begin(), per_bin_.end()));
+  for (auto& v : per_bin_) v /= bmax;
+  return Status::OK();
+}
+
+double Popularity::Score(uint32_t i, uint32_t j, uint32_t k) const {
+  return (1.0 - opts_.time_mix) * global_[j] +
+         opts_.time_mix * per_bin_[static_cast<size_t>(j) * num_bins_ + k];
+}
+
+}  // namespace tcss

@@ -1,0 +1,37 @@
+#ifndef TCSS_BASELINES_POPULARITY_H_
+#define TCSS_BASELINES_POPULARITY_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace tcss {
+
+/// Non-personalized popularity baseline (reference point, not in the
+/// paper's Table I): scores a POI by its global check-in count,
+/// optionally modulated by the POI's per-time-bin popularity so that
+/// seasonal venues rank higher in season.
+class Popularity : public Recommender {
+ public:
+  struct Options {
+    /// 0 = purely global counts; 1 = purely per-bin counts.
+    double time_mix = 0.5;
+  };
+
+  Popularity() : Popularity(Options()) {}
+  explicit Popularity(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "Popularity"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  size_t num_bins_ = 0;
+  std::vector<double> global_;    ///< per-POI counts, normalized
+  std::vector<double> per_bin_;   ///< [j * K + k], normalized
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_POPULARITY_H_

@@ -1,0 +1,69 @@
+#include "baselines/pure_svd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/svd.h"
+
+namespace tcss {
+namespace {
+
+// Sparse user x POI binary matrix (tensor collapsed over time) exposed as
+// a MatVecOperator for the implicit SVD.
+class UserPoiMatrix : public MatVecOperator {
+ public:
+  UserPoiMatrix(const SparseTensor& x) : rows_(x.dim_i()), cols_(x.dim_j()) {
+    // Collapse (i,j,k) -> distinct (i,j) pairs.
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    pairs.reserve(x.nnz());
+    for (const auto& e : x.entries()) pairs.emplace_back(e.i, e.j);
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    nz_ = std::move(pairs);
+  }
+
+  size_t Rows() const override { return rows_; }
+  size_t Cols() const override { return cols_; }
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override {
+    y->assign(rows_, 0.0);
+    for (const auto& [i, j] : nz_) (*y)[i] += x[j];
+  }
+  void ApplyTranspose(const std::vector<double>& x,
+                      std::vector<double>* y) const override {
+    y->assign(cols_, 0.0);
+    for (const auto& [i, j] : nz_) (*y)[j] += x[i];
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<std::pair<uint32_t, uint32_t>> nz_;
+};
+
+}  // namespace
+
+Status PureSvd::Fit(const TrainContext& ctx) {
+  if (ctx.train == nullptr) {
+    return Status::InvalidArgument("PureSvd: null train tensor");
+  }
+  UserPoiMatrix m(*ctx.train);
+  const size_t r = std::min(opts_.rank, std::min(m.Rows(), m.Cols()));
+  auto svd = ComputeTruncatedSvd(m, r, opts_.seed ^ ctx.seed);
+  if (!svd.ok()) return svd.status();
+  TruncatedSvd dec = svd.MoveValue();
+  user_ = std::move(dec.u);
+  for (size_t i = 0; i < user_.rows(); ++i)
+    for (size_t t = 0; t < r; ++t) user_(i, t) *= dec.s[t];
+  poi_ = std::move(dec.v);
+  return Status::OK();
+}
+
+double PureSvd::Score(uint32_t i, uint32_t j, uint32_t k) const {
+  const double* a = user_.row(i);
+  const double* b = poi_.row(j);
+  double s = 0.0;
+  for (size_t t = 0; t < user_.cols(); ++t) s += a[t] * b[t];
+  return s;
+}
+
+}  // namespace tcss

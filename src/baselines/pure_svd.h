@@ -1,0 +1,36 @@
+#ifndef TCSS_BASELINES_PURE_SVD_H_
+#define TCSS_BASELINES_PURE_SVD_H_
+
+#include "eval/recommender.h"
+#include "linalg/matrix.h"
+
+namespace tcss {
+
+/// PureSVD (Cremonesi et al., RecSys'10): treat missing entries of the
+/// user x POI interaction matrix as zeros and take a rank-r truncated SVD.
+/// Scores ignore the time dimension (matrix-completion baseline of
+/// Table I). The SVD runs on the *implicit* sparse matrix via subspace
+/// iteration - the dense matrix is never materialized.
+class PureSvd : public Recommender {
+ public:
+  struct Options {
+    size_t rank = 10;
+    uint64_t seed = 31;
+  };
+
+  PureSvd() : PureSvd(Options()) {}
+  explicit PureSvd(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "PureSVD"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  Matrix user_;  ///< I x r (U * diag(S))
+  Matrix poi_;   ///< J x r (V)
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_PURE_SVD_H_

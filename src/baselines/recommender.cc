@@ -1,0 +1,85 @@
+#include <algorithm>
+
+#include "baselines/neural_common.h"
+#include "baselines/registry.h"
+
+#include "baselines/costco.h"
+#include "baselines/geomf.h"
+#include "baselines/cp_als.h"
+#include "baselines/lfbca.h"
+#include "baselines/mcco.h"
+#include "baselines/ncf.h"
+#include "baselines/ntm.h"
+#include "baselines/popularity.h"
+#include "baselines/p_tucker.h"
+#include "baselines/pure_svd.h"
+#include "baselines/stan.h"
+#include "baselines/stgn.h"
+#include "baselines/strnn.h"
+#include "baselines/tucker_hooi.h"
+#include "baselines/user_knn.h"
+#include "core/tcss_model.h"
+
+namespace tcss {
+
+std::vector<std::vector<TrajectoryEvent>> BuildTrajectories(
+    const Dataset& data, const std::vector<CheckInEvent>& events,
+    TimeGranularity granularity, size_t max_len,
+    const SparseTensor* train_filter) {
+  std::vector<std::vector<TrajectoryEvent>> out(data.num_users());
+  for (const auto& e : events) {
+    const uint32_t bin = TimeBin(e.timestamp, granularity);
+    if (train_filter != nullptr &&
+        !train_filter->Contains(e.user, e.poi, bin)) {
+      continue;
+    }
+    out[e.user].push_back({e.poi, bin, e.timestamp});
+  }
+  for (auto& traj : out) {
+    std::sort(traj.begin(), traj.end(),
+              [](const TrajectoryEvent& a, const TrajectoryEvent& b) {
+                return a.timestamp < b.timestamp;
+              });
+    if (max_len > 0 && traj.size() > max_len) {
+      traj.erase(traj.begin(),
+                 traj.begin() + static_cast<ptrdiff_t>(traj.size() - max_len));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> RegisteredModelNames() {
+  return {"MCCO", "PureSVD", "STRNN",    "STAN", "STGN",   "LFBCA", "CP",
+          "Tucker", "P-Tucker", "NCF",   "NTM",  "CoSTCo", "TCSS"};
+}
+
+std::vector<std::string> ExtraModelNames() {
+  return {"Popularity", "UserKNN", "GeoMF"};
+}
+
+std::unique_ptr<Recommender> MakeModel(const std::string& name,
+                                       uint64_t seed) {
+  if (name == "Popularity") return std::make_unique<Popularity>();
+  if (name == "UserKNN") return std::make_unique<UserKnn>();
+  if (name == "GeoMF") return std::make_unique<GeoMf>();
+  if (name == "MCCO") return std::make_unique<Mcco>();
+  if (name == "PureSVD") return std::make_unique<PureSvd>();
+  if (name == "STRNN") return std::make_unique<Strnn>();
+  if (name == "STAN") return std::make_unique<Stan>();
+  if (name == "STGN") return std::make_unique<Stgn>();
+  if (name == "LFBCA") return std::make_unique<Lfbca>();
+  if (name == "CP") return std::make_unique<CpAls>();
+  if (name == "Tucker") return std::make_unique<TuckerHooi>();
+  if (name == "P-Tucker") return std::make_unique<PTucker>();
+  if (name == "NCF") return std::make_unique<Ncf>();
+  if (name == "NTM") return std::make_unique<Ntm>();
+  if (name == "CoSTCo") return std::make_unique<CoSTCo>();
+  if (name == "TCSS") {
+    TcssConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<TcssModel>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace tcss

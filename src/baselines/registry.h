@@ -1,0 +1,28 @@
+#ifndef TCSS_BASELINES_REGISTRY_H_
+#define TCSS_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace tcss {
+
+/// Names of all models known to the factory, in Table I's row order
+/// (matrix completion, POI recommendation, tensor completion, TCSS).
+std::vector<std::string> RegisteredModelNames();
+
+/// Additional reference baselines beyond the paper's Table I
+/// ("Popularity", "UserKNN", "GeoMF"); see bench_extra_baselines.
+std::vector<std::string> ExtraModelNames();
+
+/// Creates a model by Table I name with default options ("CP", "Tucker",
+/// "P-Tucker", "NCF", "NTM", "CoSTCo", "MCCO", "PureSVD", "STRNN", "STAN",
+/// "STGN", "LFBCA", "TCSS"). Returns nullptr for unknown names.
+std::unique_ptr<Recommender> MakeModel(const std::string& name,
+                                       uint64_t seed = 1);
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_REGISTRY_H_

@@ -1,0 +1,43 @@
+#ifndef TCSS_BASELINES_STAN_H_
+#define TCSS_BASELINES_STAN_H_
+
+#include "baselines/neural_common.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+
+namespace tcss {
+
+/// STAN (Luo et al., WWW'21): spatio-temporal attention network. This
+/// compact re-implementation applies scaled dot-product self-attention
+/// over the embedded trajectory (POI + time-bin embeddings), with learned
+/// scalar weights on the pairwise time-gap and distance matrices acting as
+/// the spatiotemporal relation bias, takes the last attended position as
+/// the user state, and trains with BPR on next-POI prediction.
+class Stan : public Recommender {
+ public:
+  struct Options {
+    size_t dim = 16;
+    size_t max_seq = 20;
+    int epochs = 5;
+    double lr = 1e-2;
+    uint64_t seed = 59;
+  };
+
+  Stan() : Stan(Options()) {}
+  explicit Stan(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "STAN"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  nn::ParameterStore store_;
+  nn::Parameter *poi_emb_ = nullptr, *time_emb_ = nullptr;
+  nn::Parameter *rel_t_ = nullptr, *rel_d_ = nullptr;  // 1x1 bias scales
+  Matrix user_state_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_STAN_H_

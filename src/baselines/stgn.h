@@ -1,0 +1,42 @@
+#ifndef TCSS_BASELINES_STGN_H_
+#define TCSS_BASELINES_STGN_H_
+
+#include "baselines/neural_common.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+
+namespace tcss {
+
+/// STGN (Zhao et al., AAAI'19): LSTM with spatio-temporal gates. Uses the
+/// library's LstmCell in spatiotemporal mode - two extra sigmoid gates
+/// driven by the time gap and distance gap between successive check-ins
+/// modulate the cell update. Trained with BPR on next-POI prediction;
+/// scores are (h_user + time_emb_k) . poi_emb_j.
+class Stgn : public Recommender {
+ public:
+  struct Options {
+    size_t dim = 16;
+    size_t max_seq = 20;
+    int epochs = 4;
+    double lr = 1e-2;
+    uint64_t seed = 61;
+  };
+
+  Stgn() : Stgn(Options()) {}
+  explicit Stgn(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "STGN"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  nn::ParameterStore store_;
+  nn::Parameter *poi_emb_ = nullptr, *time_emb_ = nullptr;
+  nn::LstmCell cell_;
+  Matrix user_state_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_STGN_H_

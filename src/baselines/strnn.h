@@ -1,0 +1,49 @@
+#ifndef TCSS_BASELINES_STRNN_H_
+#define TCSS_BASELINES_STRNN_H_
+
+#include <vector>
+
+#include "baselines/neural_common.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+
+namespace tcss {
+
+/// STRNN (Liu et al., AAAI'16): recurrent next-POI model whose transition
+/// incorporates the spatial and temporal gaps between successive
+/// check-ins. This compact re-implementation uses
+///   h_t = tanh(x_t Wx + h_{t-1} Wh + dt_t wt + dd_t wd + b)
+/// where x_t is the POI embedding, dt/dd the normalized time/distance
+/// intervals (the linear-interpolation role of STRNN's time- and
+/// distance-specific transition matrices). Trained with BPR on next-POI
+/// prediction over each user's trajectory; scores are
+/// (h_user + time_emb_k) . poi_emb_j.
+class Strnn : public Recommender {
+ public:
+  struct Options {
+    size_t dim = 16;
+    size_t max_seq = 24;
+    int epochs = 4;
+    double lr = 1e-2;
+    uint64_t seed = 53;
+  };
+
+  Strnn() : Strnn(Options()) {}
+  explicit Strnn(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "STRNN"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  nn::ParameterStore store_;
+  nn::Parameter *poi_emb_ = nullptr, *time_emb_ = nullptr;
+  nn::Parameter *wx_ = nullptr, *wh_ = nullptr;
+  nn::Parameter *wt_ = nullptr, *wd_ = nullptr, *b_ = nullptr;
+  Matrix user_state_;  ///< I x dim, final hidden state per user
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_STRNN_H_

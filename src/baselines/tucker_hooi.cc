@@ -1,0 +1,100 @@
+#include "baselines/tucker_hooi.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+
+namespace tcss {
+namespace {
+
+// Contracts the sparse tensor with two factor matrices, leaving `mode`
+// free:  Y[idx_mode, (t1, t2)] += v * F1[idx1, t1] * F2[idx2, t2]
+// where F1/F2 are the factors of the two other modes in cyclic order.
+// Returns the mode-n unfolded result, dim(mode) x (r_a * r_b).
+Matrix ContractOthers(const SparseTensor& x, const Matrix factors[3],
+                      int mode) {
+  const int m1 = (mode + 1) % 3;
+  const int m2 = (mode + 2) % 3;
+  const size_t ra = factors[m1].cols();
+  const size_t rb = factors[m2].cols();
+  Matrix y(x.dim(mode), ra * rb);
+  for (const auto& e : x.entries()) {
+    const uint32_t idx[3] = {e.i, e.j, e.k};
+    const double* fa = factors[m1].row(idx[m1]);
+    const double* fb = factors[m2].row(idx[m2]);
+    double* dst = y.row(idx[mode]);
+    for (size_t a = 0; a < ra; ++a) {
+      const double va = e.value * fa[a];
+      for (size_t b = 0; b < rb; ++b) dst[a * rb + b] += va * fb[b];
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Status TuckerHooi::Fit(const TrainContext& ctx) {
+  if (ctx.train == nullptr) {
+    return Status::InvalidArgument("TuckerHooi: null train tensor");
+  }
+  const SparseTensor& x = *ctx.train;
+  size_t ranks[3] = {std::min(opts_.rank1, x.dim_i()),
+                     std::min(opts_.rank2, x.dim_j()),
+                     std::min(opts_.rank3, x.dim_k())};
+  Rng rng(opts_.seed ^ ctx.seed);
+  for (int mode = 0; mode < 3; ++mode) {
+    factors_[mode] =
+        Matrix::GaussianRandom(x.dim(mode), ranks[mode], &rng, 1.0);
+    TCSS_RETURN_IF_ERROR(Orthonormalize(&factors_[mode], &rng));
+  }
+
+  for (int iter = 0; iter < opts_.iterations; ++iter) {
+    for (int mode = 0; mode < 3; ++mode) {
+      Matrix y = ContractOthers(x, factors_, mode);
+      auto svd = ComputeTruncatedSvd(y, ranks[mode]);
+      if (!svd.ok()) return svd.status();
+      factors_[mode] = std::move(svd.value().u);
+    }
+  }
+
+  // Core: G = X x1 A^T x2 B^T x3 C^T, O(nnz * r1*r2*r3).
+  core_ = DenseTensor(ranks[0], ranks[1], ranks[2]);
+  for (const auto& e : x.entries()) {
+    const double* fa = factors_[0].row(e.i);
+    const double* fb = factors_[1].row(e.j);
+    const double* fc = factors_[2].row(e.k);
+    for (size_t a = 0; a < ranks[0]; ++a) {
+      const double va = e.value * fa[a];
+      for (size_t b = 0; b < ranks[1]; ++b) {
+        const double vb = va * fb[b];
+        for (size_t c = 0; c < ranks[2]; ++c) {
+          core_.at(a, b, c) += vb * fc[c];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double TuckerHooi::Score(uint32_t i, uint32_t j, uint32_t k) const {
+  const double* fa = factors_[0].row(i);
+  const double* fb = factors_[1].row(j);
+  const double* fc = factors_[2].row(k);
+  const size_t r1 = factors_[0].cols();
+  const size_t r2 = factors_[1].cols();
+  const size_t r3 = factors_[2].cols();
+  double s = 0.0;
+  for (size_t a = 0; a < r1; ++a) {
+    for (size_t b = 0; b < r2; ++b) {
+      const double ab = fa[a] * fb[b];
+      for (size_t c = 0; c < r3; ++c) {
+        s += core_.at(a, b, c) * ab * fc[c];
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace tcss

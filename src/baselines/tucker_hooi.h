@@ -1,0 +1,41 @@
+#ifndef TCSS_BASELINES_TUCKER_HOOI_H_
+#define TCSS_BASELINES_TUCKER_HOOI_H_
+
+#include "eval/recommender.h"
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+
+namespace tcss {
+
+/// Tucker decomposition (Eq 2) fitted by HOOI (higher-order orthogonal
+/// iteration) on the zero-filled binary tensor. Each iteration contracts
+/// the sparse tensor with the other two factors (O(nnz r^2)) and takes the
+/// top singular vectors of the small unfolded result; the core is the full
+/// three-way contraction.
+class TuckerHooi : public Recommender {
+ public:
+  struct Options {
+    size_t rank1 = 8, rank2 = 8, rank3 = 8;
+    int iterations = 12;
+    uint64_t seed = 23;
+  };
+
+  TuckerHooi() : TuckerHooi(Options()) {}
+  explicit TuckerHooi(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "Tucker"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+  const Matrix& factor(int mode) const { return factors_[mode]; }
+  const DenseTensor& core() const { return core_; }
+
+ private:
+  Options opts_;
+  Matrix factors_[3];   // I x r1, J x r2, K x r3 (orthonormal columns)
+  DenseTensor core_;    // r1 x r2 x r3
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_TUCKER_HOOI_H_

@@ -1,0 +1,37 @@
+#ifndef TCSS_BASELINES_USER_KNN_H_
+#define TCSS_BASELINES_USER_KNN_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace tcss {
+
+/// Classic user-based collaborative filtering (reference point, not in
+/// the paper's Table I): cosine similarity between users' binary POI
+/// vectors; a POI's score for user i is the similarity-weighted vote of
+/// i's top-N most similar users (plus i's own visits). Time-unaware.
+class UserKnn : public Recommender {
+ public:
+  struct Options {
+    size_t neighbors = 25;
+    /// Weight of the user's own visit indicator in the final score.
+    double self_weight = 0.5;
+  };
+
+  UserKnn() : UserKnn(Options()) {}
+  explicit UserKnn(const Options& opts) : opts_(opts) {}
+
+  std::string name() const override { return "UserKNN"; }
+  Status Fit(const TrainContext& ctx) override;
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+ private:
+  Options opts_;
+  size_t num_pois_ = 0;
+  std::vector<float> scores_;  ///< [i * J + j] precomputed votes
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_BASELINES_USER_KNN_H_

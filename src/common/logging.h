@@ -1,0 +1,52 @@
+#ifndef TCSS_COMMON_LOGGING_H_
+#define TCSS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tcss {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tcss
+
+#define TCSS_LOG(level)                                              \
+  ::tcss::internal_logging::LogMessage(::tcss::LogLevel::k##level, \
+                                       __FILE__, __LINE__)
+
+/// Invariant check that aborts with a message; active in all build types.
+#define TCSS_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  ::tcss::internal_logging::LogMessage(::tcss::LogLevel::kError, __FILE__, \
+                                       __LINE__)                           \
+      << "Check failed: " #cond " "
+
+#endif  // TCSS_COMMON_LOGGING_H_

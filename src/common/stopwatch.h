@@ -1,0 +1,28 @@
+#ifndef TCSS_COMMON_STOPWATCH_H_
+#define TCSS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tcss {
+
+/// Monotonic wall-clock stopwatch for coarse timing of training epochs and
+/// experiment phases (google-benchmark owns the fine-grained timing).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_COMMON_STOPWATCH_H_

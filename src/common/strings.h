@@ -1,0 +1,28 @@
+#ifndef TCSS_COMMON_STRINGS_H_
+#define TCSS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcss {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a double; returns false on malformed input or trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseIndex(std::string_view s, size_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tcss
+
+#endif  // TCSS_COMMON_STRINGS_H_

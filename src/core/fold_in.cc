@@ -1,0 +1,60 @@
+#include "core/fold_in.h"
+
+#include "linalg/cholesky.h"
+
+namespace tcss {
+
+Result<std::vector<double>> FoldInUser(
+    const FactorModel& model, const std::vector<TensorCell>& observations,
+    const FoldInOptions& opts) {
+  const size_t r = model.rank();
+  if (r == 0) {
+    return Status::FailedPrecondition("FoldInUser: empty model");
+  }
+  const size_t J = model.u2.rows();
+  const size_t K = model.u3.rows();
+
+  // Whole-grid Gram of phi_jk = h ⊙ U2_j ⊙ U3_k:
+  //   sum_{j,k} phi phi^T = (h h^T) ⊙ (U2^T U2) ⊙ (U3^T U3).
+  const Matrix g2 = Gram(model.u2);
+  const Matrix g3 = Gram(model.u3);
+  Matrix lhs(r, r);
+  for (size_t a = 0; a < r; ++a) {
+    for (size_t b = 0; b < r; ++b) {
+      lhs(a, b) =
+          opts.w_neg * model.h[a] * model.h[b] * g2(a, b) * g3(a, b);
+    }
+  }
+
+  std::vector<double> rhs(r, 0.0);
+  std::vector<double> phi(r);
+  const double dw = opts.w_pos - opts.w_neg;
+  for (const auto& cell : observations) {
+    if (cell.j >= J || cell.k >= K) {
+      return Status::OutOfRange("FoldInUser: observation outside model");
+    }
+    const double* b = model.u2.row(cell.j);
+    const double* c = model.u3.row(cell.k);
+    for (size_t t = 0; t < r; ++t) phi[t] = model.h[t] * b[t] * c[t];
+    for (size_t a = 0; a < r; ++a) {
+      rhs[a] += opts.w_pos * phi[a];
+      for (size_t bb = 0; bb < r; ++bb) {
+        lhs(a, bb) += dw * phi[a] * phi[bb];
+      }
+    }
+  }
+  return CholeskySolve(lhs, rhs, opts.ridge);
+}
+
+double FoldInScore(const FactorModel& model, const std::vector<double>& user,
+                   uint32_t j, uint32_t k) {
+  const double* b = model.u2.row(j);
+  const double* c = model.u3.row(k);
+  double s = 0.0;
+  for (size_t t = 0; t < model.rank(); ++t) {
+    s += user[t] * model.h[t] * b[t] * c[t];
+  }
+  return s;
+}
+
+}  // namespace tcss

@@ -1,0 +1,40 @@
+#ifndef TCSS_CORE_FOLD_IN_H_
+#define TCSS_CORE_FOLD_IN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/factor_model.h"
+#include "data/tensor_builder.h"
+
+namespace tcss {
+
+/// Fold-in for new users (cold-start serving): given a trained model and
+/// a fresh user's observed (poi, time) cells, solves the ridge-regularized
+/// weighted least squares for that user's embedding with the POI/time
+/// factors and h held fixed:
+///
+///   min_u  sum_{(j,k) in obs} w+ (1 - u . phi_jk)^2
+///        + w- sum_{all (j,k)} (u . phi_jk)^2  +  ridge ||u||^2
+///
+/// where phi_jk = h ⊙ U2_j ⊙ U3_k. The whole-data negative term uses the
+/// same Gram rewrite as Eq 15, so the solve costs O(r^2 (J + K) + |obs| r)
+/// and never touches the J*K grid. Returns the r-dimensional embedding;
+/// score new-user cells as h-weighted products via FoldInScore.
+struct FoldInOptions {
+  double w_pos = 0.95;
+  double w_neg = 0.05;
+  double ridge = 1e-6;
+};
+
+Result<std::vector<double>> FoldInUser(
+    const FactorModel& model, const std::vector<TensorCell>& observations,
+    const FoldInOptions& opts = FoldInOptions());
+
+/// Prediction for a folded-in user: sum_t u_t h_t U2[j,t] U3[k,t].
+double FoldInScore(const FactorModel& model, const std::vector<double>& user,
+                   uint32_t j, uint32_t k);
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_FOLD_IN_H_

@@ -1,0 +1,307 @@
+#include "core/hausdorff_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/whole_data_loss.h"
+#include "geo/haversine.h"
+#include "geo/location_entropy.h"
+
+namespace tcss {
+namespace {
+
+// Predictions are treated as probabilities: clamp to [0, 1-kCap) so the
+// product prod(1-y) stays positive. Gradients are gated to the interior.
+constexpr double kCapMargin = 1e-9;
+// Lower bound on the soft-min inputs f_j (a POI exactly at a friend's POI
+// with p=1 would otherwise yield f=0 and blow up f^(alpha-1)).
+constexpr double kFloorF = 1e-6;
+
+}  // namespace
+
+SocialHausdorffLoss::SocialHausdorffLoss(const Dataset& data,
+                                         const SparseTensor& train,
+                                         const TcssConfig& config)
+    : data_(&data), train_(&train), config_(config) {
+  const size_t I = train.dim_i();
+  const size_t J = train.dim_j();
+  TCSS_CHECK(data.num_users() == I && data.num_pois() == J)
+      << "dataset / tensor shape mismatch";
+
+  // Entropy weights e_j = exp(-E_j), from the *train* tensor.
+  if (config.use_location_entropy) {
+    e_ = EntropyWeights(ComputeLocationEntropy(train));
+  } else {
+    e_.assign(J, 1.0);
+  }
+
+  d_max_ = MaxPairwiseDistanceKm(data.PoiLocations());
+  if (d_max_ <= 0.0) d_max_ = 1.0;  // degenerate single-point geometry
+
+  // Per-user distinct POIs from the train tensor.
+  user_pois_.assign(I, {});
+  for (const auto& entry : train.entries()) {
+    user_pois_[entry.i].push_back(entry.j);
+  }
+  for (auto& v : user_pois_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  Rng rng(config.seed ^ 0x4a05d0u);
+  // N(v_i): union of friends' POIs (or own POIs in the Self ablation),
+  // subsampled to max_friend_pois.
+  friend_pois_.assign(I, {});
+  for (uint32_t i = 0; i < I; ++i) {
+    std::vector<uint32_t> n;
+    if (config_.hausdorff == HausdorffMode::kSelf) {
+      n = user_pois_[i];
+    } else {
+      for (const uint32_t* f = data.social().NeighborsBegin(i);
+           f != data.social().NeighborsEnd(i); ++f) {
+        n.insert(n.end(), user_pois_[*f].begin(), user_pois_[*f].end());
+      }
+      std::sort(n.begin(), n.end());
+      n.erase(std::unique(n.begin(), n.end()), n.end());
+    }
+    if (config_.max_friend_pois > 0 && n.size() > config_.max_friend_pois) {
+      rng.Shuffle(&n);
+      n.resize(config_.max_friend_pois);
+      std::sort(n.begin(), n.end());
+    }
+    friend_pois_[i] = std::move(n);
+  }
+
+  // S(v_i): the candidate pool.
+  pool_.assign(I, {});
+  for (uint32_t i = 0; i < I; ++i) {
+    if (config_.hausdorff_pool == 0 || config_.hausdorff_pool >= J) {
+      pool_[i].resize(J);
+      for (uint32_t j = 0; j < J; ++j) pool_[i][j] = j;
+    } else {
+      std::vector<uint32_t> s = user_pois_[i];
+      s.insert(s.end(), friend_pois_[i].begin(), friend_pois_[i].end());
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+      // Fill the remainder with a uniform sample of other POIs so the loss
+      // can also *suppress* far-away false positives.
+      size_t guard = 0;
+      while (s.size() < config_.hausdorff_pool && guard < 20 * J) {
+        ++guard;
+        const uint32_t j = static_cast<uint32_t>(rng.UniformInt(J));
+        if (!std::binary_search(s.begin(), s.end(), j)) {
+          s.insert(std::lower_bound(s.begin(), s.end(), j), j);
+        }
+      }
+      if (s.size() > config_.hausdorff_pool) {
+        rng.Shuffle(&s);
+        s.resize(config_.hausdorff_pool);
+        std::sort(s.begin(), s.end());
+      }
+      pool_[i] = std::move(s);
+    }
+    if (!pool_[i].empty() && !friend_pois_[i].empty()) {
+      eligible_.push_back(i);
+    }
+  }
+
+  // Distance cache (see header). Budget: ~256 MB of floats.
+  size_t cache_floats = 0;
+  for (uint32_t i : eligible_) {
+    cache_floats += pool_[i].size() * (friend_pois_[i].size() + 1);
+  }
+  use_cache_ = cache_floats * sizeof(float) <= (256u << 20);
+  if (use_cache_) {
+    dist_cache_.resize(I);
+    dmin_cache_.resize(I);
+    for (uint32_t i : eligible_) {
+      const auto& s_set = pool_[i];
+      const auto& n_set = friend_pois_[i];
+      auto& dist = dist_cache_[i];
+      auto& dmin = dmin_cache_[i];
+      dist.resize(s_set.size() * n_set.size());
+      dmin.resize(s_set.size());
+      for (size_t a = 0; a < s_set.size(); ++a) {
+        const GeoPoint& pj = data.poi(s_set[a]).location;
+        double best = d_max_;
+        for (size_t b = 0; b < n_set.size(); ++b) {
+          const double d = HaversineKm(pj, data.poi(n_set[b]).location);
+          dist[a * n_set.size() + b] = static_cast<float>(d);
+          best = std::min(best, d);
+        }
+        dmin[a] = static_cast<float>(best);
+      }
+    }
+  }
+}
+
+double SocialHausdorffLoss::ComputeForUser(const FactorModel& model,
+                                           uint32_t user, FactorGrads* grads,
+                                           double grad_scale) const {
+  const auto& s_set = pool_[user];
+  const auto& n_set = friend_pois_[user];
+  if (s_set.empty() || n_set.empty()) return 0.0;
+  const size_t ns = s_set.size();
+  const size_t nn = n_set.size();
+  const size_t K = train_->dim_k();
+  const double alpha = config_.alpha;
+
+  // --- probabilities p_j and their per-bin partials ---------------------
+  std::vector<double> p(ns);
+  std::vector<double> y(ns * K);        // clamped predictions
+  std::vector<double> dp_dy(ns * K);    // dp_j / dy_{jk}
+  std::vector<uint8_t> gate(ns * K);    // 1 if clamp is in the interior
+  for (size_t a = 0; a < ns; ++a) {
+    const uint32_t j = s_set[a];
+    double prod = 1.0;
+    for (size_t k = 0; k < K; ++k) {
+      const double raw =
+          model.Predict(user, j, static_cast<uint32_t>(k));
+      double yc = raw;
+      uint8_t g = 1;
+      if (raw <= 0.0) {
+        yc = 0.0;
+        g = 0;
+      } else if (raw >= 1.0 - kCapMargin) {
+        yc = 1.0 - kCapMargin;
+        g = 0;
+      }
+      y[a * K + k] = yc;
+      gate[a * K + k] = g;
+      prod *= (1.0 - yc);
+    }
+    p[a] = 1.0 - prod;
+    // dp/dy_k = prod_{k' != k} (1 - y_{k'}); via prefix/suffix products.
+    // prefix[k] = prod_{k'<k} (1-y), suffix[k] = prod_{k'>k} (1-y).
+    double prefix = 1.0;
+    std::vector<double> suffix(K + 1, 1.0);
+    for (size_t k = K; k-- > 0;) {
+      suffix[k] = suffix[k + 1] * (1.0 - y[a * K + k]);
+    }
+    for (size_t k = 0; k < K; ++k) {
+      dp_dy[a * K + k] = prefix * suffix[k + 1];
+      prefix *= (1.0 - y[a * K + k]);
+    }
+  }
+
+  // --- geometry: d(j, j') and dmin_j -------------------------------------
+  const float* dist = nullptr;
+  const float* dmin = nullptr;
+  std::vector<float> dist_f, dmin_f;
+  if (use_cache_) {
+    dist = dist_cache_[user].data();
+    dmin = dmin_cache_[user].data();
+  } else {
+    dist_f.resize(ns * nn);
+    dmin_f.resize(ns);
+    for (size_t a = 0; a < ns; ++a) {
+      const GeoPoint& pj = data_->poi(s_set[a]).location;
+      double best = d_max_;
+      for (size_t b = 0; b < nn; ++b) {
+        const double d = HaversineKm(pj, data_->poi(n_set[b]).location);
+        dist_f[a * nn + b] = static_cast<float>(d);
+        best = std::min(best, d);
+      }
+      dmin_f[a] = static_cast<float>(best);
+    }
+    dist = dist_f.data();
+    dmin = dmin_f.data();
+  }
+
+  // --- term 1 -------------------------------------------------------------
+  double a_sum = 0.0;
+  double w_sum = 0.0;
+  for (size_t a = 0; a < ns; ++a) {
+    a_sum += p[a];
+    w_sum += p[a] * e_[s_set[a]] * dmin[a];
+  }
+  const double denom = a_sum + config_.epsilon;
+  const double term1 = w_sum / denom;
+
+  // --- term 2 -------------------------------------------------------------
+  // f_{a,b} = p_a d(a,b) + (1 - p_a) d_max, clamped from below.
+  // M_b = ((1/ns) sum_a f^alpha)^(1/alpha);  term2 = (1/nn) sum_b e_b M_b.
+  double term2 = 0.0;
+  std::vector<double> dl_dp(ns, 0.0);  // d(d_WH)/dp_a accumulated
+  const double inv_ns = 1.0 / static_cast<double>(ns);
+  const double inv_nn = 1.0 / static_cast<double>(nn);
+  const bool harmonic = (alpha == -1.0);  // paper default; avoids pow()
+  for (size_t b = 0; b < nn; ++b) {
+    double s_alpha = 0.0;
+    for (size_t a = 0; a < ns; ++a) {
+      const double f = std::max(
+          p[a] * dist[a * nn + b] + (1.0 - p[a]) * d_max_, kFloorF);
+      s_alpha += harmonic ? 1.0 / f : std::pow(f, alpha);
+    }
+    s_alpha *= inv_ns;
+    const double m =
+        harmonic ? 1.0 / s_alpha : std::pow(s_alpha, 1.0 / alpha);
+    const double eb = e_[n_set[b]];
+    term2 += inv_nn * eb * m;
+    if (grads != nullptr) {
+      // dM/df_a = S^(1/alpha - 1) * f^(alpha-1) / ns
+      const double s_pow = harmonic
+                               ? 1.0 / (s_alpha * s_alpha)
+                               : std::pow(s_alpha, 1.0 / alpha - 1.0);
+      for (size_t a = 0; a < ns; ++a) {
+        const double f = std::max(
+            p[a] * dist[a * nn + b] + (1.0 - p[a]) * d_max_, kFloorF);
+        if (f <= kFloorF) continue;  // clamped: zero subgradient
+        const double f_pow =
+            harmonic ? 1.0 / (f * f) : std::pow(f, alpha - 1.0);
+        const double dm_df = s_pow * f_pow * inv_ns;
+        const double df_dp = dist[a * nn + b] - d_max_;
+        dl_dp[a] += inv_nn * eb * dm_df * df_dp;
+      }
+    }
+  }
+
+  if (grads != nullptr) {
+    // term1 gradient: dT1/dp_a = (e_a dmin_a - T1) / denom.
+    for (size_t a = 0; a < ns; ++a) {
+      dl_dp[a] += (e_[s_set[a]] * dmin[a] - term1) / denom;
+    }
+    // Chain through p -> y -> factors.
+    for (size_t a = 0; a < ns; ++a) {
+      if (dl_dp[a] == 0.0) continue;
+      const uint32_t j = s_set[a];
+      for (size_t k = 0; k < K; ++k) {
+        if (!gate[a * K + k]) continue;
+        const double g = grad_scale * dl_dp[a] * dp_dy[a * K + k];
+        if (g == 0.0) continue;
+        AccumulateEntryGrad(model, user, j, static_cast<uint32_t>(k), g,
+                            grads);
+      }
+    }
+  }
+  return term1 + term2;
+}
+
+double SocialHausdorffLoss::ComputeWithGrads(const FactorModel& model,
+                                             double lambda,
+                                             FactorGrads* grads) {
+  if (eligible_.empty() || lambda == 0.0) return 0.0;
+  size_t batch = config_.hausdorff_users_per_epoch;
+  if (batch == 0 || batch > eligible_.size()) batch = eligible_.size();
+  const double extrapolate =
+      static_cast<double>(eligible_.size()) / static_cast<double>(batch);
+  const double grad_scale = lambda * extrapolate;
+  double sum = 0.0;
+  for (size_t t = 0; t < batch; ++t) {
+    const uint32_t user = eligible_[(rotation_ + t) % eligible_.size()];
+    sum += ComputeForUser(model, user, grads, grad_scale);
+  }
+  rotation_ = (rotation_ + batch) % eligible_.size();
+  return sum * extrapolate;
+}
+
+double SocialHausdorffLoss::ComputeFull(const FactorModel& model) const {
+  double sum = 0.0;
+  for (uint32_t user : eligible_) {
+    sum += ComputeForUser(model, user, nullptr, 0.0);
+  }
+  return sum;
+}
+
+}  // namespace tcss

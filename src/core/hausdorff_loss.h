@@ -1,0 +1,92 @@
+#ifndef TCSS_CORE_HAUSDORFF_LOSS_H_
+#define TCSS_CORE_HAUSDORFF_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/factor_model.h"
+#include "core/tcss_config.h"
+#include "data/dataset.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// The paper's social Hausdorff distance head L1 (Eq 10-13), with
+/// location-entropy weighting (Eq 11-12) and the generalized-mean soft
+/// minimum M_alpha enabling backpropagation.
+///
+/// For each user v_i:
+///   S(v_i) = candidate POIs with visit probability p_{i,j}
+///            (p = 1 - prod_k (1 - Xhat_{i,j,k}), Xhat clamped to [0,1))
+///   N(v_i) = POIs checked in by v_i's friends (train tensor)
+///
+///   d_WH = 1/(A+eps) * sum_{j in S} p_ij e_j min_{j' in N} d(j,j')
+///        + 1/|N| * sum_{j' in N} e_j' M_alpha_{j in S}[ p_ij d(j,j')
+///                                                + (1-p_ij) d_max ]
+///
+/// All gradients are computed analytically and flow through p into the
+/// factor matrices and h.
+///
+/// The paper's S(v_i) is all J POIs; for tractability the candidate pool
+/// can be bounded (own POIs + friends' POIs + uniform sample). Pool size 0
+/// reproduces the paper exactly (see DESIGN.md decision #2).
+class SocialHausdorffLoss {
+ public:
+  /// `data` and `train` must outlive the loss object. Precomputes entropy
+  /// weights, d_max, friend POI sets and candidate pools.
+  SocialHausdorffLoss(const Dataset& data, const SparseTensor& train,
+                      const TcssConfig& config);
+
+  /// Social Hausdorff distance of a single user (Eq 12); also accumulates
+  /// grad_scale * d(d_WH)/d(params) into `grads` when non-null. Returns 0
+  /// for users with empty N(v_i) or S(v_i).
+  double ComputeForUser(const FactorModel& model, uint32_t user,
+                        FactorGrads* grads, double grad_scale) const;
+
+  /// One epoch's contribution: evaluates a rotating minibatch of
+  /// `users_per_epoch` eligible users and extrapolates to the full sum
+  /// (Eq 13). Gradients are accumulated pre-scaled so that
+  /// lambda * L1-full-batch is what the optimizer effectively sees.
+  double ComputeWithGrads(const FactorModel& model, double lambda,
+                          FactorGrads* grads);
+
+  /// Loss value over all eligible users (no grads, no extrapolation).
+  double ComputeFull(const FactorModel& model) const;
+
+  // --- Introspection (tests, benches) -----------------------------------
+  size_t num_eligible_users() const { return eligible_.size(); }
+  double d_max() const { return d_max_; }
+  const std::vector<double>& entropy_weights() const { return e_; }
+  const std::vector<uint32_t>& candidate_pool(uint32_t user) const {
+    return pool_[user];
+  }
+  const std::vector<uint32_t>& friend_pois(uint32_t user) const {
+    return friend_pois_[user];
+  }
+
+ private:
+  const Dataset* data_;
+  const SparseTensor* train_;
+  TcssConfig config_;
+
+  std::vector<double> e_;  ///< entropy weights e_j (all 1 if disabled)
+  double d_max_ = 0.0;
+  std::vector<std::vector<uint32_t>> user_pois_;    ///< train POIs per user
+  std::vector<std::vector<uint32_t>> friend_pois_;  ///< N(v_i)
+  std::vector<std::vector<uint32_t>> pool_;         ///< S(v_i) candidates
+  std::vector<uint32_t> eligible_;                  ///< users with N,S != {}
+  size_t rotation_ = 0;  ///< minibatch cursor over eligible_
+
+  // Geometry cache: per-user |S| x |N| haversine distances (float) and the
+  // row minima, computed once at construction - POI locations are static,
+  // so recomputing them every epoch would dominate training time. Falls
+  // back to on-the-fly computation if the cache would exceed the budget.
+  bool use_cache_ = false;
+  std::vector<std::vector<float>> dist_cache_;   ///< indexed by user
+  std::vector<std::vector<float>> dmin_cache_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_HAUSDORFF_LOSS_H_

@@ -1,0 +1,98 @@
+#include "core/model_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace tcss {
+namespace {
+
+constexpr const char kMagic[] = "TCSSv1";
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteMatrix(std::FILE* f, const Matrix& m) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      // Hex float round-trips doubles exactly.
+      if (std::fprintf(f, "%a%c", m(i, j),
+                       j + 1 == m.cols() ? '\n' : ' ') < 0) {
+        return Status::IOError("write failed");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadMatrix(std::FILE* f, size_t rows, size_t cols, Matrix* m) {
+  m->Resize(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      double v;
+      if (std::fscanf(f, "%la", &v) != 1) {
+        return Status::IOError("truncated matrix data");
+      }
+      (*m)(i, j) = v;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveFactorModel(const FactorModel& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (std::fprintf(f.get(), "%s\n%zu %zu %zu %zu\n", kMagic,
+                   model.u1.rows(), model.u2.rows(), model.u3.rows(),
+                   model.rank()) < 0) {
+    return Status::IOError("write failed");
+  }
+  for (size_t t = 0; t < model.h.size(); ++t) {
+    if (std::fprintf(f.get(), "%a%c", model.h[t],
+                     t + 1 == model.h.size() ? '\n' : ' ') < 0) {
+      return Status::IOError("write failed");
+    }
+  }
+  TCSS_RETURN_IF_ERROR(WriteMatrix(f.get(), model.u1));
+  TCSS_RETURN_IF_ERROR(WriteMatrix(f.get(), model.u2));
+  TCSS_RETURN_IF_ERROR(WriteMatrix(f.get(), model.u3));
+  return Status::OK();
+}
+
+Result<FactorModel> LoadFactorModel(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[16] = {0};
+  if (std::fscanf(f.get(), "%15s", magic) != 1 ||
+      std::string(magic) != kMagic) {
+    return Status::IOError("bad magic in " + path);
+  }
+  size_t I, J, K, r;
+  if (std::fscanf(f.get(), "%zu %zu %zu %zu", &I, &J, &K, &r) != 4) {
+    return Status::IOError("bad header in " + path);
+  }
+  if (r == 0 || I == 0 || J == 0 || K == 0 || r > 4096) {
+    return Status::IOError("implausible dimensions in " + path);
+  }
+  FactorModel model;
+  model.h.resize(r);
+  for (size_t t = 0; t < r; ++t) {
+    if (std::fscanf(f.get(), "%la", &model.h[t]) != 1) {
+      return Status::IOError("truncated h vector");
+    }
+  }
+  TCSS_RETURN_IF_ERROR(ReadMatrix(f.get(), I, r, &model.u1));
+  TCSS_RETURN_IF_ERROR(ReadMatrix(f.get(), J, r, &model.u2));
+  TCSS_RETURN_IF_ERROR(ReadMatrix(f.get(), K, r, &model.u3));
+  return model;
+}
+
+}  // namespace tcss

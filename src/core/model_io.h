@@ -1,0 +1,23 @@
+#ifndef TCSS_CORE_MODEL_IO_H_
+#define TCSS_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/factor_model.h"
+
+namespace tcss {
+
+/// Serializes a trained FactorModel to a file. The format is a simple
+/// versioned text format ("TCSSv1"), portable across platforms:
+///   header line, dims line (I J K r), then h and the three factor
+///   matrices row-major with full double precision (hex floats).
+Status SaveFactorModel(const FactorModel& model, const std::string& path);
+
+/// Loads a FactorModel written by SaveFactorModel. Validates the header,
+/// dimensions and element counts.
+Result<FactorModel> LoadFactorModel(const std::string& path);
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_MODEL_IO_H_

@@ -1,0 +1,55 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcss {
+
+std::vector<Recommendation> TopKRecommendations(
+    const Recommender& model, uint32_t user, uint32_t time_bin,
+    size_t num_pois, const TopKOptions& opts, const SparseTensor* train) {
+  std::vector<uint8_t> visited;
+  if (opts.exclude_visited) {
+    TCSS_CHECK(train != nullptr)
+        << "exclude_visited requires the train tensor";
+    visited.assign(num_pois, 0);
+    for (const auto& e : train->entries()) {
+      if (e.i == user) visited[e.j] = 1;
+    }
+  }
+
+  std::vector<Recommendation> heap;  // min-heap of size <= k on score
+  auto cmp = [](const Recommendation& a, const Recommendation& b) {
+    return a.score > b.score;
+  };
+  auto consider = [&](uint32_t j) {
+    if (!visited.empty() && visited[j]) return;
+    const double s = model.Score(user, j, time_bin);
+    if (heap.size() < opts.k) {
+      heap.push_back({j, s});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && s > heap.front().score) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {j, s};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  };
+
+  if (opts.candidates.empty()) {
+    for (uint32_t j = 0; j < num_pois; ++j) consider(j);
+  } else {
+    for (uint32_t j : opts.candidates) {
+      if (j < num_pois) consider(j);
+    }
+  }
+
+  std::sort(heap.begin(), heap.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.poi < b.poi;
+            });
+  return heap;
+}
+
+}  // namespace tcss

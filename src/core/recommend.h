@@ -1,0 +1,35 @@
+#ifndef TCSS_CORE_RECOMMEND_H_
+#define TCSS_CORE_RECOMMEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace tcss {
+
+/// One ranked recommendation.
+struct Recommendation {
+  uint32_t poi;
+  double score;
+};
+
+/// Options for TopKRecommendations.
+struct TopKOptions {
+  size_t k = 10;
+  /// Exclude POIs the user already visited (per the given train tensor).
+  bool exclude_visited = false;
+  /// Restrict candidates to this list (empty = all POIs).
+  std::vector<uint32_t> candidates;
+};
+
+/// Ranks POIs for (user, time) under any fitted Recommender. O(J log k).
+/// If opts.exclude_visited is set, `train` must be non-null.
+std::vector<Recommendation> TopKRecommendations(
+    const Recommender& model, uint32_t user, uint32_t time_bin,
+    size_t num_pois, const TopKOptions& opts,
+    const SparseTensor* train = nullptr);
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_RECOMMEND_H_

@@ -1,0 +1,122 @@
+#include "core/spectral_init.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "linalg/subspace_iteration.h"
+#include "tensor/gram_operator.h"
+
+namespace tcss {
+namespace {
+
+// Sign-aligns each column so its entry sum is non-negative (eigenvectors
+// have arbitrary sign; a predominantly-positive orientation matches the
+// non-negative tensor better).
+void AlignSigns(Matrix* u) {
+  for (size_t t = 0; t < u->cols(); ++t) {
+    double s = 0.0;
+    for (size_t i = 0; i < u->rows(); ++i) s += (*u)(i, t);
+    if (s < 0.0) {
+      for (size_t i = 0; i < u->rows(); ++i) (*u)(i, t) = -(*u)(i, t);
+    }
+  }
+}
+
+// Top-r eigenvectors of the (zero-diagonal) Gram of the mode-n unfolding.
+// If r exceeds the mode dimension, the leading dim columns come from the
+// eigensolver and the rest are filled with small random values.
+Result<Matrix> SpectralFactor(const SparseTensor& train, int mode, size_t r,
+                              uint64_t seed) {
+  const size_t dim = train.dim(mode);
+  const size_t r_eff = std::min(r, dim);
+  ModeGramOperator gram(train, mode, /*zero_diagonal=*/true);
+  // The zero-diagonal Gram G = A A^T - D is indefinite (lambda_min >=
+  // -max D_ii by Gershgorin). Power-type iteration converges to the
+  // largest-*magnitude* eigenvalues, so shift by max D_ii to make the
+  // operator PSD; the top eigenvectors are then the algebraically
+  // largest of G, which is what Eq 4 asks for.
+  double sigma = 0.0;
+  for (double d : gram.Diagonal()) sigma = std::max(sigma, d);
+  ShiftedOperator shifted(&gram, sigma);
+  SubspaceIterationOptions opts;
+  opts.seed = seed + static_cast<uint64_t>(mode) * 7919;
+  auto eig = SubspaceEigen(shifted, r_eff, opts);
+  if (!eig.ok()) return eig.status();
+  Matrix u(dim, r);
+  const Matrix& vecs = eig.value().vectors;
+  for (size_t i = 0; i < dim; ++i)
+    for (size_t t = 0; t < r_eff; ++t) u(i, t) = vecs(i, t);
+  if (r_eff < r) {
+    Rng rng(seed ^ 0xabcdef);
+    for (size_t i = 0; i < dim; ++i)
+      for (size_t t = r_eff; t < r; ++t) u(i, t) = rng.Gaussian(0.0, 0.05);
+  }
+  AlignSigns(&u);
+  // Symmetry-breaking jitter: the exact eigenbasis is a stationary-ish
+  // configuration for several loss terms; a small perturbation keeps the
+  // subspace information while letting Adam leave the saddle quickly.
+  {
+    Rng rng(seed ^ 0x9177);
+    const double scale = 0.25 / std::sqrt(static_cast<double>(dim));
+    for (size_t i = 0; i < dim; ++i)
+      for (size_t t = 0; t < r; ++t) u(i, t) += rng.Gaussian(0.0, scale);
+  }
+  return u;
+}
+
+}  // namespace
+
+Result<FactorModel> InitializeFactors(const SparseTensor& train,
+                                      const TcssConfig& config) {
+  if (!train.finalized()) {
+    return Status::FailedPrecondition("InitializeFactors: tensor not final");
+  }
+  const size_t r = config.rank;
+  FactorModel m;
+  m.h.assign(r, 1.0);
+
+  switch (config.init) {
+    case InitMethod::kSpectral: {
+      auto u1 = SpectralFactor(train, 0, r, config.seed);
+      if (!u1.ok()) return u1.status();
+      auto u2 = SpectralFactor(train, 1, r, config.seed + 1);
+      if (!u2.ok()) return u2.status();
+      auto u3 = SpectralFactor(train, 2, r, config.seed + 2);
+      if (!u3.ok()) return u3.status();
+      m.u1 = u1.MoveValue();
+      m.u2 = u2.MoveValue();
+      m.u3 = u3.MoveValue();
+      break;
+    }
+    case InitMethod::kRandom: {
+      Rng rng(config.seed);
+      m.u1 = Matrix::GaussianRandom(train.dim_i(), r, &rng, 0.1);
+      m.u2 = Matrix::GaussianRandom(train.dim_j(), r, &rng, 0.1);
+      m.u3 = Matrix::GaussianRandom(train.dim_k(), r, &rng, 0.1);
+      break;
+    }
+    case InitMethod::kOneHot: {
+      m.u1.Resize(train.dim_i(), r);
+      m.u2.Resize(train.dim_j(), r);
+      m.u3.Resize(train.dim_k(), r);
+      auto cyclic = [r](Matrix* u) {
+        for (size_t i = 0; i < u->rows(); ++i) (*u)(i, i % r) = 0.3;
+      };
+      cyclic(&m.u1);
+      cyclic(&m.u2);
+      cyclic(&m.u3);
+      break;
+    }
+  }
+
+  // Note: no magnitude rescaling is applied. The spectral factors keep
+  // the eigenvector scale (entries ~ 1/sqrt(n)); Adam's per-coordinate
+  // step sizes grow them quickly, and experiments showed that forcing the
+  // initial mean prediction toward 0.5 creates a stiff starting point
+  // that ends in a worse optimum.
+  return m;
+}
+
+}  // namespace tcss

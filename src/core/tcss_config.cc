@@ -1,0 +1,69 @@
+#include "core/tcss_config.h"
+
+#include "common/strings.h"
+
+namespace tcss {
+
+const char* InitMethodName(InitMethod m) {
+  switch (m) {
+    case InitMethod::kSpectral:
+      return "spectral";
+    case InitMethod::kRandom:
+      return "random";
+    case InitMethod::kOneHot:
+      return "one-hot";
+  }
+  return "?";
+}
+
+const char* LossModeName(LossMode m) {
+  switch (m) {
+    case LossMode::kRewritten:
+      return "rewritten";
+    case LossMode::kNaive:
+      return "naive";
+    case LossMode::kNegativeSampling:
+      return "negative-sampling";
+  }
+  return "?";
+}
+
+const char* HausdorffModeName(HausdorffMode m) {
+  switch (m) {
+    case HausdorffMode::kSocial:
+      return "social";
+    case HausdorffMode::kSelf:
+      return "self";
+    case HausdorffMode::kZeroOut:
+      return "zero-out";
+    case HausdorffMode::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+std::string TcssConfig::Summary() const {
+  return StrFormat(
+      "TCSS{r=%zu epochs=%d lr=%g w+=%g w-=%g lambda=%g alpha=%g init=%s "
+      "loss=%s hausdorff=%s pool=%zu}",
+      rank, epochs, learning_rate, w_pos, w_neg, lambda, alpha,
+      InitMethodName(init), LossModeName(loss_mode),
+      HausdorffModeName(hausdorff), hausdorff_pool);
+}
+
+std::string TcssConfig::Validate() const {
+  if (rank == 0) return "rank must be positive";
+  if (epochs < 0) return "epochs must be non-negative";
+  if (learning_rate <= 0) return "learning_rate must be positive";
+  if (w_pos <= 0 || w_neg < 0) return "weights must be positive";
+  if (w_pos < w_neg) return "w_pos should not be below w_neg";
+  if (lambda < 0) return "lambda must be non-negative";
+  if (alpha >= 0) return "alpha must be negative (soft minimum)";
+  if (epsilon <= 0) return "epsilon must be positive";
+  if (zero_out_sigma_frac <= 0 || zero_out_sigma_frac > 1) {
+    return "zero_out_sigma_frac must be in (0, 1]";
+  }
+  return "";
+}
+
+}  // namespace tcss

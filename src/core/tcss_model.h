@@ -1,0 +1,60 @@
+#ifndef TCSS_CORE_TCSS_MODEL_H_
+#define TCSS_CORE_TCSS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/factor_model.h"
+#include "core/tcss_config.h"
+#include "core/trainer.h"
+#include "eval/recommender.h"
+
+namespace tcss {
+
+/// TCSS - Tensor Completion with Social-Spatial regularization: the
+/// paper's model, packaged behind the common Recommender interface.
+///
+/// Usage:
+///   TcssConfig cfg;                 // paper defaults
+///   TcssModel model(cfg);
+///   model.Fit({&data, &train_tensor, TimeGranularity::kMonthOfYear, 13});
+///   double score = model.Score(user, poi, month);
+class TcssModel : public Recommender {
+ public:
+  explicit TcssModel(const TcssConfig& config) : config_(config) {}
+
+  std::string name() const override;
+
+  Status Fit(const TrainContext& ctx) override;
+
+  /// Fit with a per-epoch callback (convergence experiments, Fig 9).
+  Status FitWithCallback(const TrainContext& ctx,
+                         const EpochCallback& callback);
+
+  /// Xhat(i,j,k); for the zero-out ablation, POIs outside the sigma radius
+  /// of the user's own train POIs are pushed to -infinity-like scores.
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override;
+
+  const FactorModel& factors() const { return factors_; }
+  const TcssConfig& config() const { return config_; }
+  bool fitted() const { return fitted_; }
+
+  /// Cosine similarity matrix between time-factor rows (columns of U3 per
+  /// bin), used by the Fig 6/7 heatmaps.
+  Matrix TimeFactorSimilarity() const;
+
+ private:
+  void BuildZeroOutMask(const TrainContext& ctx);
+
+  TcssConfig config_;
+  FactorModel factors_;
+  bool fitted_ = false;
+  // Zero-out ablation: allowed_[i*J + j] == 1 iff POI j is within sigma of
+  // user i's nearest train POI.
+  std::vector<uint8_t> allowed_;
+  size_t num_pois_ = 0;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_TCSS_MODEL_H_

@@ -1,0 +1,130 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/spectral_init.h"
+
+namespace tcss {
+
+TcssTrainer::TcssTrainer(const Dataset& data, const SparseTensor& train,
+                         const TcssConfig& config)
+    : data_(&data), train_(&train), config_(config) {
+  l2_ = WholeDataLoss::Create(config_);
+  const bool wants_l1 = config_.lambda > 0.0 &&
+                        (config_.hausdorff == HausdorffMode::kSocial ||
+                         config_.hausdorff == HausdorffMode::kSelf);
+  if (wants_l1) {
+    hausdorff_ =
+        std::make_unique<SocialHausdorffLoss>(data, train, config_);
+  }
+}
+
+void TcssTrainer::AdamStep(FactorModel* model, const FactorGrads& grads,
+                           AdamState* state, double lr) const {
+  ++state->t;
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(state->t));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(state->t));
+  auto update = [&](Matrix* value, const Matrix& g, Matrix* m, Matrix* v) {
+    for (size_t idx = 0; idx < value->size(); ++idx) {
+      const double gi = g.data()[idx];
+      m->data()[idx] = b1 * m->data()[idx] + (1.0 - b1) * gi;
+      v->data()[idx] = b2 * v->data()[idx] + (1.0 - b2) * gi * gi;
+      const double mhat = m->data()[idx] / bc1;
+      const double vhat = v->data()[idx] / bc2;
+      value->data()[idx] -= lr * (mhat / (std::sqrt(vhat) + eps) +
+                                  config_.weight_decay * value->data()[idx]);
+    }
+  };
+  update(&model->u1, grads.u1, &state->m.u1, &state->v.u1);
+  update(&model->u2, grads.u2, &state->m.u2, &state->v.u2);
+  update(&model->u3, grads.u3, &state->m.u3, &state->v.u3);
+  for (size_t t = 0; t < model->h.size(); ++t) {
+    const double gi = grads.h[t];
+    state->m.h[t] = b1 * state->m.h[t] + (1.0 - b1) * gi;
+    state->v.h[t] = b2 * state->v.h[t] + (1.0 - b2) * gi * gi;
+    const double mhat = state->m.h[t] / bc1;
+    const double vhat = state->v.h[t] / bc2;
+    model->h[t] -= lr * (mhat / (std::sqrt(vhat) + eps) +
+                         config_.weight_decay * model->h[t]);
+  }
+}
+
+// Cyclic temporal smoothness: ts * sum_k ||U3_k - U3_{k+1 mod K}||^2.
+// Gradient wrt U3_k: 2 ts (2 U3_k - U3_{k-1} - U3_{k+1}).
+double TcssTrainer::AddTemporalSmoothness(const FactorModel& model,
+                                          double weight,
+                                          FactorGrads* grads) const {
+  const size_t K = model.u3.rows();
+  const size_t r = model.rank();
+  if (K < 2) return 0.0;
+  double loss = 0.0;
+  for (size_t k = 0; k < K; ++k) {
+    const size_t next = (k + 1) % K;
+    const size_t prev = (k + K - 1) % K;
+    const double* cur_row = model.u3.row(k);
+    const double* next_row = model.u3.row(next);
+    const double* prev_row = model.u3.row(prev);
+    double* g = grads->u3.row(k);
+    for (size_t t = 0; t < r; ++t) {
+      const double d = cur_row[t] - next_row[t];
+      loss += weight * d * d;
+      g[t] += 2.0 * weight *
+              (2.0 * cur_row[t] - prev_row[t] - next_row[t]);
+    }
+  }
+  return loss;
+}
+
+Result<FactorModel> TcssTrainer::Train(const EpochCallback& callback) {
+  const std::string problem = config_.Validate();
+  if (!problem.empty()) return Status::InvalidArgument(problem);
+
+  auto init = InitializeFactors(*train_, config_);
+  if (!init.ok()) return init.status();
+  FactorModel model = init.MoveValue();
+
+  FactorGrads grads(model);
+  AdamState adam(model);
+
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    Stopwatch sw;
+    grads.Zero();
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss_l2 = l2_->ComputeWithGrads(model, *train_, &grads);
+    if (hausdorff_ != nullptr) {
+      stats.loss_l1 =
+          hausdorff_->ComputeWithGrads(model, config_.lambda, &grads);
+    }
+    if (config_.temporal_smoothness > 0.0) {
+      AddTemporalSmoothness(model, config_.temporal_smoothness, &grads);
+    }
+    double lr = config_.learning_rate;
+    if (epoch > config_.epochs * 17 / 20) {
+      lr *= config_.lr_step_factor * config_.lr_step_factor;
+    } else if (epoch > config_.epochs * 3 / 5) {
+      lr *= config_.lr_step_factor;
+    }
+    AdamStep(&model, grads, &adam, lr);
+    stats.seconds = sw.ElapsedSeconds();
+    if (callback) callback(stats, model);
+  }
+  return model;
+}
+
+Result<double> TcssTrainer::TimeOneLossEpoch(LossMode mode) {
+  TcssConfig cfg = config_;
+  cfg.loss_mode = mode;
+  auto init = InitializeFactors(*train_, cfg);
+  if (!init.ok()) return init.status();
+  FactorModel model = init.MoveValue();
+  FactorGrads grads(model);
+  std::unique_ptr<WholeDataLoss> loss = WholeDataLoss::Create(cfg);
+  Stopwatch sw;
+  (void)loss->ComputeWithGrads(model, *train_, &grads);
+  return sw.ElapsedSeconds();
+}
+
+}  // namespace tcss

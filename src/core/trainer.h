@@ -1,0 +1,75 @@
+#ifndef TCSS_CORE_TRAINER_H_
+#define TCSS_CORE_TRAINER_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "core/factor_model.h"
+#include "core/hausdorff_loss.h"
+#include "core/tcss_config.h"
+#include "core/whole_data_loss.h"
+#include "data/dataset.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Per-epoch training diagnostics.
+struct EpochStats {
+  int epoch = 0;
+  double loss_l2 = 0.0;       ///< least-squares head value
+  double loss_l1 = 0.0;       ///< social Hausdorff head value (extrapolated)
+  double seconds = 0.0;       ///< wall time of the epoch
+};
+
+/// Called after every epoch with stats and the current factors (e.g. to
+/// record convergence curves, Fig 9).
+using EpochCallback =
+    std::function<void(const EpochStats&, const FactorModel&)>;
+
+/// Joint trainer of L = lambda * L1 + L2 (Eq 20) with Adam, entirely on
+/// hand-derived analytic gradients.
+class TcssTrainer {
+ public:
+  /// `data` and `train` must outlive the trainer.
+  TcssTrainer(const Dataset& data, const SparseTensor& train,
+              const TcssConfig& config);
+
+  /// Runs config.epochs epochs from the configured initialization.
+  Result<FactorModel> Train(const EpochCallback& callback = nullptr);
+
+  /// Measures the wall time of a single gradient evaluation of the L2 head
+  /// under the given mode, on a freshly initialized model (Table IV).
+  Result<double> TimeOneLossEpoch(LossMode mode);
+
+  const SocialHausdorffLoss* hausdorff() const { return hausdorff_.get(); }
+
+  /// Adds the cyclic temporal-smoothness gradient (extension; see
+  /// TcssConfig::temporal_smoothness) and returns the penalty value.
+  /// Public for direct testing; Train() calls it when the config weight
+  /// is positive.
+  double AddTemporalSmoothness(const FactorModel& model, double weight,
+                               FactorGrads* grads) const;
+
+ private:
+  /// Adam moments shaped like the model.
+  struct AdamState {
+    FactorGrads m;
+    FactorGrads v;
+    int64_t t = 0;
+    explicit AdamState(const FactorModel& model) : m(model), v(model) {}
+  };
+
+  void AdamStep(FactorModel* model, const FactorGrads& grads,
+                AdamState* state, double lr) const;
+
+  const Dataset* data_;
+  const SparseTensor* train_;
+  TcssConfig config_;
+  std::unique_ptr<WholeDataLoss> l2_;
+  std::unique_ptr<SocialHausdorffLoss> hausdorff_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_TRAINER_H_

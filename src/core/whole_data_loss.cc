@@ -1,0 +1,210 @@
+#include "core/whole_data_loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcss {
+
+void AccumulateEntryGrad(const FactorModel& model, uint32_t i, uint32_t j,
+                         uint32_t k, double g, FactorGrads* grads) {
+  const size_t r = model.rank();
+  const double* a = model.u1.row(i);
+  const double* b = model.u2.row(j);
+  const double* c = model.u3.row(k);
+  double* ga = grads->u1.row(i);
+  double* gb = grads->u2.row(j);
+  double* gc = grads->u3.row(k);
+  for (size_t t = 0; t < r; ++t) {
+    const double h = model.h[t];
+    ga[t] += g * h * b[t] * c[t];
+    gb[t] += g * h * a[t] * c[t];
+    gc[t] += g * h * a[t] * b[t];
+    grads->h[t] += g * a[t] * b[t] * c[t];
+  }
+}
+
+std::unique_ptr<WholeDataLoss> WholeDataLoss::Create(
+    const TcssConfig& config) {
+  switch (config.loss_mode) {
+    case LossMode::kRewritten:
+      return std::make_unique<RewrittenLoss>(config.w_pos, config.w_neg);
+    case LossMode::kNaive:
+      return std::make_unique<NaiveLoss>(config.w_pos, config.w_neg);
+    case LossMode::kNegativeSampling:
+      return std::make_unique<NegativeSamplingLoss>(config.w_pos,
+                                                    config.w_neg,
+                                                    config.seed ^ 0x5eed);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// RewrittenLoss (Eq 15)
+// ---------------------------------------------------------------------------
+
+double RewrittenLoss::Run(const FactorModel& model, const SparseTensor& train,
+                          FactorGrads* grads) {
+  const size_t r = model.rank();
+
+  // --- positive part: sum over observed entries -------------------------
+  // (w+ - w-) yhat^2 - 2 w+ X yhat  [+ w+ X^2 constant for exactness]
+  double loss = 0.0;
+  for (const auto& e : train.entries()) {
+    const double y = model.Predict(e.i, e.j, e.k);
+    loss += (w_pos_ - w_neg_) * y * y - 2.0 * w_pos_ * e.value * y +
+            w_pos_ * e.value * e.value;
+    if (grads != nullptr) {
+      const double g = 2.0 * (w_pos_ - w_neg_) * y - 2.0 * w_pos_ * e.value;
+      AccumulateEntryGrad(model, e.i, e.j, e.k, g, grads);
+    }
+  }
+
+  // --- whole-data part: w- * sum_{all cells} yhat^2 ---------------------
+  // T = sum_{r1,r2} h_r1 h_r2 G1_{r1r2} G2_{r1r2} G3_{r1r2}
+  // with Gn = Un^T Un (r x r Gram matrices): O((I+J+K) r^2).
+  const Matrix g1 = Gram(model.u1);
+  const Matrix g2 = Gram(model.u2);
+  const Matrix g3 = Gram(model.u3);
+  double t_val = 0.0;
+  // M_{r1r2} = h_r1 h_r2 * G2 * G3 (used for the U1 gradient), and the
+  // analogous products for the other factors.
+  Matrix m1(r, r), m2(r, r), m3(r, r);
+  std::vector<double> gh(r, 0.0);
+  for (size_t r1 = 0; r1 < r; ++r1) {
+    for (size_t r2 = 0; r2 < r; ++r2) {
+      const double hh = model.h[r1] * model.h[r2];
+      t_val += hh * g1(r1, r2) * g2(r1, r2) * g3(r1, r2);
+      m1(r1, r2) = hh * g2(r1, r2) * g3(r1, r2);
+      m2(r1, r2) = hh * g1(r1, r2) * g3(r1, r2);
+      m3(r1, r2) = hh * g1(r1, r2) * g2(r1, r2);
+      // dT/dh_r1 = 2 h_r2 G1 G2 G3 summed over r2 (symmetry).
+      gh[r1] += 2.0 * model.h[r2] * g1(r1, r2) * g2(r1, r2) * g3(r1, r2);
+    }
+  }
+  loss += w_neg_ * t_val;
+
+  if (grads != nullptr) {
+    // dT/dU1 = 2 U1 M1 (M1 symmetric), etc.
+    Matrix d1 = MatMul(model.u1, m1);
+    Matrix d2 = MatMul(model.u2, m2);
+    Matrix d3 = MatMul(model.u3, m3);
+    grads->u1.Add(d1, 2.0 * w_neg_);
+    grads->u2.Add(d2, 2.0 * w_neg_);
+    grads->u3.Add(d3, 2.0 * w_neg_);
+    for (size_t t = 0; t < r; ++t) grads->h[t] += w_neg_ * gh[t];
+  }
+  return loss;
+}
+
+double RewrittenLoss::ComputeWithGrads(const FactorModel& model,
+                                       const SparseTensor& train,
+                                       FactorGrads* grads) {
+  return Run(model, train, grads);
+}
+
+double RewrittenLoss::Compute(const FactorModel& model,
+                              const SparseTensor& train) {
+  return Run(model, train, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// NaiveLoss (Eq 14)
+// ---------------------------------------------------------------------------
+
+double NaiveLoss::Run(const FactorModel& model, const SparseTensor& train,
+                      FactorGrads* grads) {
+  const size_t I = train.dim_i();
+  const size_t J = train.dim_j();
+  const size_t K = train.dim_k();
+  // Walk all cells in (i,j,k) order in lockstep with the sorted nonzeros,
+  // so membership tests are O(1) amortized.
+  const auto& entries = train.entries();
+  size_t cursor = 0;
+  double loss = 0.0;
+  for (uint32_t i = 0; i < I; ++i) {
+    for (uint32_t j = 0; j < J; ++j) {
+      for (uint32_t k = 0; k < K; ++k) {
+        double x = 0.0;
+        if (cursor < entries.size() && entries[cursor].i == i &&
+            entries[cursor].j == j && entries[cursor].k == k) {
+          x = entries[cursor].value;
+          ++cursor;
+        }
+        const double w = (x != 0.0) ? w_pos_ : w_neg_;
+        const double y = model.Predict(i, j, k);
+        const double d = y - x;
+        loss += w * d * d;
+        if (grads != nullptr) {
+          AccumulateEntryGrad(model, i, j, k, 2.0 * w * d, grads);
+        }
+      }
+    }
+  }
+  TCSS_CHECK(cursor == entries.size());
+  return loss;
+}
+
+double NaiveLoss::ComputeWithGrads(const FactorModel& model,
+                                   const SparseTensor& train,
+                                   FactorGrads* grads) {
+  return Run(model, train, grads);
+}
+
+double NaiveLoss::Compute(const FactorModel& model,
+                          const SparseTensor& train) {
+  return Run(model, train, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// NegativeSamplingLoss
+// ---------------------------------------------------------------------------
+
+double NegativeSamplingLoss::Run(const FactorModel& model,
+                                 const SparseTensor& train,
+                                 FactorGrads* grads) {
+  double loss = 0.0;
+  for (const auto& e : train.entries()) {
+    const double y = model.Predict(e.i, e.j, e.k);
+    const double d = y - e.value;
+    loss += w_pos_ * d * d;
+    if (grads != nullptr) {
+      AccumulateEntryGrad(model, e.i, e.j, e.k, 2.0 * w_pos_ * d, grads);
+    }
+  }
+  // One sampled negative per positive (He et al. ratio 1:1), uniformly
+  // over the unlabeled cells via rejection.
+  const size_t I = train.dim_i();
+  const size_t J = train.dim_j();
+  const size_t K = train.dim_k();
+  const size_t want = train.nnz();
+  size_t drawn = 0;
+  size_t guard = 0;
+  while (drawn < want && guard < want * 50 + 100) {
+    ++guard;
+    const uint32_t i = static_cast<uint32_t>(rng_.UniformInt(I));
+    const uint32_t j = static_cast<uint32_t>(rng_.UniformInt(J));
+    const uint32_t k = static_cast<uint32_t>(rng_.UniformInt(K));
+    if (train.Contains(i, j, k)) continue;
+    ++drawn;
+    const double y = model.Predict(i, j, k);
+    loss += w_neg_ * y * y;
+    if (grads != nullptr) {
+      AccumulateEntryGrad(model, i, j, k, 2.0 * w_neg_ * y, grads);
+    }
+  }
+  return loss;
+}
+
+double NegativeSamplingLoss::ComputeWithGrads(const FactorModel& model,
+                                              const SparseTensor& train,
+                                              FactorGrads* grads) {
+  return Run(model, train, grads);
+}
+
+double NegativeSamplingLoss::Compute(const FactorModel& model,
+                                     const SparseTensor& train) {
+  return Run(model, train, nullptr);
+}
+
+}  // namespace tcss

@@ -1,0 +1,95 @@
+#ifndef TCSS_CORE_WHOLE_DATA_LOSS_H_
+#define TCSS_CORE_WHOLE_DATA_LOSS_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/factor_model.h"
+#include "core/tcss_config.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Least-squares head L2 over the whole data (Eq 14), with three
+/// interchangeable implementations so Table IV's cost comparison is a
+/// like-for-like measurement and tests can assert value equivalence:
+///
+///  * RewrittenLoss      - Eq 15, O((I+J+K) r^2 + nnz r)
+///  * NaiveLoss          - Eq 14 literally, O(I*J*K*r)
+///  * NegativeSampling   - nnz uniformly sampled negatives per call
+///
+/// All three include the constant term  w+ * sum X^2  so that Rewritten
+/// and Naive return *identical* values (Remark 1 of the paper).
+class WholeDataLoss {
+ public:
+  virtual ~WholeDataLoss() = default;
+  virtual const char* name() const = 0;
+
+  /// Computes L2 and *accumulates* dL2/dparams into `grads`.
+  virtual double ComputeWithGrads(const FactorModel& model,
+                                  const SparseTensor& train,
+                                  FactorGrads* grads) = 0;
+
+  /// Loss value only (no gradient work).
+  virtual double Compute(const FactorModel& model,
+                         const SparseTensor& train) = 0;
+
+  /// Factory for the mode selected in the config.
+  static std::unique_ptr<WholeDataLoss> Create(const TcssConfig& config);
+};
+
+/// Eq 15.
+class RewrittenLoss : public WholeDataLoss {
+ public:
+  RewrittenLoss(double w_pos, double w_neg) : w_pos_(w_pos), w_neg_(w_neg) {}
+  const char* name() const override { return "rewritten"; }
+  double ComputeWithGrads(const FactorModel& model, const SparseTensor& train,
+                          FactorGrads* grads) override;
+  double Compute(const FactorModel& model, const SparseTensor& train) override;
+
+ private:
+  double Run(const FactorModel& model, const SparseTensor& train,
+             FactorGrads* grads);
+  double w_pos_, w_neg_;
+};
+
+/// Eq 14, literal triple loop (kept for Table IV and equivalence tests).
+class NaiveLoss : public WholeDataLoss {
+ public:
+  NaiveLoss(double w_pos, double w_neg) : w_pos_(w_pos), w_neg_(w_neg) {}
+  const char* name() const override { return "naive"; }
+  double ComputeWithGrads(const FactorModel& model, const SparseTensor& train,
+                          FactorGrads* grads) override;
+  double Compute(const FactorModel& model, const SparseTensor& train) override;
+
+ private:
+  double Run(const FactorModel& model, const SparseTensor& train,
+             FactorGrads* grads);
+  double w_pos_, w_neg_;
+};
+
+/// He et al.-style sampling: every positive plus an equal number of
+/// uniformly sampled unlabeled entries, re-drawn on every call.
+class NegativeSamplingLoss : public WholeDataLoss {
+ public:
+  NegativeSamplingLoss(double w_pos, double w_neg, uint64_t seed)
+      : w_pos_(w_pos), w_neg_(w_neg), rng_(seed) {}
+  const char* name() const override { return "negative-sampling"; }
+  double ComputeWithGrads(const FactorModel& model, const SparseTensor& train,
+                          FactorGrads* grads) override;
+  double Compute(const FactorModel& model, const SparseTensor& train) override;
+
+ private:
+  double Run(const FactorModel& model, const SparseTensor& train,
+             FactorGrads* grads);
+  double w_pos_, w_neg_;
+  Rng rng_;
+};
+
+/// Accumulates g = dL/dXhat(i,j,k) into factor gradients (shared helper).
+void AccumulateEntryGrad(const FactorModel& model, uint32_t i, uint32_t j,
+                         uint32_t k, double g, FactorGrads* grads);
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_WHOLE_DATA_LOSS_H_

@@ -1,0 +1,151 @@
+#include "data/csv_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace tcss {
+namespace {
+
+Status OpenForRead(const std::string& path, std::ifstream* in) {
+  in->open(path);
+  if (!in->is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& data, const std::string& dir) {
+  {
+    std::ofstream out(dir + "/pois.csv");
+    if (!out.is_open()) return Status::IOError("cannot write pois.csv");
+    out << "poi_id,lat,lon,category\n";
+    for (uint32_t j = 0; j < data.num_pois(); ++j) {
+      const Poi& p = data.poi(j);
+      out << j << ',' << StrFormat("%.7f", p.location.lat) << ','
+          << StrFormat("%.7f", p.location.lon) << ','
+          << static_cast<int>(p.category) << '\n';
+    }
+  }
+  {
+    std::ofstream out(dir + "/checkins.csv");
+    if (!out.is_open()) return Status::IOError("cannot write checkins.csv");
+    out << "user_id,poi_id,unix_seconds\n";
+    for (const auto& c : data.checkins()) {
+      out << c.user << ',' << c.poi << ',' << c.timestamp << '\n';
+    }
+  }
+  {
+    std::ofstream out(dir + "/friends.csv");
+    if (!out.is_open()) return Status::IOError("cannot write friends.csv");
+    out << "user_id,friend_id\n";
+    for (uint32_t u = 0; u < data.num_users(); ++u) {
+      for (const uint32_t* p = data.social().NeighborsBegin(u);
+           p != data.social().NeighborsEnd(u); ++p) {
+        if (u < *p) out << u << ',' << *p << '\n';
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& dir) {
+  std::vector<Poi> pois;
+  {
+    std::ifstream in;
+    TCSS_RETURN_IF_ERROR(OpenForRead(dir + "/pois.csv", &in));
+    std::string line;
+    std::getline(in, line);  // header
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (Trim(line).empty()) continue;
+      auto f = Split(line, ',');
+      size_t id = 0, cat = 0;
+      double lat = 0, lon = 0;
+      if (f.size() != 4 || !ParseIndex(f[0], &id) ||
+          !ParseDouble(f[1], &lat) || !ParseDouble(f[2], &lon) ||
+          !ParseIndex(f[3], &cat) || cat >= kNumCategories) {
+        return Status::IOError(
+            StrFormat("pois.csv line %zu malformed", lineno));
+      }
+      if (id != pois.size()) {
+        return Status::IOError(
+            StrFormat("pois.csv line %zu: ids must be dense ascending",
+                      lineno));
+      }
+      pois.push_back(
+          {{lat, lon}, static_cast<PoiCategory>(static_cast<int>(cat))});
+    }
+  }
+
+  struct RawCheckin {
+    size_t user, poi;
+    int64_t ts;
+  };
+  std::vector<RawCheckin> raw;
+  size_t max_user = 0;
+  {
+    std::ifstream in;
+    TCSS_RETURN_IF_ERROR(OpenForRead(dir + "/checkins.csv", &in));
+    std::string line;
+    std::getline(in, line);
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (Trim(line).empty()) continue;
+      auto f = Split(line, ',');
+      size_t user = 0, poi = 0;
+      double ts = 0;
+      if (f.size() != 3 || !ParseIndex(f[0], &user) ||
+          !ParseIndex(f[1], &poi) || !ParseDouble(f[2], &ts)) {
+        return Status::IOError(
+            StrFormat("checkins.csv line %zu malformed", lineno));
+      }
+      raw.push_back({user, poi, static_cast<int64_t>(ts)});
+      max_user = std::max(max_user, user);
+    }
+  }
+
+  std::vector<std::pair<size_t, size_t>> edges;
+  {
+    std::ifstream in;
+    TCSS_RETURN_IF_ERROR(OpenForRead(dir + "/friends.csv", &in));
+    std::string line;
+    std::getline(in, line);
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (Trim(line).empty()) continue;
+      auto f = Split(line, ',');
+      size_t u = 0, v = 0;
+      if (f.size() != 2 || !ParseIndex(f[0], &u) || !ParseIndex(f[1], &v)) {
+        return Status::IOError(
+            StrFormat("friends.csv line %zu malformed", lineno));
+      }
+      edges.emplace_back(u, v);
+      max_user = std::max({max_user, u, v});
+    }
+  }
+
+  const size_t num_users = raw.empty() && edges.empty() ? 0 : max_user + 1;
+  SocialGraph social(num_users);
+  for (const auto& [u, v] : edges) {
+    TCSS_RETURN_IF_ERROR(social.AddEdge(static_cast<uint32_t>(u),
+                                        static_cast<uint32_t>(v)));
+  }
+  TCSS_RETURN_IF_ERROR(social.Finalize());
+  Dataset out(num_users, std::move(pois), std::move(social));
+  for (const auto& r : raw) {
+    TCSS_RETURN_IF_ERROR(out.AddCheckIn(static_cast<uint32_t>(r.user),
+                                        static_cast<uint32_t>(r.poi), r.ts));
+  }
+  return out;
+}
+
+}  // namespace tcss

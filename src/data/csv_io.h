@@ -1,0 +1,25 @@
+#ifndef TCSS_DATA_CSV_IO_H_
+#define TCSS_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace tcss {
+
+/// Serializes a dataset into a directory as three CSV files:
+///   pois.csv      poi_id,lat,lon,category
+///   checkins.csv  user_id,poi_id,unix_seconds
+///   friends.csv   user_id,friend_id  (one row per undirected edge, u < v)
+/// The directory must already exist; files are overwritten.
+Status SaveDatasetCsv(const Dataset& data, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDatasetCsv (or hand-authored
+/// in the same layout). `num_users` is inferred as 1 + max user id seen in
+/// checkins.csv and friends.csv.
+Result<Dataset> LoadDatasetCsv(const std::string& dir);
+
+}  // namespace tcss
+
+#endif  // TCSS_DATA_CSV_IO_H_

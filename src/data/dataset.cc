@@ -1,0 +1,85 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tcss {
+
+const char* CategoryName(PoiCategory c) {
+  switch (c) {
+    case PoiCategory::kShopping:
+      return "shopping";
+    case PoiCategory::kEntertainment:
+      return "entertainment";
+    case PoiCategory::kFood:
+      return "food";
+    case PoiCategory::kOutdoor:
+      return "outdoor";
+  }
+  return "unknown";
+}
+
+Status Dataset::AddCheckIn(uint32_t user, uint32_t poi, int64_t timestamp) {
+  if (user >= num_users_) {
+    return Status::OutOfRange(
+        StrFormat("check-in user %u >= %zu", user, num_users_));
+  }
+  if (poi >= pois_.size()) {
+    return Status::OutOfRange(
+        StrFormat("check-in poi %u >= %zu", poi, pois_.size()));
+  }
+  checkins_.push_back({user, poi, timestamp});
+  return Status::OK();
+}
+
+std::vector<GeoPoint> Dataset::PoiLocations() const {
+  std::vector<GeoPoint> locs(pois_.size());
+  for (size_t j = 0; j < pois_.size(); ++j) locs[j] = pois_[j].location;
+  return locs;
+}
+
+Dataset Dataset::FilterByCategory(PoiCategory category) const {
+  std::vector<uint32_t> remap(pois_.size(), UINT32_MAX);
+  std::vector<Poi> kept;
+  for (uint32_t j = 0; j < pois_.size(); ++j) {
+    if (pois_[j].category == category) {
+      remap[j] = static_cast<uint32_t>(kept.size());
+      kept.push_back(pois_[j]);
+    }
+  }
+  // The social graph is shared structure; rebuild a copy with equal edges.
+  SocialGraph social(num_users_);
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    for (const uint32_t* p = social_.NeighborsBegin(u);
+         p != social_.NeighborsEnd(u); ++p) {
+      if (u < *p) (void)social.AddEdge(u, *p);
+    }
+  }
+  (void)social.Finalize();
+  Dataset out(num_users_, std::move(kept), std::move(social));
+  for (const auto& c : checkins_) {
+    if (remap[c.poi] != UINT32_MAX) {
+      (void)out.AddCheckIn(c.user, remap[c.poi], c.timestamp);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> Dataset::UserPoiSets() const {
+  std::vector<std::vector<uint32_t>> sets(num_users_);
+  for (const auto& c : checkins_) sets[c.user].push_back(c.poi);
+  for (auto& s : sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return sets;
+}
+
+std::string Dataset::Summary() const {
+  return StrFormat(
+      "Dataset{users=%zu pois=%zu checkins=%zu friends_avg_deg=%.2f}",
+      num_users_, pois_.size(), checkins_.size(), social_.AverageDegree());
+}
+
+}  // namespace tcss

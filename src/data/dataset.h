@@ -1,0 +1,85 @@
+#ifndef TCSS_DATA_DATASET_H_
+#define TCSS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geo_point.h"
+#include "graph/social_graph.h"
+
+namespace tcss {
+
+/// POI categories used throughout the experiments (matching the Gowalla
+/// category analysis of the paper).
+enum class PoiCategory : int {
+  kShopping = 0,
+  kEntertainment = 1,
+  kFood = 2,
+  kOutdoor = 3,
+};
+inline constexpr int kNumCategories = 4;
+
+/// Human-readable category name ("shopping", ...).
+const char* CategoryName(PoiCategory c);
+
+/// A point of interest: location plus category.
+struct Poi {
+  GeoPoint location;
+  PoiCategory category = PoiCategory::kShopping;
+};
+
+/// A single check-in event. `timestamp` is Unix seconds (UTC).
+struct CheckInEvent {
+  uint32_t user;
+  uint32_t poi;
+  int64_t timestamp;
+};
+
+/// An LBSN dataset: users (implicit 0..num_users-1), POIs with geolocation
+/// and category, check-in events, and the friendship graph.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t num_users, std::vector<Poi> pois, SocialGraph social)
+      : num_users_(num_users), pois_(std::move(pois)),
+        social_(std::move(social)) {}
+
+  size_t num_users() const { return num_users_; }
+  size_t num_pois() const { return pois_.size(); }
+  size_t num_checkins() const { return checkins_.size(); }
+
+  const std::vector<Poi>& pois() const { return pois_; }
+  const Poi& poi(uint32_t j) const { return pois_[j]; }
+  const SocialGraph& social() const { return social_; }
+  const std::vector<CheckInEvent>& checkins() const { return checkins_; }
+
+  Status AddCheckIn(uint32_t user, uint32_t poi, int64_t timestamp);
+
+  /// All POI locations, index-aligned with pois().
+  std::vector<GeoPoint> PoiLocations() const;
+
+  /// Restricts the dataset to POIs of one category: POIs are re-indexed
+  /// densely, check-ins at other categories are dropped, the social graph
+  /// is kept as-is (users keep their ids). This mirrors the paper's
+  /// per-category experiments ("each tensor only involves one specific
+  /// category of POIs").
+  Dataset FilterByCategory(PoiCategory category) const;
+
+  /// Per-user list of distinct visited POIs (sorted).
+  std::vector<std::vector<uint32_t>> UserPoiSets() const;
+
+  /// One-line summary for logs.
+  std::string Summary() const;
+
+ private:
+  size_t num_users_ = 0;
+  std::vector<Poi> pois_;
+  SocialGraph social_;
+  std::vector<CheckInEvent> checkins_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_DATA_DATASET_H_

@@ -1,0 +1,37 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace tcss {
+
+TrainTestSplit SplitCheckins(const Dataset& data, double train_fraction,
+                             uint64_t seed) {
+  Rng rng(seed);
+  TrainTestSplit out;
+  // Group event indices per user so we can guarantee train coverage.
+  std::vector<std::vector<size_t>> per_user(data.num_users());
+  const auto& events = data.checkins();
+  for (size_t idx = 0; idx < events.size(); ++idx) {
+    per_user[events[idx].user].push_back(idx);
+  }
+  for (auto& idxs : per_user) {
+    if (idxs.empty()) continue;
+    rng.Shuffle(&idxs);
+    // At least one event stays in train for each active user.
+    size_t n_train = static_cast<size_t>(
+        std::max<double>(1.0, train_fraction * static_cast<double>(idxs.size())));
+    n_train = std::min(n_train, idxs.size());
+    for (size_t t = 0; t < idxs.size(); ++t) {
+      if (t < n_train) {
+        out.train.push_back(events[idxs[t]]);
+      } else {
+        out.test.push_back(events[idxs[t]]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcss

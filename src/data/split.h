@@ -1,0 +1,26 @@
+#ifndef TCSS_DATA_SPLIT_H_
+#define TCSS_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tcss {
+
+/// Train/test partition of check-in events.
+struct TrainTestSplit {
+  std::vector<CheckInEvent> train;
+  std::vector<CheckInEvent> test;
+};
+
+/// Randomly splits check-ins into train/test with the given train fraction
+/// (the paper uses 80% of check-ins as observed tensor entries). The split
+/// is per-event and seeded for reproducibility. Users with very few events
+/// are guaranteed at least one training event when possible, so every user
+/// row of the train tensor is non-empty.
+TrainTestSplit SplitCheckins(const Dataset& data, double train_fraction,
+                             uint64_t seed);
+
+}  // namespace tcss
+
+#endif  // TCSS_DATA_SPLIT_H_

@@ -1,0 +1,150 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+#include "data/tensor_builder.h"
+#include "geo/haversine.h"
+
+namespace tcss {
+
+DistributionStats Summarize(std::vector<double> values) {
+  DistributionStats s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double total = 0.0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(n);
+  s.median = values[n / 2];
+  s.p90 = values[static_cast<size_t>(0.9 * (n - 1))];
+  // Gini from the sorted values: (2 sum_i i*x_i) / (n sum x) - (n+1)/n.
+  if (total > 0.0) {
+    double weighted = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * values[i];
+    }
+    s.gini = 2.0 * weighted / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+    s.gini = std::max(0.0, s.gini);
+  }
+  return s;
+}
+
+DatasetProfile ProfileDataset(const Dataset& data) {
+  DatasetProfile p;
+  p.num_users = data.num_users();
+  p.num_pois = data.num_pois();
+  p.num_checkins = data.num_checkins();
+  p.avg_friends = data.social().AverageDegree();
+
+  std::vector<double> per_user(data.num_users(), 0.0);
+  std::vector<std::set<uint32_t>> user_pois(data.num_users());
+  std::vector<std::set<uint32_t>> poi_users(data.num_pois());
+
+  // Chronological order for the revisit ratio.
+  std::vector<CheckInEvent> events = data.checkins();
+  std::sort(events.begin(), events.end(),
+            [](const CheckInEvent& a, const CheckInEvent& b) {
+              if (a.user != b.user) return a.user < b.user;
+              return a.timestamp < b.timestamp;
+            });
+  size_t revisits = 0;
+  for (const auto& e : events) {
+    per_user[e.user] += 1.0;
+    if (!user_pois[e.user].insert(e.poi).second) ++revisits;
+    poi_users[e.poi].insert(e.user);
+    const CivilTime c = ToCivil(e.timestamp);
+    ++p.monthly_by_category[static_cast<int>(data.poi(e.poi).category)]
+                           [c.month - 1];
+  }
+  if (!events.empty()) {
+    p.revisit_ratio =
+        static_cast<double>(revisits) / static_cast<double>(events.size());
+  }
+
+  p.checkins_per_user = Summarize(per_user);
+  {
+    std::vector<double> v;
+    v.reserve(data.num_pois());
+    for (const auto& users : poi_users) {
+      v.push_back(static_cast<double>(users.size()));
+    }
+    p.visitors_per_poi = Summarize(std::move(v));
+  }
+  {
+    std::vector<double> v;
+    v.reserve(data.num_users());
+    for (const auto& pois : user_pois) {
+      v.push_back(static_cast<double>(pois.size()));
+    }
+    p.distinct_pois_per_user = Summarize(std::move(v));
+  }
+
+  // Radius of gyration per user.
+  double rog_total = 0.0;
+  size_t rog_users = 0;
+  {
+    std::vector<std::vector<GeoPoint>> pts(data.num_users());
+    for (const auto& e : data.checkins()) {
+      pts[e.user].push_back(data.poi(e.poi).location);
+    }
+    for (const auto& user_pts : pts) {
+      if (user_pts.size() < 2) continue;
+      double lat = 0, lon = 0;
+      for (const auto& q : user_pts) {
+        lat += q.lat;
+        lon += q.lon;
+      }
+      GeoPoint centroid{lat / user_pts.size(), lon / user_pts.size()};
+      double sq = 0.0;
+      for (const auto& q : user_pts) {
+        const double d = HaversineKm(q, centroid);
+        sq += d * d;
+      }
+      rog_total += std::sqrt(sq / static_cast<double>(user_pts.size()));
+      ++rog_users;
+    }
+  }
+  if (rog_users > 0) {
+    p.mean_radius_of_gyration_km = rog_total / static_cast<double>(rog_users);
+  }
+
+  auto tensor = BuildCheckinTensor(data, TimeGranularity::kMonthOfYear);
+  if (tensor.ok()) p.tensor_density = tensor.value().Density();
+  return p;
+}
+
+std::string DatasetProfile::ToString() const {
+  std::string out;
+  out += StrFormat("users: %zu  POIs: %zu  check-ins: %zu  avg friends: %.2f\n",
+                   num_users, num_pois, num_checkins, avg_friends);
+  auto line = [&out](const char* label, const DistributionStats& s) {
+    out += StrFormat(
+        "%-24s min %-6.0f median %-6.0f mean %-8.1f p90 %-6.0f max %-6.0f "
+        "gini %.2f\n",
+        label, s.min, s.median, s.mean, s.p90, s.max, s.gini);
+  };
+  line("check-ins per user:", checkins_per_user);
+  line("distinct POIs per user:", distinct_pois_per_user);
+  line("visitors per POI:", visitors_per_poi);
+  out += StrFormat("revisit ratio: %.1f%%   mean radius of gyration: %.1f km"
+                   "   tensor density: %.3f%%\n",
+                   100.0 * revisit_ratio, mean_radius_of_gyration_km,
+                   100.0 * tensor_density);
+  out += "monthly check-ins by category (Jan..Dec):\n";
+  for (int c = 0; c < kNumCategories; ++c) {
+    out += StrFormat("  %-14s", CategoryName(static_cast<PoiCategory>(c)));
+    for (int m = 0; m < 12; ++m) {
+      out += StrFormat(" %5zu", monthly_by_category[c][m]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tcss

@@ -1,0 +1,62 @@
+#ifndef TCSS_DATA_STATS_H_
+#define TCSS_DATA_STATS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/time_binning.h"
+
+namespace tcss {
+
+/// Summary statistics of a value distribution.
+struct DistributionStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  /// Gini coefficient in [0, 1): 0 = perfectly even, ->1 = concentrated.
+  double gini = 0.0;
+};
+
+/// Computes DistributionStats over non-negative values (order-agnostic).
+DistributionStats Summarize(std::vector<double> values);
+
+/// Dataset profile: the quantities LBSN papers (including this one)
+/// report about their data, computed from the events.
+struct DatasetProfile {
+  size_t num_users = 0;
+  size_t num_pois = 0;
+  size_t num_checkins = 0;
+  double avg_friends = 0.0;
+
+  DistributionStats checkins_per_user;
+  DistributionStats visitors_per_poi;     ///< distinct users per POI
+  DistributionStats distinct_pois_per_user;
+
+  /// Fraction of check-in events that revisit a POI the user had already
+  /// visited earlier (chronologically).
+  double revisit_ratio = 0.0;
+
+  /// Mean radius of gyration (km): RMS distance of a user's check-ins
+  /// from their centroid - the standard mobility spread measure.
+  double mean_radius_of_gyration_km = 0.0;
+
+  /// Check-in counts per month (Jan..Dec) for each category.
+  std::array<std::array<size_t, 12>, kNumCategories> monthly_by_category{};
+
+  /// Density of the user x POI x month binary tensor.
+  double tensor_density = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Profiles a dataset. O(events log events).
+DatasetProfile ProfileDataset(const Dataset& data);
+
+}  // namespace tcss
+
+#endif  // TCSS_DATA_STATS_H_

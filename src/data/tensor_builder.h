@@ -1,0 +1,34 @@
+#ifndef TCSS_DATA_TENSOR_BUILDER_H_
+#define TCSS_DATA_TENSOR_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/time_binning.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// One labeled cell of the check-in tensor (used for train/test splits).
+struct TensorCell {
+  uint32_t i, j, k;
+};
+
+/// Builds the binary user x POI x time check-in tensor from check-in events
+/// under the given granularity. Duplicate (i,j,k) cells are coalesced.
+Result<SparseTensor> BuildCheckinTensor(const Dataset& data,
+                                        TimeGranularity granularity);
+
+/// Same, over an explicit subset of check-in events (e.g. the train split).
+Result<SparseTensor> BuildCheckinTensor(const Dataset& data,
+                                        const std::vector<CheckInEvent>& events,
+                                        TimeGranularity granularity);
+
+/// Maps check-in events to distinct tensor cells (deduplicated).
+std::vector<TensorCell> EventsToCells(const std::vector<CheckInEvent>& events,
+                                      TimeGranularity granularity);
+
+}  // namespace tcss
+
+#endif  // TCSS_DATA_TENSOR_BUILDER_H_

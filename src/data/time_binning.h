@@ -1,0 +1,48 @@
+#ifndef TCSS_DATA_TIME_BINNING_H_
+#define TCSS_DATA_TIME_BINNING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcss {
+
+/// Time-dimension granularity of the check-in tensor (Section V-G of the
+/// paper): month-of-year (K=12), week-of-year (K=53), or hour-of-day
+/// (K=24).
+enum class TimeGranularity { kMonthOfYear, kWeekOfYear, kHourOfDay };
+
+/// Number of bins K for a granularity.
+size_t NumBins(TimeGranularity g);
+
+/// "month" / "week" / "hour".
+const char* GranularityName(TimeGranularity g);
+
+/// Broken-down UTC time, computed without libc (locale/TZ independent).
+struct CivilTime {
+  int year;
+  int month;        ///< 1..12
+  int day;          ///< 1..31
+  int hour;         ///< 0..23
+  int minute;       ///< 0..59
+  int second;       ///< 0..59
+  int day_of_year;  ///< 0..365
+};
+
+/// Converts Unix seconds (UTC) to civil time. Valid for the full int64
+/// second range of the proleptic Gregorian calendar.
+CivilTime ToCivil(int64_t unix_seconds);
+
+/// Unix seconds for a civil UTC date-time.
+int64_t FromCivil(int year, int month, int day, int hour = 0, int minute = 0,
+                  int second = 0);
+
+/// Bin index k of a timestamp under granularity g:
+///   month: 0..11 (Feb -> 1, per the paper's example)
+///   week:  0..52 (day_of_year / 7)
+///   hour:  0..23 (22:00 -> 21 in the paper's prose is an off-by-one in the
+///          text; we use the conventional hour index 22 -> 22).
+uint32_t TimeBin(int64_t unix_seconds, TimeGranularity g);
+
+}  // namespace tcss
+
+#endif  // TCSS_DATA_TIME_BINNING_H_

@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace tcss {
+
+double RmseAgainstConstant(const ScoreFn& score,
+                           const std::vector<TensorCell>& cells,
+                           double target) {
+  if (cells.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& c : cells) {
+    const double d = score(c.i, c.j, c.k) - target;
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(cells.size()));
+}
+
+double NdcgAtK(double rank, size_t k) {
+  if (rank > static_cast<double>(k)) return 0.0;
+  return 1.0 / std::log2(rank + 1.0);
+}
+
+double PrecisionAtK(double rank, size_t k) {
+  if (k == 0 || rank > static_cast<double>(k)) return 0.0;
+  return 1.0 / static_cast<double>(k);
+}
+
+double MidRank(double target_score, const std::vector<double>& others) {
+  size_t greater = 0;
+  size_t equal = 0;
+  for (double s : others) {
+    if (s > target_score) {
+      ++greater;
+    } else if (s == target_score) {
+      ++equal;
+    }
+  }
+  return 1.0 + static_cast<double>(greater) +
+         static_cast<double>(equal) / 2.0;
+}
+
+}  // namespace tcss

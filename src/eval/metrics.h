@@ -1,0 +1,46 @@
+#ifndef TCSS_EVAL_METRICS_H_
+#define TCSS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/tensor_builder.h"
+
+namespace tcss {
+
+/// Scoring callback: (user, poi, time) -> affinity.
+using ScoreFn = std::function<double(uint32_t, uint32_t, uint32_t)>;
+
+/// Aggregated ranking quality over a test set.
+struct RankingMetrics {
+  double hit_at_k = 0.0;  ///< fraction of test entries ranked in top-K
+  double mrr = 0.0;       ///< mean reciprocal rank (per-user averaged)
+  double ndcg_at_k = 0.0; ///< mean single-item NDCG@K over entries
+  double precision_at_k = 0.0;  ///< mean Precision@K over entries
+  size_t num_entries = 0;
+  size_t num_users = 0;
+};
+
+/// Root mean squared error of `score` against a constant target over the
+/// given cells (used by Table III for positive/negative RMSE columns).
+double RmseAgainstConstant(const ScoreFn& score,
+                           const std::vector<TensorCell>& cells,
+                           double target);
+
+/// Mid-rank of `target_score` within `others`: 1 + #greater + #equal / 2.
+/// Ties are split evenly so constant scorers receive chance-level ranks
+/// rather than artificially good or bad ones.
+double MidRank(double target_score, const std::vector<double>& others);
+
+/// NDCG@K of a single target at the given (1-based, possibly fractional
+/// mid-) rank among candidates: 1/log2(rank+1) if rank <= K else 0. With
+/// one relevant item the ideal DCG is 1, so this is the per-entry NDCG.
+double NdcgAtK(double rank, size_t k);
+
+/// Precision@K with a single relevant item: 1/K if rank <= K else 0.
+double PrecisionAtK(double rank, size_t k);
+
+}  // namespace tcss
+
+#endif  // TCSS_EVAL_METRICS_H_

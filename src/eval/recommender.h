@@ -1,0 +1,43 @@
+#ifndef TCSS_EVAL_RECOMMENDER_H_
+#define TCSS_EVAL_RECOMMENDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/time_binning.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Everything a model may consume during training: the dataset (for side
+/// information: POI locations, categories, social graph), the observed
+/// train tensor, the binning, and a seed. Models that ignore side
+/// information simply read `train`.
+struct TrainContext {
+  const Dataset* data = nullptr;
+  const SparseTensor* train = nullptr;
+  TimeGranularity granularity = TimeGranularity::kMonthOfYear;
+  uint64_t seed = 1;
+};
+
+/// Common interface of TCSS and all baselines: fit on the observed tensor
+/// (+side information), then score arbitrary (user, POI, time) triples.
+/// Matrix-completion baselines ignore the time index.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains the model. Must be called exactly once before Score().
+  virtual Status Fit(const TrainContext& ctx) = 0;
+
+  /// Predicted affinity of user i for POI j at time bin k. Higher = more
+  /// likely interaction. Only relative order matters for ranking metrics.
+  virtual double Score(uint32_t i, uint32_t j, uint32_t k) const = 0;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_EVAL_RECOMMENDER_H_

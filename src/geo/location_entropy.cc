@@ -1,0 +1,49 @@
+#include "geo/location_entropy.h"
+
+#include <cmath>
+#include <map>
+
+namespace tcss {
+
+std::vector<double> ComputeLocationEntropyFromCounts(
+    const std::vector<std::vector<std::pair<uint32_t, double>>>&
+        per_poi_user_counts) {
+  std::vector<double> entropy(per_poi_user_counts.size(), 0.0);
+  for (size_t j = 0; j < per_poi_user_counts.size(); ++j) {
+    double total = 0.0;
+    for (const auto& [user, cnt] : per_poi_user_counts[j]) total += cnt;
+    if (total <= 0.0) continue;
+    double e = 0.0;
+    for (const auto& [user, cnt] : per_poi_user_counts[j]) {
+      if (cnt <= 0.0) continue;
+      const double p = cnt / total;
+      e -= p * std::log(p);
+    }
+    entropy[j] = e;
+  }
+  return entropy;
+}
+
+std::vector<double> ComputeLocationEntropy(const SparseTensor& checkins) {
+  // Aggregate check-ins over time bins: |Phi_ij| = number of (i,j,*) cells.
+  std::vector<std::vector<std::pair<uint32_t, double>>> counts(
+      checkins.dim_j());
+  // Entries are sorted by (i, j, k) if finalized; group by (j, i) via a map
+  // per POI to stay correct for unfinalized input too.
+  std::vector<std::map<uint32_t, double>> acc(checkins.dim_j());
+  for (const auto& e : checkins.entries()) {
+    acc[e.j][e.i] += e.value;
+  }
+  for (size_t j = 0; j < acc.size(); ++j) {
+    counts[j].assign(acc[j].begin(), acc[j].end());
+  }
+  return ComputeLocationEntropyFromCounts(counts);
+}
+
+std::vector<double> EntropyWeights(const std::vector<double>& entropy) {
+  std::vector<double> w(entropy.size());
+  for (size_t j = 0; j < entropy.size(); ++j) w[j] = std::exp(-entropy[j]);
+  return w;
+}
+
+}  // namespace tcss

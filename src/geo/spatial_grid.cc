@@ -1,0 +1,111 @@
+#include "geo/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/haversine.h"
+
+namespace tcss {
+
+SpatialGrid::SpatialGrid(const std::vector<GeoPoint>& points,
+                         double target_per_cell)
+    : points_(&points) {
+  for (const auto& p : points) bounds_.Extend(p);
+  if (points.empty()) {
+    cells_.resize(1);
+    return;
+  }
+  const double span_lat = std::max(bounds_.max_lat - bounds_.min_lat, 1e-9);
+  const double span_lon = std::max(bounds_.max_lon - bounds_.min_lon, 1e-9);
+  const double n_cells =
+      std::max(1.0, static_cast<double>(points.size()) / target_per_cell);
+  const double aspect = span_lon / span_lat;
+  ny_ = std::max(1, static_cast<int>(std::sqrt(n_cells / std::max(aspect, 1e-9))));
+  nx_ = std::max(1, static_cast<int>(n_cells / ny_));
+  cell_lat_ = span_lat / ny_;
+  cell_lon_ = span_lon / nx_;
+  cells_.assign(static_cast<size_t>(nx_) * ny_, {});
+  for (uint32_t idx = 0; idx < points.size(); ++idx) {
+    cells_[CellOf(points[idx])].push_back(idx);
+  }
+}
+
+void SpatialGrid::CellCoords(const GeoPoint& p, int* cx, int* cy) const {
+  *cx = std::clamp(
+      static_cast<int>((p.lon - bounds_.min_lon) / cell_lon_), 0, nx_ - 1);
+  *cy = std::clamp(
+      static_cast<int>((p.lat - bounds_.min_lat) / cell_lat_), 0, ny_ - 1);
+}
+
+size_t SpatialGrid::CellOf(const GeoPoint& p) const {
+  int cx, cy;
+  CellCoords(p, &cx, &cy);
+  return static_cast<size_t>(cy) * nx_ + cx;
+}
+
+int64_t SpatialGrid::Nearest(const GeoPoint& q, int64_t exclude) const {
+  if (points_->empty()) return -1;
+  int cx, cy;
+  CellCoords(q, &cx, &cy);
+  int64_t best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(nx_, ny_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    bool any_cell = false;
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || x >= nx_ || y < 0 || y >= ny_) continue;
+        any_cell = true;
+        for (uint32_t idx : cells_[static_cast<size_t>(y) * nx_ + x]) {
+          if (static_cast<int64_t>(idx) == exclude) continue;
+          const double d = HaversineKm(q, (*points_)[idx]);
+          if (d < best_d) {
+            best_d = d;
+            best = idx;
+          }
+        }
+      }
+    }
+    // Stop one ring after the first hit: a neighbouring ring can still hold
+    // a closer point than the first one found (cells are rectangles).
+    if (best >= 0 && ring > 0) break;
+    if (!any_cell && ring > 0 && best >= 0) break;
+  }
+  return best;
+}
+
+double SpatialGrid::NearestDistanceKm(const GeoPoint& q,
+                                      int64_t exclude) const {
+  int64_t idx = Nearest(q, exclude);
+  if (idx < 0) return std::numeric_limits<double>::infinity();
+  return HaversineKm(q, (*points_)[idx]);
+}
+
+std::vector<uint32_t> SpatialGrid::WithinRadius(const GeoPoint& q,
+                                                double radius_km) const {
+  std::vector<uint32_t> out;
+  if (points_->empty()) return out;
+  // Conservative cell window: convert km radius to degrees at this latitude.
+  const double lat_deg = radius_km / 110.574;
+  const double cos_lat =
+      std::max(0.05, std::cos(q.lat * M_PI / 180.0));
+  const double lon_deg = radius_km / (111.320 * cos_lat);
+  int cx0, cy0, cx1, cy1;
+  CellCoords({q.lat - lat_deg, q.lon - lon_deg}, &cx0, &cy0);
+  CellCoords({q.lat + lat_deg, q.lon + lon_deg}, &cx1, &cy1);
+  for (int y = cy0; y <= cy1; ++y) {
+    for (int x = cx0; x <= cx1; ++x) {
+      for (uint32_t idx : cells_[static_cast<size_t>(y) * nx_ + x]) {
+        if (HaversineKm(q, (*points_)[idx]) <= radius_km) out.push_back(idx);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tcss

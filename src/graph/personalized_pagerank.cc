@@ -1,0 +1,123 @@
+#include "graph/personalized_pagerank.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace tcss {
+
+WalkGraph::WalkGraph(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+void WalkGraph::AddArc(uint32_t u, uint32_t v, double weight) {
+  TCSS_CHECK(!finalized_);
+  TCSS_CHECK(u < num_nodes_ && v < num_nodes_);
+  TCSS_CHECK(weight > 0.0);
+  pending_.push_back({u, {v, weight}});
+}
+
+void WalkGraph::Finalize() {
+  TCSS_CHECK(!finalized_);
+  std::sort(pending_.begin(), pending_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.first < b.second.first;
+            });
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [u, vw] : pending_) ++offsets_[u + 1];
+  for (size_t u = 0; u < num_nodes_; ++u) offsets_[u + 1] += offsets_[u];
+  heads_.resize(pending_.size());
+  probs_.resize(pending_.size());
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, vw] : pending_) {
+    heads_[cursor[u]] = vw.first;
+    probs_[cursor[u]] = vw.second;
+    ++cursor[u];
+  }
+  // Normalize outgoing weight mass per node.
+  for (size_t u = 0; u < num_nodes_; ++u) {
+    double total = 0.0;
+    for (size_t t = offsets_[u]; t < offsets_[u + 1]; ++t) total += probs_[t];
+    if (total > 0.0) {
+      for (size_t t = offsets_[u]; t < offsets_[u + 1]; ++t)
+        probs_[t] /= total;
+    }
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::vector<double> WalkGraph::BookmarkColoring(uint32_t source, double alpha,
+                                                double epsilon,
+                                                int max_pushes) const {
+  TCSS_CHECK(finalized_);
+  TCSS_CHECK(source < num_nodes_);
+  std::vector<double> rank(num_nodes_, 0.0);
+  std::vector<double> residual(num_nodes_, 0.0);
+  std::vector<uint8_t> queued(num_nodes_, 0);
+  std::deque<uint32_t> queue;
+  residual[source] = 1.0;
+  queue.push_back(source);
+  queued[source] = 1;
+  int pushes = 0;
+  while (!queue.empty() && pushes < max_pushes) {
+    uint32_t u = queue.front();
+    queue.pop_front();
+    queued[u] = 0;
+    double r = residual[u];
+    if (r < epsilon) continue;
+    residual[u] = 0.0;
+    rank[u] += alpha * r;
+    const double spread = (1.0 - alpha) * r;
+    const size_t deg = offsets_[u + 1] - offsets_[u];
+    if (deg == 0) {
+      // Dangling node: return the walk to the source.
+      residual[source] += spread;
+      if (!queued[source] && residual[source] >= epsilon) {
+        queue.push_back(source);
+        queued[source] = 1;
+      }
+      ++pushes;
+      continue;
+    }
+    for (size_t t = offsets_[u]; t < offsets_[u + 1]; ++t) {
+      uint32_t v = heads_[t];
+      residual[v] += spread * probs_[t];
+      if (!queued[v] && residual[v] >= epsilon) {
+        queue.push_back(v);
+        queued[v] = 1;
+      }
+    }
+    ++pushes;
+  }
+  return rank;
+}
+
+std::vector<double> WalkGraph::PowerIteration(uint32_t source, double alpha,
+                                              int iterations) const {
+  TCSS_CHECK(finalized_);
+  std::vector<double> rank(num_nodes_, 0.0);
+  std::vector<double> next(num_nodes_, 0.0);
+  rank[source] = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[source] += alpha;
+    for (size_t u = 0; u < num_nodes_; ++u) {
+      const double mass = (1.0 - alpha) * rank[u];
+      if (mass == 0.0) continue;
+      const size_t deg = offsets_[u + 1] - offsets_[u];
+      if (deg == 0) {
+        next[source] += mass;
+        continue;
+      }
+      for (size_t t = offsets_[u]; t < offsets_[u + 1]; ++t) {
+        next[heads_[t]] += mass * probs_[t];
+      }
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+}  // namespace tcss

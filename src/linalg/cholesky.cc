@@ -1,0 +1,97 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace tcss {
+namespace {
+
+// Lower Cholesky factor of (A + ridge*I); returns false if a pivot fails.
+bool Factor(const Matrix& a, double ridge, Matrix* l) {
+  const size_t n = a.rows();
+  l->Resize(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j) + (i == j ? ridge : 0.0);
+      for (size_t k = 0; k < j; ++k) s -= (*l)(i, k) * (*l)(j, k);
+      if (i == j) {
+        if (s <= 0.0) return false;
+        (*l)(i, j) = std::sqrt(s);
+      } else {
+        (*l)(i, j) = s / (*l)(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+void SolveWithFactor(const Matrix& l, const std::vector<double>& b,
+                     std::vector<double>* x) {
+  const size_t n = l.rows();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  x->resize(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * (*x)[k];
+    (*x)[ii] = s / l(ii, ii);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          double ridge) {
+  if (a.rows() != a.cols() || b.size() != a.rows()) {
+    return Status::InvalidArgument("CholeskySolve: shape mismatch");
+  }
+  Matrix l;
+  // Retry with growing ridge if the matrix is numerically indefinite: the
+  // ALS callers prefer a slightly biased solve over a hard failure.
+  double r = ridge;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    if (Factor(a, r, &l)) {
+      std::vector<double> x;
+      SolveWithFactor(l, b, &x);
+      return x;
+    }
+    r = (r == 0.0) ? 1e-10 : r * 100.0;
+  }
+  return Status::FailedPrecondition(
+      StrFormat("CholeskySolve: matrix not SPD even with ridge %.3e", r));
+}
+
+Result<Matrix> CholeskySolveMulti(const Matrix& a, const Matrix& b,
+                                  double ridge) {
+  if (a.rows() != a.cols() || b.rows() != a.rows()) {
+    return Status::InvalidArgument("CholeskySolveMulti: shape mismatch");
+  }
+  Matrix l;
+  double r = ridge;
+  bool ok = false;
+  for (int attempt = 0; attempt < 6 && !ok; ++attempt) {
+    ok = Factor(a, r, &l);
+    if (!ok) r = (r == 0.0) ? 1e-10 : r * 100.0;
+  }
+  if (!ok) {
+    return Status::FailedPrecondition(
+        StrFormat("CholeskySolveMulti: matrix not SPD even with ridge %.3e",
+                  r));
+  }
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows()), sol;
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    SolveWithFactor(l, col, &sol);
+    for (size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+}  // namespace tcss

@@ -1,0 +1,24 @@
+#ifndef TCSS_LINALG_CHOLESKY_H_
+#define TCSS_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace tcss {
+
+/// Solves the symmetric positive-definite system A x = b by Cholesky
+/// factorization. A small ridge may be passed to regularize nearly-singular
+/// normal equations (A + ridge * I) x = b, as used by the ALS row solvers.
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          double ridge = 0.0);
+
+/// Solves A X = B column-by-column for SPD A; B is (n x k).
+Result<Matrix> CholeskySolveMulti(const Matrix& a, const Matrix& b,
+                                  double ridge = 0.0);
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_CHOLESKY_H_

@@ -1,0 +1,105 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace tcss {
+
+Result<EigenDecomposition> JacobiEigen(const Matrix& a_in, int max_sweeps,
+                                       double tol) {
+  if (a_in.rows() != a_in.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("JacobiEigen: matrix must be square, got %zux%zu",
+                  a_in.rows(), a_in.cols()));
+  }
+  const size_t n = a_in.rows();
+  // Symmetrize defensively; the algorithm requires exact symmetry.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j)
+      a(i, j) = 0.5 * (a_in(i, j) + a_in(j, i));
+
+  Matrix v = Matrix::Identity(n);
+
+  auto off_norm = [&a, n]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(a.MaxAbs(), 1e-300);
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale * static_cast<double>(n)) {
+      converged = true;
+      break;
+    }
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Apply rotation J(p,q,theta) on both sides of A.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged && off_norm() > 1e-6 * scale * static_cast<double>(n)) {
+    return Status::NotConverged(
+        StrFormat("JacobiEigen: off-diagonal norm %.3e after %d sweeps",
+                  off_norm(), max_sweeps));
+  }
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  for (size_t i = 0; i < n; ++i) out.values[i] = a(i, i);
+
+  // Sort eigenpairs by non-increasing eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&out](size_t x, size_t y) {
+    return out.values[x] > out.values[y];
+  });
+  std::vector<double> sorted_vals(n);
+  Matrix sorted_vecs(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted_vals[j] = out.values[order[j]];
+    for (size_t i = 0; i < n; ++i) sorted_vecs(i, j) = v(i, order[j]);
+  }
+  out.values = std::move(sorted_vals);
+  out.vectors = std::move(sorted_vecs);
+  return out;
+}
+
+}  // namespace tcss

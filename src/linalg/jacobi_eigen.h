@@ -1,0 +1,27 @@
+#ifndef TCSS_LINALG_JACOBI_EIGEN_H_
+#define TCSS_LINALG_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace tcss {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in non-increasing order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi rotation eigensolver for small symmetric matrices
+/// (n up to a few hundred; O(n^3) per sweep). Input must be square and
+/// symmetric; symmetry is enforced by averaging. Accuracy ~1e-12.
+Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps = 64,
+                                       double tol = 1e-12);
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,134 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/vector_ops.h"
+
+namespace tcss {
+namespace {
+
+// Jacobi eigensolve of the current (built x built) tridiagonal.
+Result<EigenDecomposition> TridiagEigen(const std::vector<double>& alpha,
+                                        const std::vector<double>& beta,
+                                        size_t built) {
+  Matrix t(built, built);
+  for (size_t i = 0; i < built; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < built) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  return JacobiEigen(t);
+}
+
+}  // namespace
+
+Result<EigenPairs> LanczosEigen(const LinearOperator& op, size_t r,
+                                const LanczosOptions& opts) {
+  const size_t n = op.Dim();
+  if (r == 0 || r > n) {
+    return Status::InvalidArgument(
+        StrFormat("LanczosEigen: r=%zu out of range for dim %zu", r, n));
+  }
+  const size_t min_dim = std::min(n, std::max(opts.krylov_dim, 2 * r + 8));
+  constexpr double kRitzTol = 1e-9;
+
+  Rng rng(opts.seed);
+  std::vector<std::vector<double>> q;  // full basis (full reorth)
+  std::vector<double> alpha, beta;
+
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian();
+  Normalize(&v);
+  q.push_back(v);
+
+  std::vector<double> w(n);
+  std::vector<double> ritz_prev(r, 0.0);
+  size_t built = 0;
+  bool exhausted = false;
+
+  while (built < n) {
+    const size_t step = built;
+    op.Apply(q[step], &w);
+    const double a = Dot(w, q[step]);
+    alpha.push_back(a);
+    Axpy(-a, q[step], &w);
+    if (step > 0) Axpy(-beta[step - 1], q[step - 1], &w);
+    // Full reorthogonalization (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& prev : q) {
+        const double proj = Dot(w, prev);
+        if (proj != 0.0) Axpy(-proj, prev, &w);
+      }
+    }
+    built = step + 1;
+
+    // Convergence test on the top-r Ritz values (cheap: built <= ~100).
+    if (built >= min_dim && built >= r) {
+      auto eig = TridiagEigen(alpha, beta, built);
+      if (!eig.ok()) return eig.status();
+      double change = 0.0, scale = 1e-30;
+      for (size_t t = 0; t < r; ++t) {
+        change = std::max(change,
+                          std::fabs(eig.value().values[t] - ritz_prev[t]));
+        scale = std::max(scale, std::fabs(eig.value().values[t]));
+        ritz_prev[t] = eig.value().values[t];
+      }
+      if (change <= kRitzTol * scale) break;
+    }
+    if (built == n) break;
+
+    double b = Norm2(w);
+    if (b < 1e-12) {
+      // Invariant subspace: restart with a fresh orthogonal direction.
+      for (auto& x : w) x = rng.Gaussian();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const auto& prev : q) {
+          const double proj = Dot(w, prev);
+          Axpy(-proj, prev, &w);
+        }
+      }
+      b = Norm2(w);
+      if (b < 1e-12) {
+        exhausted = true;
+        break;  // the whole space is spanned
+      }
+      ScaleVec(1.0 / b, &w);
+      beta.push_back(0.0);
+    } else {
+      beta.push_back(b);
+      ScaleVec(1.0 / b, &w);
+    }
+    q.push_back(w);
+  }
+  (void)exhausted;
+
+  if (built < r) {
+    return Status::NotConverged(
+        StrFormat("LanczosEigen: Krylov space exhausted at %zu < r=%zu",
+                  built, r));
+  }
+  auto eig = TridiagEigen(alpha, beta, built);
+  if (!eig.ok()) return eig.status();
+  const EigenDecomposition& dec = eig.value();
+
+  EigenPairs out;
+  out.iterations = static_cast<int>(built);
+  out.values.assign(dec.values.begin(), dec.values.begin() + r);
+  out.vectors.Resize(n, r);
+  for (size_t col = 0; col < r; ++col) {
+    for (size_t step = 0; step < built; ++step) {
+      const double c = dec.vectors(step, col);
+      if (c == 0.0) continue;
+      for (size_t i = 0; i < n; ++i) out.vectors(i, col) += c * q[step][i];
+    }
+  }
+  return out;
+}
+
+}  // namespace tcss

@@ -1,0 +1,63 @@
+#ifndef TCSS_LINALG_LINEAR_OPERATOR_H_
+#define TCSS_LINALG_LINEAR_OPERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tcss {
+
+/// Abstract symmetric linear operator y = A x on R^n. Lets iterative
+/// eigensolvers work on implicitly-represented matrices (e.g. Gram matrices
+/// of sparse tensor unfoldings) without ever materializing them.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Dimension n of the (square, symmetric) operator.
+  virtual size_t Dim() const = 0;
+
+  /// Computes y = A x. `y` is pre-sized to Dim() and must be overwritten.
+  virtual void Apply(const std::vector<double>& x,
+                     std::vector<double>* y) const = 0;
+};
+
+/// y = (A + sigma I) x. Shifting an indefinite symmetric operator by
+/// sigma >= -lambda_min makes it PSD, so power-type eigensolvers (which
+/// converge to the largest-magnitude eigenvalues) return the
+/// *algebraically* largest eigenpairs of A; eigenvectors are unchanged
+/// and eigenvalues are shifted by sigma.
+class ShiftedOperator : public LinearOperator {
+ public:
+  ShiftedOperator(const LinearOperator* base, double sigma)
+      : base_(base), sigma_(sigma) {}
+
+  size_t Dim() const override { return base_->Dim(); }
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override {
+    base_->Apply(x, y);
+    for (size_t i = 0; i < x.size(); ++i) (*y)[i] += sigma_ * x[i];
+  }
+  double sigma() const { return sigma_; }
+
+ private:
+  const LinearOperator* base_;
+  double sigma_;
+};
+
+/// Adapter exposing an explicit dense symmetric matrix as a LinearOperator.
+class DenseOperator : public LinearOperator {
+ public:
+  /// Keeps a pointer to `a`; the matrix must outlive the operator.
+  explicit DenseOperator(const class Matrix* a) : a_(a) {}
+
+  size_t Dim() const override;
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override;
+
+ private:
+  const class Matrix* a_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_LINEAR_OPERATOR_H_

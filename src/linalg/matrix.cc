@@ -1,0 +1,194 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcss {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    TCSS_CHECK(rows[i].size() == m.cols_) << "ragged row " << i;
+    std::copy(rows[i].begin(), rows[i].end(), m.row(i));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::GaussianRandom(size_t rows, size_t cols, Rng* rng,
+                              double stddev) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->Gaussian(0.0, stddev);
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(size_t rows, size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+void Matrix::Add(const Matrix& other, double alpha) {
+  TCSS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& x : data_) x *= alpha;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::vector<double> Matrix::Column(size_t j) const {
+  std::vector<double> v(rows_);
+  for (size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::SetColumn(size_t j, const std::vector<double>& v) {
+  TCSS_CHECK(v.size() == rows_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  size_t show_r = std::min(rows_, max_rows);
+  size_t show_c = std::min(cols_, max_cols);
+  for (size_t i = 0; i < show_r; ++i) {
+    os << "\n  [";
+    for (size_t j = 0; j < show_c; ++j) {
+      if (j) os << ", ";
+      os << (*this)(i, j);
+    }
+    if (show_c < cols_) os << ", ...";
+    os << "]";
+  }
+  if (show_r < rows_) os << "\n  ...";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  TCSS_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.row(i);
+    const double* a_row = a.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  TCSS_CHECK(a.rows() == b.rows()) << "MatTMul shape mismatch";
+  Matrix out(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row(k);
+    const double* b_row = b.row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  TCSS_CHECK(a.cols() == b.cols()) << "MatMulT shape mismatch";
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    double* out_row = out.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row(j);
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+  return out;
+}
+
+Matrix Gram(const Matrix& a) { return MatTMul(a, a); }
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  TCSS_CHECK(x.size() == a.cols());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
+  TCSS_CHECK(x.size() == a.rows());
+  std::vector<double> y(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  TCSS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j) * b(i, j);
+  return out;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  TCSS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace tcss

@@ -1,0 +1,99 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace tcss {
+namespace {
+
+// Dot product of columns p and q of a.
+double ColDot(const Matrix& a, size_t p, size_t q) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) s += a(i, p) * a(i, q);
+  return s;
+}
+
+void ColAxpy(Matrix* a, size_t dst, size_t src, double alpha) {
+  for (size_t i = 0; i < a->rows(); ++i) (*a)(i, dst) += alpha * (*a)(i, src);
+}
+
+void ColScale(Matrix* a, size_t j, double alpha) {
+  for (size_t i = 0; i < a->rows(); ++i) (*a)(i, j) *= alpha;
+}
+
+}  // namespace
+
+Status Orthonormalize(Matrix* a, Rng* rng) {
+  const size_t m = a->rows();
+  const size_t n = a->cols();
+  if (m < n) {
+    return Status::InvalidArgument(
+        StrFormat("Orthonormalize: need rows >= cols, got %zux%zu", m, n));
+  }
+  constexpr double kRankTol = 1e-12;
+  for (size_t j = 0; j < n; ++j) {
+    // Two passes of MGS projection for numerical robustness
+    // ("twice is enough" - Kahan/Parlett).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t p = 0; p < j; ++p) {
+        double proj = ColDot(*a, p, j);
+        if (proj != 0.0) ColAxpy(a, j, p, -proj);
+      }
+    }
+    double norm = std::sqrt(ColDot(*a, j, j));
+    int retries = 0;
+    while (norm < kRankTol) {
+      if (rng == nullptr || ++retries > 8) {
+        return Status::FailedPrecondition(
+            StrFormat("Orthonormalize: column %zu is rank deficient", j));
+      }
+      // Replace a dead column with a random direction, re-project.
+      for (size_t i = 0; i < m; ++i) (*a)(i, j) = rng->Gaussian();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t p = 0; p < j; ++p) {
+          double proj = ColDot(*a, p, j);
+          if (proj != 0.0) ColAxpy(a, j, p, -proj);
+        }
+      }
+      norm = std::sqrt(ColDot(*a, j, j));
+    }
+    ColScale(a, j, 1.0 / norm);
+  }
+  return Status::OK();
+}
+
+Status ThinQr(const Matrix& a, Matrix* q, Matrix* r) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument(
+        StrFormat("ThinQr: need rows >= cols, got %zux%zu", m, n));
+  }
+  *q = a;
+  r->Resize(n, n);
+  constexpr double kRankTol = 1e-12;
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t p = 0; p < j; ++p) {
+      double proj = ColDot(*q, p, j);
+      (*r)(p, j) += proj;
+      if (proj != 0.0) ColAxpy(q, j, p, -proj);
+    }
+    // Re-orthogonalization pass; accumulate corrections into R.
+    for (size_t p = 0; p < j; ++p) {
+      double proj = ColDot(*q, p, j);
+      (*r)(p, j) += proj;
+      if (proj != 0.0) ColAxpy(q, j, p, -proj);
+    }
+    double norm = std::sqrt(ColDot(*q, j, j));
+    if (norm < kRankTol) {
+      return Status::FailedPrecondition(
+          StrFormat("ThinQr: matrix is rank deficient at column %zu", j));
+    }
+    (*r)(j, j) = norm;
+    ColScale(q, j, 1.0 / norm);
+  }
+  return Status::OK();
+}
+
+}  // namespace tcss

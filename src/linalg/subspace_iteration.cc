@@ -1,0 +1,105 @@
+#include "linalg/subspace_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/qr.h"
+
+namespace tcss {
+
+size_t DenseOperator::Dim() const { return a_->rows(); }
+
+void DenseOperator::Apply(const std::vector<double>& x,
+                          std::vector<double>* y) const {
+  const Matrix& a = *a_;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    (*y)[i] = s;
+  }
+}
+
+Result<EigenPairs> SubspaceEigen(const LinearOperator& op, size_t r,
+                                 const SubspaceIterationOptions& opts) {
+  const size_t n = op.Dim();
+  if (r == 0 || r > n) {
+    return Status::InvalidArgument(
+        StrFormat("SubspaceEigen: r=%zu out of range for dim %zu", r, n));
+  }
+  const size_t block =
+      std::min(n, r + static_cast<size_t>(std::max(opts.oversample, 0)));
+
+  Rng rng(opts.seed);
+  Matrix q = Matrix::GaussianRandom(n, block, &rng);
+  Status st = Orthonormalize(&q, &rng);
+  if (!st.ok()) return st;
+
+  std::vector<double> ritz_prev(block, 0.0);
+  std::vector<double> x(n), y(n);
+  Matrix aq(n, block);
+  int iter = 0;
+  bool converged = false;
+
+  for (iter = 1; iter <= opts.max_iterations; ++iter) {
+    // aq = A * q, column by column through the operator interface.
+    for (size_t j = 0; j < block; ++j) {
+      for (size_t i = 0; i < n; ++i) x[i] = q(i, j);
+      op.Apply(x, &y);
+      for (size_t i = 0; i < n; ++i) aq(i, j) = y[i];
+    }
+    // Rayleigh-Ritz: T = q^T (A q), small block x block symmetric problem.
+    Matrix t = MatTMul(q, aq);
+    auto eig = JacobiEigen(t);
+    if (!eig.ok()) return eig.status();
+    const EigenDecomposition& dec = eig.value();
+
+    // Rotate the basis toward the Ritz vectors: q <- (A q) * W then QR.
+    // Using A q (not q) both advances the power iteration and aligns with
+    // the Ritz ordering.
+    q = MatMul(aq, dec.vectors);
+    st = Orthonormalize(&q, &rng);
+    if (!st.ok()) return st;
+
+    double max_change = 0.0;
+    double max_val = 0.0;
+    for (size_t j = 0; j < block; ++j) {
+      max_change = std::max(max_change,
+                            std::fabs(dec.values[j] - ritz_prev[j]));
+      max_val = std::max(max_val, std::fabs(dec.values[j]));
+      ritz_prev[j] = dec.values[j];
+    }
+    if (iter > 2 && max_change <= opts.tol * std::max(max_val, 1e-30)) {
+      converged = true;
+      break;
+    }
+  }
+
+  // Final Rayleigh-Ritz on the converged basis for clean output pairs.
+  for (size_t j = 0; j < block; ++j) {
+    for (size_t i = 0; i < n; ++i) x[i] = q(i, j);
+    op.Apply(x, &y);
+    for (size_t i = 0; i < n; ++i) aq(i, j) = y[i];
+  }
+  Matrix t = MatTMul(q, aq);
+  auto eig = JacobiEigen(t);
+  if (!eig.ok()) return eig.status();
+  const EigenDecomposition& dec = eig.value();
+  Matrix ritz = MatMul(q, dec.vectors);
+
+  EigenPairs out;
+  out.iterations = iter;
+  out.values.assign(dec.values.begin(), dec.values.begin() + r);
+  out.vectors.Resize(n, r);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < r; ++j) out.vectors(i, j) = ritz(i, j);
+  if (!converged) {
+    // Not an error for our use cases: spectral *initialization* tolerates
+    // approximate eigenvectors. The caller can inspect `iterations`.
+  }
+  return out;
+}
+
+}  // namespace tcss

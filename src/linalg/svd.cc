@@ -1,0 +1,116 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/subspace_iteration.h"
+
+namespace tcss {
+namespace {
+
+// Gram operator (A^T A or A A^T, whichever is smaller) of an implicit
+// matrix.
+class ImplicitGram : public LinearOperator {
+ public:
+  ImplicitGram(const MatVecOperator* op, bool use_cols)
+      : op_(op), use_cols_(use_cols),
+        tmp_(use_cols ? op->Rows() : op->Cols()) {}
+
+  size_t Dim() const override {
+    return use_cols_ ? op_->Cols() : op_->Rows();
+  }
+
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override {
+    if (use_cols_) {
+      // y = A^T (A x)
+      op_->Apply(x, &tmp_);
+      op_->ApplyTranspose(tmp_, y);
+    } else {
+      // y = A (A^T x)
+      op_->ApplyTranspose(x, &tmp_);
+      op_->Apply(tmp_, y);
+    }
+  }
+
+ private:
+  const MatVecOperator* op_;
+  bool use_cols_;
+  mutable std::vector<double> tmp_;
+};
+
+// Wraps a dense matrix in the MatVecOperator interface.
+class DenseMatVec : public MatVecOperator {
+ public:
+  explicit DenseMatVec(const Matrix* a) : a_(a) {}
+  size_t Rows() const override { return a_->rows(); }
+  size_t Cols() const override { return a_->cols(); }
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override {
+    *y = MatVec(*a_, x);
+  }
+  void ApplyTranspose(const std::vector<double>& x,
+                      std::vector<double>* y) const override {
+    *y = MatTVec(*a_, x);
+  }
+
+ private:
+  const Matrix* a_;
+};
+
+}  // namespace
+
+Result<TruncatedSvd> ComputeTruncatedSvd(const MatVecOperator& op, size_t r,
+                                         uint64_t seed) {
+  const size_t m = op.Rows();
+  const size_t n = op.Cols();
+  if (r == 0 || r > std::min(m, n)) {
+    return Status::InvalidArgument(
+        StrFormat("TruncatedSvd: r=%zu out of range for %zux%zu", r, m, n));
+  }
+  const bool use_cols = n <= m;  // eigensolve on the smaller Gram side
+  ImplicitGram gram(&op, use_cols);
+  SubspaceIterationOptions sub_opts;
+  sub_opts.seed = seed;
+  auto eig = SubspaceEigen(gram, r, sub_opts);
+  if (!eig.ok()) return eig.status();
+  EigenPairs pairs = eig.MoveValue();
+
+  TruncatedSvd out;
+  out.s.resize(r);
+  for (size_t j = 0; j < r; ++j) {
+    out.s[j] = std::sqrt(std::max(pairs.values[j], 0.0));
+  }
+
+  if (use_cols) {
+    out.v = std::move(pairs.vectors);  // n x r, right singular vectors
+    out.u.Resize(m, r);
+    std::vector<double> x(n), y(m);
+    for (size_t j = 0; j < r; ++j) {
+      for (size_t i = 0; i < n; ++i) x[i] = out.v(i, j);
+      op.Apply(x, &y);
+      const double inv = out.s[j] > 1e-14 ? 1.0 / out.s[j] : 0.0;
+      for (size_t i = 0; i < m; ++i) out.u(i, j) = y[i] * inv;
+    }
+  } else {
+    out.u = std::move(pairs.vectors);  // m x r, left singular vectors
+    out.v.Resize(n, r);
+    std::vector<double> x(m), y(n);
+    for (size_t j = 0; j < r; ++j) {
+      for (size_t i = 0; i < m; ++i) x[i] = out.u(i, j);
+      op.ApplyTranspose(x, &y);
+      const double inv = out.s[j] > 1e-14 ? 1.0 / out.s[j] : 0.0;
+      for (size_t i = 0; i < n; ++i) out.v(i, j) = y[i] * inv;
+    }
+  }
+  return out;
+}
+
+Result<TruncatedSvd> ComputeTruncatedSvd(const Matrix& a, size_t r) {
+  DenseMatVec op(&a);
+  return ComputeTruncatedSvd(op, r);
+}
+
+}  // namespace tcss

@@ -1,0 +1,48 @@
+#ifndef TCSS_LINALG_SVD_H_
+#define TCSS_LINALG_SVD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/linear_operator.h"
+#include "linalg/matrix.h"
+
+namespace tcss {
+
+/// Truncated singular value decomposition A ~= U diag(S) V^T.
+struct TruncatedSvd {
+  Matrix u;                     ///< m x r, orthonormal columns.
+  std::vector<double> s;        ///< r singular values, non-increasing, >= 0.
+  Matrix v;                     ///< n x r, orthonormal columns.
+};
+
+/// Rank-r truncated SVD of a dense matrix, computed through the symmetric
+/// eigendecomposition of the smaller Gram matrix (A^T A or A A^T). Suited
+/// to the tall-skinny / short-fat shapes used in this library. r must not
+/// exceed min(m, n).
+Result<TruncatedSvd> ComputeTruncatedSvd(const Matrix& a, size_t r);
+
+/// Abstract "matrix known through products" interface for sparse SVD:
+/// implement y = A x and y = A^T x and get a truncated SVD without ever
+/// materializing A (used by PureSVD over the sparse user-POI matrix).
+class MatVecOperator {
+ public:
+  virtual ~MatVecOperator() = default;
+  virtual size_t Rows() const = 0;
+  virtual size_t Cols() const = 0;
+  /// y (size Rows) = A x (x size Cols). y is pre-sized; overwrite it.
+  virtual void Apply(const std::vector<double>& x,
+                     std::vector<double>* y) const = 0;
+  /// y (size Cols) = A^T x (x size Rows). y is pre-sized; overwrite it.
+  virtual void ApplyTranspose(const std::vector<double>& x,
+                              std::vector<double>* y) const = 0;
+};
+
+/// Truncated SVD of an implicit matrix via subspace iteration on the Gram
+/// operator of the smaller side.
+Result<TruncatedSvd> ComputeTruncatedSvd(const MatVecOperator& op, size_t r,
+                                         uint64_t seed = 42);
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_SVD_H_

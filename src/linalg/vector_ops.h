@@ -1,0 +1,35 @@
+#ifndef TCSS_LINALG_VECTOR_OPS_H_
+#define TCSS_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tcss {
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// v *= alpha.
+void ScaleVec(double alpha, std::vector<double>* v);
+
+/// Normalizes v to unit Euclidean norm. Returns the original norm
+/// (0 if v was the zero vector, in which case v is left unchanged).
+double Normalize(std::vector<double>* v);
+
+/// Cosine similarity in [-1, 1]; returns 0 if either vector is zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Elementwise product c = a ⊙ b.
+std::vector<double> HadamardVec(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_VECTOR_OPS_H_

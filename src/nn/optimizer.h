@@ -1,0 +1,59 @@
+#ifndef TCSS_NN_OPTIMIZER_H_
+#define TCSS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace tcss::nn {
+
+/// Adam optimizer over all parameters of a store (Kingma & Ba). Matches
+/// the paper's training setup: lr 0.001 with decoupled weight decay.
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    /// Decoupled (AdamW-style) weight decay applied to values.
+    double weight_decay = 0.0;
+  };
+
+  explicit Adam(ParameterStore* store) : Adam(store, Options()) {}
+  Adam(ParameterStore* store, const Options& opts);
+
+  /// Applies one update from the accumulated grads, then zeroes grads.
+  void Step();
+
+  int64_t steps() const { return t_; }
+
+ private:
+  ParameterStore* store_;
+  Options opts_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd {
+ public:
+  struct Options {
+    double lr = 1e-2;
+    double momentum = 0.0;
+  };
+
+  explicit Sgd(ParameterStore* store) : Sgd(store, Options()) {}
+  Sgd(ParameterStore* store, const Options& opts);
+  void Step();
+
+ private:
+  ParameterStore* store_;
+  Options opts_;
+  std::vector<Matrix> velocity_;
+};
+
+}  // namespace tcss::nn
+
+#endif  // TCSS_NN_OPTIMIZER_H_

@@ -1,0 +1,65 @@
+#ifndef TCSS_NN_PARAMETER_H_
+#define TCSS_NN_PARAMETER_H_
+
+#include <deque>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace tcss::nn {
+
+/// A trainable tensor: value plus accumulated gradient. Owned by a
+/// ParameterStore; optimizers update `value` in place from `grad`.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Owns parameters with stable addresses (deque-backed). A model creates
+/// all its parameters here; the optimizer iterates the store.
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  /// Creates a parameter initialized with i.i.d. N(0, stddev^2) entries.
+  Parameter* Create(const std::string& name, size_t rows, size_t cols,
+                    Rng* rng, double stddev) {
+    params_.push_back(Parameter{name, Matrix::GaussianRandom(rows, cols, rng,
+                                                             stddev),
+                                Matrix(rows, cols)});
+    return &params_.back();
+  }
+
+  /// Creates a parameter with an explicit initial value.
+  Parameter* Create(const std::string& name, Matrix init) {
+    Matrix grad(init.rows(), init.cols());
+    params_.push_back(Parameter{name, std::move(init), std::move(grad)});
+    return &params_.back();
+  }
+
+  size_t size() const { return params_.size(); }
+  Parameter* at(size_t idx) { return &params_[idx]; }
+
+  void ZeroGrads() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  /// Total number of scalar weights, for model summaries.
+  size_t NumWeights() const {
+    size_t n = 0;
+    for (const auto& p : params_) n += p.value.size();
+    return n;
+  }
+
+ private:
+  std::deque<Parameter> params_;
+};
+
+}  // namespace tcss::nn
+
+#endif  // TCSS_NN_PARAMETER_H_

@@ -1,0 +1,26 @@
+#include "tensor/dense_tensor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcss {
+
+DenseTensor DenseTensor::FromSparse(const SparseTensor& sp) {
+  DenseTensor t(sp.dim_i(), sp.dim_j(), sp.dim_k());
+  for (const auto& e : sp.entries()) t.at(e.i, e.j, e.k) = e.value;
+  return t;
+}
+
+double DenseTensor::FrobeniusDistance(const DenseTensor& other) const {
+  TCSS_CHECK(dim_i_ == other.dim_i_ && dim_j_ == other.dim_j_ &&
+             dim_k_ == other.dim_k_);
+  double s = 0.0;
+  for (size_t idx = 0; idx < data_.size(); ++idx) {
+    double d = data_[idx] - other.data_[idx];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace tcss

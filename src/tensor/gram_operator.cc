@@ -1,0 +1,64 @@
+#include "tensor/gram_operator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "tensor/matricization.h"
+
+namespace tcss {
+
+ModeGramOperator::ModeGramOperator(const SparseTensor& x, int mode,
+                                   bool zero_diagonal)
+    : dim_(x.dim(mode)), zero_diagonal_(zero_diagonal) {
+  TCSS_CHECK(x.finalized()) << "ModeGramOperator requires a finalized tensor";
+  const auto& entries = x.entries();
+  const size_t n = entries.size();
+
+  // Sort nonzero ids by unfolding column to form column groups.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<size_t> col(n);
+  for (size_t t = 0; t < n; ++t) col[t] = UnfoldCol(x, entries[t], mode);
+  std::sort(order.begin(), order.end(),
+            [&col](size_t a, size_t b) { return col[a] < col[b]; });
+
+  row_.resize(n);
+  val_.resize(n);
+  col_start_.clear();
+  diag_.assign(dim_, 0.0);
+  size_t prev_col = static_cast<size_t>(-1);
+  for (size_t t = 0; t < n; ++t) {
+    const TensorEntry& e = entries[order[t]];
+    if (col[order[t]] != prev_col) {
+      col_start_.push_back(t);
+      prev_col = col[order[t]];
+    }
+    row_[t] = static_cast<uint32_t>(UnfoldRow(e, mode));
+    val_[t] = e.value;
+    diag_[row_[t]] += e.value * e.value;
+  }
+  col_start_.push_back(n);
+}
+
+void ModeGramOperator::Apply(const std::vector<double>& x,
+                             std::vector<double>* y) const {
+  TCSS_CHECK(x.size() == dim_);
+  y->assign(dim_, 0.0);
+  // For each unfolding column c with nonzeros {(row_t, val_t)}:
+  //   s_c = sum_t val_t * x[row_t]   (this is (A^T x)_c)
+  //   y[row_t] += val_t * s_c        (accumulating A (A^T x))
+  for (size_t g = 0; g + 1 < col_start_.size(); ++g) {
+    const size_t b = col_start_[g];
+    const size_t e = col_start_[g + 1];
+    double s = 0.0;
+    for (size_t t = b; t < e; ++t) s += val_[t] * x[row_[t]];
+    if (s == 0.0) continue;
+    for (size_t t = b; t < e; ++t) (*y)[row_[t]] += val_[t] * s;
+  }
+  if (zero_diagonal_) {
+    for (size_t i = 0; i < dim_; ++i) (*y)[i] -= diag_[i] * x[i];
+  }
+}
+
+}  // namespace tcss

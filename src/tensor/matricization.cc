@@ -1,0 +1,48 @@
+#include "tensor/matricization.h"
+
+namespace tcss {
+
+size_t UnfoldRow(const TensorEntry& e, int mode) {
+  switch (mode) {
+    case 0:
+      return e.i;
+    case 1:
+      return e.j;
+    default:
+      return e.k;
+  }
+}
+
+size_t UnfoldCol(const SparseTensor& x, const TensorEntry& e, int mode) {
+  switch (mode) {
+    case 0:
+      return static_cast<size_t>(e.j) * x.dim_k() + e.k;
+    case 1:
+      return static_cast<size_t>(e.i) * x.dim_k() + e.k;
+    default:
+      return static_cast<size_t>(e.i) * x.dim_j() + e.j;
+  }
+}
+
+Matrix Unfold(const SparseTensor& x, int mode) {
+  size_t rows = x.dim(mode);
+  size_t cols = 0;
+  switch (mode) {
+    case 0:
+      cols = x.dim_j() * x.dim_k();
+      break;
+    case 1:
+      cols = x.dim_i() * x.dim_k();
+      break;
+    default:
+      cols = x.dim_i() * x.dim_j();
+      break;
+  }
+  Matrix m(rows, cols);
+  for (const auto& e : x.entries()) {
+    m(UnfoldRow(e, mode), UnfoldCol(x, e, mode)) = e.value;
+  }
+  return m;
+}
+
+}  // namespace tcss

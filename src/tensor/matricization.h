@@ -1,0 +1,25 @@
+#ifndef TCSS_TENSOR_MATRICIZATION_H_
+#define TCSS_TENSOR_MATRICIZATION_H_
+
+#include "linalg/matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Dense mode-n matricization (unfolding) of a sparse tensor, mainly for
+/// tests and small reference computations. Layouts follow the paper's
+/// Section IV-A:
+///   mode 0: A in R^{I x (J*K)}, A[i, j*K + k]         = X[i,j,k]
+///   mode 1: B in R^{J x (I*K)}, B[j, i*K + k]         = X[i,j,k]
+///   mode 2: C in R^{K x (I*J)}, C[k, i*J + j]         = X[i,j,k]
+Matrix Unfold(const SparseTensor& x, int mode);
+
+/// Row index of entry (i,j,k) in the mode-n unfolding.
+size_t UnfoldRow(const TensorEntry& e, int mode);
+
+/// Column index of entry (i,j,k) in the mode-n unfolding of tensor `x`.
+size_t UnfoldCol(const SparseTensor& x, const TensorEntry& e, int mode);
+
+}  // namespace tcss
+
+#endif  // TCSS_TENSOR_MATRICIZATION_H_

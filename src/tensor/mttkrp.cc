@@ -1,0 +1,23 @@
+#include "tensor/mttkrp.h"
+
+#include "common/logging.h"
+
+namespace tcss {
+
+Matrix Mttkrp(const SparseTensor& x, const Matrix factors[3], int mode) {
+  TCSS_CHECK(mode >= 0 && mode <= 2);
+  const size_t r = factors[(mode + 1) % 3].cols();
+  TCSS_CHECK(factors[(mode + 2) % 3].cols() == r);
+  Matrix out(x.dim(mode), r);
+  for (const auto& e : x.entries()) {
+    const uint32_t idx[3] = {e.i, e.j, e.k};
+    const double* a = factors[(mode + 1) % 3].row(idx[(mode + 1) % 3]);
+    const double* b = factors[(mode + 2) % 3].row(idx[(mode + 2) % 3]);
+    double* dst = out.row(idx[mode]);
+    const double v = e.value;
+    for (size_t t = 0; t < r; ++t) dst[t] += v * a[t] * b[t];
+  }
+  return out;
+}
+
+}  // namespace tcss

@@ -1,0 +1,21 @@
+#ifndef TCSS_TENSOR_MTTKRP_H_
+#define TCSS_TENSOR_MTTKRP_H_
+
+#include "linalg/matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Sparse MTTKRP (matricized tensor times Khatri-Rao product), the core
+/// kernel of CP-ALS. For mode 0 it computes
+///   M[i, :] = sum_{(i,j,k) in nnz} X[i,j,k] * (B[j, :] ⊙ C[k, :])
+/// where B and C are the factor matrices of the other two modes (J x r and
+/// K x r). Analogous contractions for modes 1 and 2. O(nnz * r).
+///
+/// `factors` are the three factor matrices {U1 (I x r), U2 (J x r),
+/// U3 (K x r)}; the factor for `mode` itself is not read.
+Matrix Mttkrp(const SparseTensor& x, const Matrix factors[3], int mode);
+
+}  // namespace tcss
+
+#endif  // TCSS_TENSOR_MTTKRP_H_

@@ -1,0 +1,102 @@
+#include "tensor/sparse_tensor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tcss {
+
+size_t SparseTensor::dim(int mode) const {
+  switch (mode) {
+    case 0:
+      return dim_i_;
+    case 1:
+      return dim_j_;
+    default:
+      return dim_k_;
+  }
+}
+
+double SparseTensor::NumCells() const {
+  return static_cast<double>(dim_i_) * static_cast<double>(dim_j_) *
+         static_cast<double>(dim_k_);
+}
+
+double SparseTensor::Density() const {
+  double cells = NumCells();
+  return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+Status SparseTensor::Add(uint32_t i, uint32_t j, uint32_t k, double value) {
+  if (finalized_) {
+    return Status::FailedPrecondition("SparseTensor: Add after Finalize");
+  }
+  if (i >= dim_i_ || j >= dim_j_ || k >= dim_k_) {
+    return Status::OutOfRange(
+        StrFormat("SparseTensor: (%u,%u,%u) outside %zux%zux%zu", i, j, k,
+                  dim_i_, dim_j_, dim_k_));
+  }
+  entries_.push_back({i, j, k, value});
+  return Status::OK();
+}
+
+Status SparseTensor::Finalize(bool binary) {
+  if (finalized_) {
+    return Status::FailedPrecondition("SparseTensor: double Finalize");
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const TensorEntry& a, const TensorEntry& b) {
+              if (a.i != b.i) return a.i < b.i;
+              if (a.j != b.j) return a.j < b.j;
+              return a.k < b.k;
+            });
+  // Coalesce duplicates in place.
+  size_t w = 0;
+  for (size_t r = 0; r < entries_.size(); ++r) {
+    if (w > 0 && entries_[w - 1].i == entries_[r].i &&
+        entries_[w - 1].j == entries_[r].j &&
+        entries_[w - 1].k == entries_[r].k) {
+      entries_[w - 1].value += entries_[r].value;
+    } else {
+      entries_[w++] = entries_[r];
+    }
+  }
+  entries_.resize(w);
+  if (binary) {
+    for (auto& e : entries_) e.value = e.value != 0.0 ? 1.0 : 0.0;
+    // Drop explicit zeros that a binary clamp may have produced.
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [](const TensorEntry& e) {
+                                    return e.value == 0.0;
+                                  }),
+                   entries_.end());
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+double SparseTensor::Get(uint32_t i, uint32_t j, uint32_t k) const {
+  TensorEntry probe{i, j, k, 0.0};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), probe,
+                             [](const TensorEntry& a, const TensorEntry& b) {
+                               if (a.i != b.i) return a.i < b.i;
+                               if (a.j != b.j) return a.j < b.j;
+                               return a.k < b.k;
+                             });
+  if (it != entries_.end() && it->i == i && it->j == j && it->k == k) {
+    return it->value;
+  }
+  return 0.0;
+}
+
+bool SparseTensor::Contains(uint32_t i, uint32_t j, uint32_t k) const {
+  return Get(i, j, k) != 0.0;
+}
+
+double SparseTensor::SquaredSum() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.value * e.value;
+  return s;
+}
+
+}  // namespace tcss

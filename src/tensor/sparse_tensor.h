@@ -1,0 +1,76 @@
+#ifndef TCSS_TENSOR_SPARSE_TENSOR_H_
+#define TCSS_TENSOR_SPARSE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcss {
+
+/// One nonzero of an order-3 tensor.
+struct TensorEntry {
+  uint32_t i;  ///< mode-1 index (user)
+  uint32_t j;  ///< mode-2 index (POI)
+  uint32_t k;  ///< mode-3 index (time bin)
+  double value;
+
+  bool operator==(const TensorEntry& o) const {
+    return i == o.i && j == o.j && k == o.k && value == o.value;
+  }
+};
+
+/// Order-3 sparse tensor in coordinate (COO) format, stored
+/// structure-of-arrays and kept sorted lexicographically by (i, j, k).
+/// Duplicate coordinates added before Finalize() are coalesced (summed,
+/// or clamped to 1 for binary tensors).
+///
+/// This is the check-in tensor X of the paper: X[i,j,k] = 1 iff user i
+/// checked in at POI j during time bin k.
+class SparseTensor {
+ public:
+  SparseTensor() : dim_i_(0), dim_j_(0), dim_k_(0) {}
+  SparseTensor(size_t dim_i, size_t dim_j, size_t dim_k)
+      : dim_i_(dim_i), dim_j_(dim_j), dim_k_(dim_k) {}
+
+  size_t dim(int mode) const;  ///< mode in {0,1,2}
+  size_t dim_i() const { return dim_i_; }
+  size_t dim_j() const { return dim_j_; }
+  size_t dim_k() const { return dim_k_; }
+
+  size_t nnz() const { return entries_.size(); }
+  bool finalized() const { return finalized_; }
+
+  /// Total number of cells I*J*K.
+  double NumCells() const;
+  /// nnz / (I*J*K).
+  double Density() const;
+
+  /// Appends an entry; indices must be in range. Invalid after Finalize().
+  Status Add(uint32_t i, uint32_t j, uint32_t k, double value = 1.0);
+
+  /// Sorts entries and coalesces duplicates. If `binary`, coalesced values
+  /// are clamped to 1 (a user visiting the same POI twice in the same bin
+  /// still yields X=1, per the paper's problem formulation).
+  Status Finalize(bool binary = true);
+
+  /// Value at (i,j,k); 0 for unobserved cells. Requires finalized().
+  double Get(uint32_t i, uint32_t j, uint32_t k) const;
+
+  /// True iff (i,j,k) is an observed (nonzero) entry. Requires finalized().
+  bool Contains(uint32_t i, uint32_t j, uint32_t k) const;
+
+  const std::vector<TensorEntry>& entries() const { return entries_; }
+
+  /// Sum of squared values (the constant term of the full MSE loss).
+  double SquaredSum() const;
+
+ private:
+  size_t dim_i_, dim_j_, dim_k_;
+  std::vector<TensorEntry> entries_;
+  bool finalized_ = false;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_TENSOR_SPARSE_TENSOR_H_

@@ -1,0 +1,160 @@
+// Tests for the user-facing convenience APIs: model persistence and
+// top-K recommendation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/model_io.h"
+#include "core/recommend.h"
+#include "core/tcss_model.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+
+namespace tcss {
+namespace {
+
+FactorModel RandomModel(size_t I, size_t J, size_t K, size_t r,
+                        uint64_t seed) {
+  Rng rng(seed);
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(I, r, &rng, 0.5);
+  m.u2 = Matrix::GaussianRandom(J, r, &rng, 0.5);
+  m.u3 = Matrix::GaussianRandom(K, r, &rng, 0.5);
+  m.h.resize(r);
+  for (auto& h : m.h) h = rng.Gaussian();
+  return m;
+}
+
+TEST(ModelIoTest, RoundTripIsExact) {
+  FactorModel m = RandomModel(7, 5, 12, 4, 1);
+  std::string path = ::testing::TempDir() + "/tcss_model_roundtrip.txt";
+  ASSERT_TRUE(SaveFactorModel(m, path).ok());
+  auto loaded = LoadFactorModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const FactorModel& l = loaded.value();
+  EXPECT_EQ(l.rank(), 4u);
+  // Hex-float serialization must round-trip bit-exactly.
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(l.u1, m.u1), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(l.u2, m.u2), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(l.u3, m.u3), 0.0);
+  for (size_t t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(l.h[t], m.h[t]);
+  EXPECT_DOUBLE_EQ(l.Predict(3, 2, 9), m.Predict(3, 2, 9));
+}
+
+TEST(ModelIoTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(LoadFactorModel("/nonexistent/model.txt").ok());
+  std::string path = ::testing::TempDir() + "/tcss_model_corrupt.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("NOTTCSS\n1 1 1 1\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadFactorModel(path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("TCSSv1\n3 3 3 2\n0x1p+0 0x1p+0\n0x1p+0\n", f);  // truncated
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadFactorModel(path).ok());
+}
+
+TEST(ModelIoTest, TrainedModelSurvivesPersistence) {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, 0.2));
+  ASSERT_TRUE(data.ok());
+  auto split = SplitCheckins(data.value(), 0.8, 1);
+  auto train = BuildCheckinTensor(data.value(), split.train,
+                                  TimeGranularity::kMonthOfYear);
+  ASSERT_TRUE(train.ok());
+  TcssConfig cfg;
+  cfg.epochs = 30;
+  TcssModel model(cfg);
+  ASSERT_TRUE(model
+                  .Fit({&data.value(), &train.value(),
+                        TimeGranularity::kMonthOfYear, 1})
+                  .ok());
+  std::string path = ::testing::TempDir() + "/tcss_trained_model.txt";
+  ASSERT_TRUE(SaveFactorModel(model.factors(), path).ok());
+  auto loaded = LoadFactorModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().Predict(2, 3, 4), model.Score(2, 3, 4));
+}
+
+// Recommender backed by a fixed score table, for deterministic top-K
+// assertions.
+class TableRecommender : public Recommender {
+ public:
+  explicit TableRecommender(std::vector<double> scores)
+      : scores_(std::move(scores)) {}
+  std::string name() const override { return "table"; }
+  Status Fit(const TrainContext&) override { return Status::OK(); }
+  double Score(uint32_t, uint32_t j, uint32_t) const override {
+    return scores_[j];
+  }
+
+ private:
+  std::vector<double> scores_;
+};
+
+TEST(TopKTest, ReturnsSortedTopK) {
+  TableRecommender model({0.1, 0.9, 0.5, 0.7, 0.3});
+  TopKOptions opts;
+  opts.k = 3;
+  auto recs = TopKRecommendations(model, 0, 0, 5, opts);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].poi, 1u);
+  EXPECT_EQ(recs[1].poi, 3u);
+  EXPECT_EQ(recs[2].poi, 2u);
+  EXPECT_DOUBLE_EQ(recs[0].score, 0.9);
+}
+
+TEST(TopKTest, KLargerThanCatalogue) {
+  TableRecommender model({0.2, 0.1});
+  TopKOptions opts;
+  opts.k = 10;
+  auto recs = TopKRecommendations(model, 0, 0, 2, opts);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].poi, 0u);
+}
+
+TEST(TopKTest, ExcludesVisitedPois) {
+  TableRecommender model({0.9, 0.8, 0.7, 0.6});
+  SparseTensor train(2, 4, 2);
+  ASSERT_TRUE(train.Add(0, 0, 0).ok());  // user 0 visited poi 0
+  ASSERT_TRUE(train.Add(1, 1, 0).ok());  // other user's visit: irrelevant
+  ASSERT_TRUE(train.Finalize().ok());
+  TopKOptions opts;
+  opts.k = 2;
+  opts.exclude_visited = true;
+  auto recs = TopKRecommendations(model, 0, 0, 4, opts, &train);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].poi, 1u);  // poi 0 excluded for user 0
+  EXPECT_EQ(recs[1].poi, 2u);
+}
+
+TEST(TopKTest, CandidateRestriction) {
+  TableRecommender model({0.9, 0.8, 0.7, 0.6});
+  TopKOptions opts;
+  opts.k = 2;
+  opts.candidates = {3, 2, 99};  // 99 out of range, ignored
+  auto recs = TopKRecommendations(model, 0, 0, 4, opts);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].poi, 2u);
+  EXPECT_EQ(recs[1].poi, 3u);
+}
+
+TEST(TopKTest, TiesBrokenByPoiId) {
+  TableRecommender model({0.5, 0.5, 0.5});
+  TopKOptions opts;
+  opts.k = 3;
+  auto recs = TopKRecommendations(model, 0, 0, 3, opts);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].poi, 0u);
+  EXPECT_EQ(recs[1].poi, 1u);
+  EXPECT_EQ(recs[2].poi, 2u);
+}
+
+}  // namespace
+}  // namespace tcss

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hausdorff_loss.h"
+#include "data/time_binning.h"
+#include "geo/haversine.h"
+
+namespace tcss {
+namespace {
+
+// Two users who are friends; user 0's candidate geometry is what the
+// Hausdorff head sees. POIs laid out on a line with known distances.
+struct Fixture {
+  Dataset data;
+  SparseTensor train;
+
+  static Fixture Make(bool user1_visits_far_poi = false) {
+    SocialGraph social(2);
+    EXPECT_TRUE(social.AddEdge(0, 1).ok());
+    EXPECT_TRUE(social.Finalize().ok());
+    // POIs spaced ~111 km apart along a meridian.
+    std::vector<Poi> pois = {
+        {{10.0, 20.0}, PoiCategory::kFood},
+        {{11.0, 20.0}, PoiCategory::kFood},
+        {{12.0, 20.0}, PoiCategory::kShopping},
+        {{13.0, 20.0}, PoiCategory::kOutdoor},
+    };
+    Dataset d(2, pois, std::move(social));
+    // User 0 visits POI 0; user 1 (the friend) visits POI 1 (and 3 if
+    // requested).
+    EXPECT_TRUE(d.AddCheckIn(0, 0, FromCivil(2011, 1, 5)).ok());
+    EXPECT_TRUE(d.AddCheckIn(1, 1, FromCivil(2011, 2, 5)).ok());
+    if (user1_visits_far_poi) {
+      EXPECT_TRUE(d.AddCheckIn(1, 3, FromCivil(2011, 3, 5)).ok());
+    }
+    SparseTensor t(2, 4, 12);
+    for (const auto& c : d.checkins()) {
+      EXPECT_TRUE(
+          t.Add(c.user, c.poi, TimeBin(c.timestamp,
+                                       TimeGranularity::kMonthOfYear))
+              .ok());
+    }
+    EXPECT_TRUE(t.Finalize().ok());
+    Fixture f{std::move(d), std::move(t)};
+    return f;
+  }
+};
+
+TcssConfig SmallConfig() {
+  TcssConfig cfg;
+  cfg.rank = 2;
+  cfg.hausdorff_pool = 0;  // all POIs (paper-exact)
+  cfg.max_friend_pois = 0;
+  cfg.use_location_entropy = false;
+  return cfg;
+}
+
+// A model whose predictions we can pin: u1 row picks the user, u2 row the
+// POI, u3 constant over time. Setting entries of u2 controls p_{i,j}.
+FactorModel PinnedModel(size_t J, double yes_value) {
+  FactorModel m;
+  m.u1 = Matrix(2, 1, 1.0);
+  m.u2 = Matrix(J, 1, 0.0);
+  m.u3 = Matrix(12, 1, 1.0);
+  m.h = {yes_value};
+  return m;
+}
+
+TEST(SocialHausdorffTest, EligibleUsersAndFriendSets) {
+  Fixture f = Fixture::Make();
+  SocialHausdorffLoss loss(f.data, f.train, SmallConfig());
+  EXPECT_EQ(loss.num_eligible_users(), 2u);
+  // N(v_0) = user 1's POIs = {1}; N(v_1) = {0}.
+  EXPECT_EQ(loss.friend_pois(0), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(loss.friend_pois(1), (std::vector<uint32_t>{0}));
+  // Pool 0 => all POIs are candidates.
+  EXPECT_EQ(loss.candidate_pool(0).size(), 4u);
+  EXPECT_GT(loss.d_max(), 300.0);  // ~333 km between POI 0 and 3
+}
+
+TEST(SocialHausdorffTest, DeterministicCaseMatchesHandComputedAhd) {
+  // With p in {0, 1} and alpha -> -inf the loss reduces to the plain
+  // average Hausdorff distance (the paper's Eq 9/10 remark). We verify
+  // against a hand-computed AHD in the deterministic regime with a very
+  // negative alpha.
+  Fixture f = Fixture::Make();
+  TcssConfig cfg = SmallConfig();
+  cfg.alpha = -40.0;  // near-exact min
+  SocialHausdorffLoss loss(f.data, f.train, cfg);
+
+  // Model: user 0 visits POI 0 with p ~ 1, everything else ~ 0.
+  FactorModel m = PinnedModel(4, 1.0);
+  m.u2(0, 0) = 1.0 - 1e-9;  // p(0,0) ~ 1 (y clamps just below 1)
+
+  // Hand computation for user 0 (S = {POI 0}, N = {POI 1}):
+  //   term1 = d(0, 1); term2 = M_alpha over S of f, f(0) = d(0,1).
+  const double d01 = HaversineKm(f.data.poi(0).location,
+                                 f.data.poi(1).location);
+  const double got = loss.ComputeForUser(m, 0, nullptr, 0.0);
+  // term1 uses A + eps normalization with A = sum p ~ 1 + 3*0 = 1.
+  // term2 soft-min over 4 candidates: f(0)=d01 (p=1), f(j)=d_max for the
+  // p=0 POIs, so M_-40 ~ (1/4 sum f^-40)^(-1/40) ~ d01 * 4^(1/40).
+  const double m_alpha = d01 * std::pow(4.0, 1.0 / 40.0);
+  EXPECT_NEAR(got, d01 + m_alpha, 0.05 * (d01 + m_alpha));
+}
+
+TEST(SocialHausdorffTest, FarPredictionsArePenalizedMore) {
+  Fixture f = Fixture::Make();
+  TcssConfig cfg = SmallConfig();
+  SocialHausdorffLoss loss(f.data, f.train, cfg);
+  // Case A: user 0 predicted near the friend's POI (POI 1).
+  FactorModel near_model = PinnedModel(4, 1.0);
+  near_model.u2(1, 0) = 0.9;
+  // Case B: same mass but on the far POI 3.
+  FactorModel far_model = PinnedModel(4, 1.0);
+  far_model.u2(3, 0) = 0.9;
+  EXPECT_LT(loss.ComputeForUser(near_model, 0, nullptr, 0.0),
+            loss.ComputeForUser(far_model, 0, nullptr, 0.0));
+}
+
+TEST(SocialHausdorffTest, GradientMatchesNumerical) {
+  Fixture f = Fixture::Make(/*user1_visits_far_poi=*/true);
+  TcssConfig cfg = SmallConfig();
+  cfg.rank = 2;
+  SocialHausdorffLoss loss(f.data, f.train, cfg);
+  Rng rng(3);
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(2, 2, &rng, 0.4);
+  m.u2 = Matrix::GaussianRandom(4, 2, &rng, 0.4);
+  m.u3 = Matrix::GaussianRandom(12, 2, &rng, 0.4);
+  m.h = {0.8, 1.2};
+
+  FactorGrads g(m);
+  g.Zero();
+  double base = 0.0;
+  for (uint32_t u = 0; u < 2; ++u) {
+    base += loss.ComputeForUser(m, u, &g, 1.0);
+  }
+  auto full = [&]() {
+    double s = 0.0;
+    for (uint32_t u = 0; u < 2; ++u) s += loss.ComputeForUser(m, u, nullptr, 0.0);
+    return s;
+  };
+  (void)base;
+  const double eps = 1e-6;
+  auto check = [&](double* param, double analytic, const char* what) {
+    const double orig = *param;
+    *param = orig + eps;
+    const double up = full();
+    *param = orig - eps;
+    const double down = full();
+    *param = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic, numeric,
+                2e-3 * std::max(1.0, std::fabs(numeric)))
+        << what;
+  };
+  for (size_t i = 0; i < m.u1.size(); ++i) {
+    check(m.u1.data() + i, g.u1.data()[i], "u1");
+  }
+  for (size_t i = 0; i < m.u2.size(); ++i) {
+    check(m.u2.data() + i, g.u2.data()[i], "u2");
+  }
+  for (size_t i = 0; i < m.u3.size(); ++i) {
+    check(m.u3.data() + i, g.u3.data()[i], "u3");
+  }
+  for (size_t t = 0; t < m.h.size(); ++t) check(&m.h[t], g.h[t], "h");
+}
+
+TEST(SocialHausdorffTest, GradScaleScalesGradients) {
+  Fixture f = Fixture::Make();
+  SocialHausdorffLoss loss(f.data, f.train, SmallConfig());
+  Rng rng(4);
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(2, 2, &rng, 0.4);
+  m.u2 = Matrix::GaussianRandom(4, 2, &rng, 0.4);
+  m.u3 = Matrix::GaussianRandom(12, 2, &rng, 0.4);
+  m.h = {1.0, 1.0};
+  FactorGrads g1(m), g2(m);
+  g1.Zero();
+  g2.Zero();
+  (void)loss.ComputeForUser(m, 0, &g1, 1.0);
+  (void)loss.ComputeForUser(m, 0, &g2, 2.5);
+  Matrix scaled = g1.u2;
+  scaled.Scale(2.5);
+  EXPECT_LT(MaxAbsDiff(scaled, g2.u2), 1e-10);
+}
+
+TEST(SocialHausdorffTest, SelfModeUsesOwnPois) {
+  Fixture f = Fixture::Make();
+  TcssConfig cfg = SmallConfig();
+  cfg.hausdorff = HausdorffMode::kSelf;
+  SocialHausdorffLoss loss(f.data, f.train, cfg);
+  EXPECT_EQ(loss.friend_pois(0), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(loss.friend_pois(1), (std::vector<uint32_t>{1}));
+}
+
+TEST(SocialHausdorffTest, EntropyWeightsReduceLossOnPopularPois) {
+  // Making the friend's POI popular (visited by everyone) lowers e_j and
+  // thus the penalty contribution of distances to it.
+  SocialGraph social(3);
+  ASSERT_TRUE(social.AddEdge(0, 1).ok());
+  ASSERT_TRUE(social.Finalize().ok());
+  std::vector<Poi> pois = {{{10, 20}, PoiCategory::kFood},
+                           {{11, 20}, PoiCategory::kFood}};
+  Dataset d(3, pois, std::move(social));
+  ASSERT_TRUE(d.AddCheckIn(0, 0, FromCivil(2011, 1, 1)).ok());
+  ASSERT_TRUE(d.AddCheckIn(1, 1, FromCivil(2011, 2, 1)).ok());
+  ASSERT_TRUE(d.AddCheckIn(2, 1, FromCivil(2011, 3, 1)).ok());  // popular POI 1
+  SparseTensor t(3, 2, 12);
+  for (const auto& c : d.checkins()) {
+    ASSERT_TRUE(
+        t.Add(c.user, c.poi,
+              TimeBin(c.timestamp, TimeGranularity::kMonthOfYear))
+            .ok());
+  }
+  ASSERT_TRUE(t.Finalize().ok());
+
+  TcssConfig with, without;
+  with = SmallConfig();
+  with.use_location_entropy = true;
+  without = SmallConfig();
+  without.use_location_entropy = false;
+  SocialHausdorffLoss weighted(d, t, with);
+  SocialHausdorffLoss unweighted(d, t, without);
+  // POI 1 has entropy log 2 -> weight 0.5 < 1.
+  EXPECT_NEAR(weighted.entropy_weights()[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(unweighted.entropy_weights()[1], 1.0);
+
+  FactorModel m = PinnedModel(2, 1.0);
+  m.u2(0, 0) = 0.7;
+  m.u2(1, 0) = 0.2;
+  EXPECT_LT(weighted.ComputeForUser(m, 0, nullptr, 0.0),
+            unweighted.ComputeForUser(m, 0, nullptr, 0.0));
+}
+
+TEST(SocialHausdorffTest, ComputeWithGradsExtrapolates) {
+  Fixture f = Fixture::Make();
+  TcssConfig cfg = SmallConfig();
+  cfg.hausdorff_users_per_epoch = 1;  // half the eligible users per epoch
+  SocialHausdorffLoss loss(f.data, f.train, cfg);
+  FactorModel m = PinnedModel(4, 1.0);
+  m.u2(0, 0) = 0.5;
+  m.u2(1, 0) = 0.5;
+  FactorGrads g(m);
+  g.Zero();
+  const double full = loss.ComputeFull(m);
+  // Two minibatch epochs cover both users; their extrapolated sum is 2x
+  // the true per-user values, so the average matches the full loss.
+  const double e1 = loss.ComputeWithGrads(m, 0.1, &g);
+  const double e2 = loss.ComputeWithGrads(m, 0.1, &g);
+  EXPECT_NEAR((e1 + e2) / 2.0, full, 1e-9);
+}
+
+TEST(SocialHausdorffTest, LambdaZeroShortCircuits) {
+  Fixture f = Fixture::Make();
+  SocialHausdorffLoss loss(f.data, f.train, SmallConfig());
+  FactorModel m = PinnedModel(4, 1.0);
+  FactorGrads g(m);
+  g.Zero();
+  EXPECT_DOUBLE_EQ(loss.ComputeWithGrads(m, 0.0, &g), 0.0);
+  EXPECT_DOUBLE_EQ(g.u2.MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcss

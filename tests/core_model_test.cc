@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/tcss_model.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "eval/ranking_protocol.h"
+
+namespace tcss {
+namespace {
+
+struct SmallWorld {
+  Dataset data;
+  SparseTensor train;
+  std::vector<TensorCell> test_cells;
+};
+
+SmallWorld MakeWorld(double scale = 0.22, uint64_t seed = 42) {
+  auto data =
+      GenerateSyntheticLbsn(PresetConfig(SyntheticPreset::kGowallaLike, scale));
+  EXPECT_TRUE(data.ok());
+  TrainTestSplit split = SplitCheckins(data.value(), 0.8, seed);
+  auto train = BuildCheckinTensor(data.value(), split.train,
+                                  TimeGranularity::kMonthOfYear);
+  EXPECT_TRUE(train.ok());
+  return {data.MoveValue(), train.MoveValue(),
+          EventsToCells(split.test, TimeGranularity::kMonthOfYear)};
+}
+
+TcssConfig FastConfig() {
+  TcssConfig cfg;
+  cfg.epochs = 120;
+  cfg.hausdorff_pool = 64;
+  cfg.max_friend_pois = 32;
+  cfg.hausdorff_users_per_epoch = 32;
+  return cfg;
+}
+
+TEST(TcssConfigTest, ValidateCatchesBadValues) {
+  TcssConfig cfg;
+  EXPECT_TRUE(cfg.Validate().empty());
+  cfg.rank = 0;
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg = TcssConfig();
+  cfg.alpha = 0.5;
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg = TcssConfig();
+  cfg.w_pos = 0.01;
+  cfg.w_neg = 0.5;
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg = TcssConfig();
+  EXPECT_NE(cfg.Summary().find("TCSS"), std::string::npos);
+}
+
+TEST(TcssModelTest, FitRejectsNullContextAndDoubleFit) {
+  TcssModel model(FastConfig());
+  EXPECT_FALSE(model.Fit({nullptr, nullptr}).ok());
+  SmallWorld w = MakeWorld();
+  TcssConfig cfg = FastConfig();
+  cfg.epochs = 2;
+  TcssModel m2(cfg);
+  ASSERT_TRUE(
+      m2.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  EXPECT_FALSE(
+      m2.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+}
+
+TEST(TcssModelTest, TrainingReducesLoss) {
+  SmallWorld w = MakeWorld();
+  std::vector<double> l2;
+  TcssModel model(FastConfig());
+  ASSERT_TRUE(model
+                  .FitWithCallback(
+                      {&w.data, &w.train, TimeGranularity::kMonthOfYear, 1},
+                      [&l2](const EpochStats& s, const FactorModel&) {
+                        l2.push_back(s.loss_l2);
+                      })
+                  .ok());
+  ASSERT_EQ(l2.size(), 120u);
+  EXPECT_LT(l2.back(), 0.7 * l2.front());
+}
+
+TEST(TcssModelTest, BeatsChanceByALargeMargin) {
+  SmallWorld w = MakeWorld();
+  TcssModel model(FastConfig());
+  ASSERT_TRUE(
+      model.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  RankingMetrics m = EvaluateRanking(model, w.data.num_pois(), w.test_cells,
+                                     RankingProtocolOptions{});
+  EXPECT_GT(m.hit_at_k, 0.35);  // chance is ~0.10
+  EXPECT_GT(m.mrr, 0.12);       // chance is ~0.05
+}
+
+TEST(TcssModelTest, ScoresObservedAboveUnobserved) {
+  SmallWorld w = MakeWorld();
+  TcssModel model(FastConfig());
+  ASSERT_TRUE(
+      model.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  double pos = 0.0;
+  size_t n = 0;
+  for (const auto& e : w.train.entries()) {
+    pos += model.Score(e.i, e.j, e.k);
+    ++n;
+  }
+  pos /= static_cast<double>(n);
+  Rng rng(5);
+  double neg = 0.0;
+  size_t m = 0;
+  while (m < n) {
+    uint32_t i = static_cast<uint32_t>(rng.UniformInt(w.train.dim_i()));
+    uint32_t j = static_cast<uint32_t>(rng.UniformInt(w.train.dim_j()));
+    uint32_t k = static_cast<uint32_t>(rng.UniformInt(w.train.dim_k()));
+    if (w.train.Contains(i, j, k)) continue;
+    neg += model.Score(i, j, k);
+    ++m;
+  }
+  neg /= static_cast<double>(m);
+  EXPECT_GT(pos, neg + 0.3);
+}
+
+TEST(TcssModelTest, DeterministicForSeedAndConfig) {
+  SmallWorld w = MakeWorld();
+  TcssConfig cfg = FastConfig();
+  cfg.epochs = 20;
+  TcssModel a(cfg), b(cfg);
+  ASSERT_TRUE(a.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  ASSERT_TRUE(b.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  EXPECT_DOUBLE_EQ(a.Score(0, 1, 2), b.Score(0, 1, 2));
+  EXPECT_DOUBLE_EQ(a.Score(3, 4, 5), b.Score(3, 4, 5));
+}
+
+TEST(TcssModelTest, ZeroOutMasksFarPois) {
+  SmallWorld w = MakeWorld();
+  TcssConfig cfg = FastConfig();
+  cfg.epochs = 10;
+  cfg.hausdorff = HausdorffMode::kZeroOut;
+  TcssModel model(cfg);
+  ASSERT_TRUE(
+      model.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  // Some scores must be masked (-1e9) and some not.
+  size_t masked = 0, open = 0;
+  for (uint32_t j = 0; j < w.data.num_pois(); ++j) {
+    if (model.Score(0, j, 0) <= -1e8) {
+      ++masked;
+    } else {
+      ++open;
+    }
+  }
+  EXPECT_GT(masked, 0u);
+  EXPECT_GT(open, 0u);
+}
+
+TEST(TcssModelTest, NameReflectsAblations) {
+  TcssConfig cfg;
+  EXPECT_EQ(TcssModel(cfg).name(), "TCSS");
+  cfg.hausdorff = HausdorffMode::kSelf;
+  EXPECT_NE(TcssModel(cfg).name().find("self"), std::string::npos);
+  cfg = TcssConfig();
+  cfg.init = InitMethod::kRandom;
+  EXPECT_NE(TcssModel(cfg).name().find("rand"), std::string::npos);
+  cfg = TcssConfig();
+  cfg.loss_mode = LossMode::kNegativeSampling;
+  EXPECT_NE(TcssModel(cfg).name().find("neg"), std::string::npos);
+}
+
+TEST(TcssModelTest, TimeFactorSimilarityIsValidCosineMatrix) {
+  SmallWorld w = MakeWorld();
+  TcssConfig cfg = FastConfig();
+  cfg.epochs = 40;
+  TcssModel model(cfg);
+  ASSERT_TRUE(
+      model.Fit({&w.data, &w.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  Matrix sim = model.TimeFactorSimilarity();
+  ASSERT_EQ(sim.rows(), 12u);
+  ASSERT_EQ(sim.cols(), 12u);
+  for (size_t a = 0; a < 12; ++a) {
+    EXPECT_NEAR(sim(a, a), 1.0, 1e-9);
+    for (size_t b = 0; b < 12; ++b) {
+      EXPECT_LE(std::fabs(sim(a, b)), 1.0 + 1e-9);
+      EXPECT_NEAR(sim(a, b), sim(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(TrainerTest, TimeOneLossEpochOrdersAsExpected) {
+  SmallWorld w = MakeWorld(0.22);
+  TcssConfig cfg = FastConfig();
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto naive = trainer.TimeOneLossEpoch(LossMode::kNaive);
+  auto sampling = trainer.TimeOneLossEpoch(LossMode::kNegativeSampling);
+  auto rewritten = trainer.TimeOneLossEpoch(LossMode::kRewritten);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(sampling.ok());
+  ASSERT_TRUE(rewritten.ok());
+  // The rewritten loss (Eq 15) must beat the naive full loss (Eq 14) by a
+  // wide margin; sampling sits in between (Table IV's shape).
+  EXPECT_LT(rewritten.value(), naive.value());
+  EXPECT_LT(rewritten.value() * 2, naive.value());
+}
+
+TEST(TrainerTest, EpochStatsArePopulated) {
+  SmallWorld w = MakeWorld();
+  TcssConfig cfg = FastConfig();
+  cfg.epochs = 3;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  int count = 0;
+  auto trained = trainer.Train([&count](const EpochStats& s,
+                                        const FactorModel& m) {
+    ++count;
+    EXPECT_EQ(s.epoch, count);
+    EXPECT_GT(s.loss_l2, 0.0);
+    EXPECT_GT(s.loss_l1, 0.0);
+    EXPECT_GE(s.seconds, 0.0);
+    EXPECT_EQ(m.rank(), 10u);
+  });
+  ASSERT_TRUE(trained.ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST(TrainerTest, InvalidConfigFailsFast) {
+  SmallWorld w = MakeWorld();
+  TcssConfig cfg;
+  cfg.rank = 0;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+}  // namespace
+}  // namespace tcss

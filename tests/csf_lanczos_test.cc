@@ -1,0 +1,182 @@
+// Tests for the CSF tensor format and the Lanczos eigensolver - the two
+// performance-oriented alternatives to the COO MTTKRP and subspace
+// iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/lanczos.h"
+#include "tensor/csf_tensor.h"
+#include "tensor/gram_operator.h"
+#include "tensor/mttkrp.h"
+
+namespace tcss {
+namespace {
+
+SparseTensor RandomTensor(size_t I, size_t J, size_t K, size_t nnz,
+                          uint64_t seed, bool binary) {
+  SparseTensor t(I, J, K);
+  Rng rng(seed);
+  for (size_t n = 0; n < nnz; ++n) {
+    EXPECT_TRUE(t.Add(rng.UniformInt(I), rng.UniformInt(J), rng.UniformInt(K),
+                      binary ? 1.0 : rng.Uniform(0.1, 2.0))
+                    .ok());
+  }
+  EXPECT_TRUE(t.Finalize(binary).ok());
+  return t;
+}
+
+TEST(CsfTensorTest, StructureCountsAreConsistent) {
+  SparseTensor coo = RandomTensor(10, 8, 6, 120, 1, true);
+  CsfTensor csf(coo);
+  EXPECT_EQ(csf.nnz(), coo.nnz());
+  EXPECT_LE(csf.num_slices(), coo.nnz());
+  EXPECT_LE(csf.num_fibers(), coo.nnz());
+  EXPECT_GE(csf.num_fibers(), csf.num_slices());
+  EXPECT_NEAR(csf.SquaredSum(), coo.SquaredSum(), 1e-12);
+  // Slice ids strictly increasing; fiber ids within a slice increasing
+  // (inherited from the COO sort order).
+  for (size_t s = 1; s < csf.slice_ids().size(); ++s) {
+    EXPECT_LT(csf.slice_ids()[s - 1], csf.slice_ids()[s]);
+  }
+}
+
+class CsfMttkrpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsfMttkrpTest, MatchesCooMttkrp) {
+  Rng rng(100 + GetParam());
+  const size_t I = 4 + rng.UniformInt(12);
+  const size_t J = 4 + rng.UniformInt(12);
+  const size_t K = 3 + rng.UniformInt(10);
+  const size_t nnz = 1 + rng.UniformInt(I * J);
+  const bool binary = GetParam() % 2 == 0;
+  SparseTensor coo = RandomTensor(I, J, K, nnz, 200 + GetParam(), binary);
+  CsfTensor csf(coo);
+  const size_t r = 1 + rng.UniformInt(6);
+  Matrix factors[3] = {Matrix(I, r), Matrix::GaussianRandom(J, r, &rng),
+                       Matrix::GaussianRandom(K, r, &rng)};
+  Matrix coo_out = Mttkrp(coo, factors, 0);
+  Matrix csf_out = csf.MttkrpMode0(factors[1], factors[2]);
+  EXPECT_LT(MaxAbsDiff(coo_out, csf_out), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsfMttkrpTest, ::testing::Range(0, 12));
+
+TEST(CsfTensorTest, EmptyTensor) {
+  SparseTensor coo(3, 3, 3);
+  ASSERT_TRUE(coo.Finalize().ok());
+  CsfTensor csf(coo);
+  EXPECT_EQ(csf.nnz(), 0u);
+  EXPECT_EQ(csf.num_slices(), 0u);
+  Matrix out = csf.MttkrpMode0(Matrix(3, 2, 1.0), Matrix(3, 2, 1.0));
+  EXPECT_DOUBLE_EQ(out.MaxAbs(), 0.0);
+}
+
+Matrix RandomPsd(size_t n, Rng* rng) {
+  Matrix b = Matrix::GaussianRandom(n, n, rng);
+  return MatMulT(b, b);
+}
+
+TEST(LanczosTest, MatchesJacobiOnPsdMatrix) {
+  Rng rng(5);
+  Matrix a = RandomPsd(40, &rng);
+  DenseOperator op(&a);
+  auto lanczos = LanczosEigen(op, 6);
+  ASSERT_TRUE(lanczos.ok()) << lanczos.status().ToString();
+  auto full = JacobiEigen(a);
+  ASSERT_TRUE(full.ok());
+  for (size_t t = 0; t < 6; ++t) {
+    EXPECT_NEAR(lanczos.value().values[t], full.value().values[t],
+                1e-6 * full.value().values[0]);
+  }
+  // Eigenvector residuals ||A v - lambda v|| are small.
+  for (size_t t = 0; t < 6; ++t) {
+    auto v = lanczos.value().vectors.Column(t);
+    auto av = MatVec(a, v);
+    double res = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      const double d = av[i] - lanczos.value().values[t] * v[i];
+      res += d * d;
+    }
+    EXPECT_LT(std::sqrt(res), 1e-5 * full.value().values[0]);
+  }
+}
+
+TEST(LanczosTest, AgreesWithSubspaceIterationOnShiftedGramOperator) {
+  // The zero-diagonal Gram is indefinite; subspace (power) iteration
+  // finds the largest-magnitude eigenvalues, while Lanczos finds the
+  // algebraically largest. After a PSD shift the two semantics coincide
+  // (this is exactly how spectral initialization uses the operator).
+  SparseTensor x = RandomTensor(25, 20, 8, 300, 7, true);
+  ModeGramOperator op(x, 0, /*zero_diagonal=*/true);
+  double sigma = 0.0;
+  for (double d : op.Diagonal()) sigma = std::max(sigma, d);
+  ShiftedOperator shifted(&op, sigma);
+  auto lanczos = LanczosEigen(shifted, 5);
+  auto subspace = SubspaceEigen(shifted, 5);
+  ASSERT_TRUE(lanczos.ok());
+  ASSERT_TRUE(subspace.ok());
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_NEAR(lanczos.value().values[t], subspace.value().values[t],
+                1e-5 * std::max(1.0, std::fabs(subspace.value().values[0])));
+  }
+}
+
+TEST(ShiftedOperatorTest, ShiftsSpectrumNotVectors) {
+  Rng rng(21);
+  Matrix b = Matrix::GaussianRandom(15, 15, &rng);
+  Matrix a = MatMulT(b, b);
+  DenseOperator base(&a);
+  ShiftedOperator shifted(&base, 3.5);
+  auto top_base = LanczosEigen(base, 3);
+  auto top_shift = LanczosEigen(shifted, 3);
+  ASSERT_TRUE(top_base.ok());
+  ASSERT_TRUE(top_shift.ok());
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(top_shift.value().values[t],
+                top_base.value().values[t] + 3.5, 1e-6);
+  }
+}
+
+TEST(LanczosTest, FullDimensionKrylov) {
+  Rng rng(9);
+  Matrix a = RandomPsd(12, &rng);
+  DenseOperator op(&a);
+  LanczosOptions opts;
+  opts.krylov_dim = 12;
+  auto lanczos = LanczosEigen(op, 12, opts);
+  ASSERT_TRUE(lanczos.ok());
+  auto full = JacobiEigen(a);
+  ASSERT_TRUE(full.ok());
+  for (size_t t = 0; t < 12; ++t) {
+    EXPECT_NEAR(lanczos.value().values[t], full.value().values[t], 1e-6);
+  }
+}
+
+TEST(LanczosTest, RejectsBadRank) {
+  Rng rng(11);
+  Matrix a = RandomPsd(5, &rng);
+  DenseOperator op(&a);
+  EXPECT_FALSE(LanczosEigen(op, 0).ok());
+  EXPECT_FALSE(LanczosEigen(op, 6).ok());
+}
+
+TEST(LanczosTest, HandlesLowRankOperator) {
+  // Rank-2 PSD matrix: Lanczos hits an invariant subspace early and must
+  // recover via restart.
+  Rng rng(13);
+  Matrix b = Matrix::GaussianRandom(20, 2, &rng);
+  Matrix a = MatMulT(b, b);
+  DenseOperator op(&a);
+  auto lanczos = LanczosEigen(op, 4);
+  ASSERT_TRUE(lanczos.ok());
+  EXPECT_GT(lanczos.value().values[0], 0.0);
+  EXPECT_GT(lanczos.value().values[1], 0.0);
+  EXPECT_NEAR(lanczos.value().values[2], 0.0, 1e-8);
+  EXPECT_NEAR(lanczos.value().values[3], 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace tcss

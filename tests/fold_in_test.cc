@@ -1,0 +1,165 @@
+// Tests for the fold-in API (new-user embedding) and the extra ranking
+// metrics (NDCG@K, Precision@K).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/fold_in.h"
+#include "core/tcss_model.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "eval/ranking_protocol.h"
+
+namespace tcss {
+namespace {
+
+TEST(MetricsExtraTest, NdcgAndPrecisionValues) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(1.0, 10), 1.0);
+  EXPECT_NEAR(NdcgAtK(3.0, 10), 1.0 / std::log2(4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK(11.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(1.0, 10), 0.1);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(10.0, 10), 0.1);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(10.5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(1.0, 0), 0.0);
+}
+
+TEST(MetricsExtraTest, ProtocolReportsNdcg) {
+  // Oracle scorer -> every rank is 1 -> NDCG 1, Precision 1/K.
+  std::vector<TensorCell> cells = {{0, 5, 0}, {1, 7, 3}};
+  auto score = [&cells](uint32_t i, uint32_t j, uint32_t k) {
+    for (const auto& c : cells) {
+      if (c.i == i && c.j == j && c.k == k) return 1.0;
+    }
+    return 0.0;
+  };
+  RankingProtocolOptions opts;
+  RankingMetrics m = EvaluateRanking(score, 500, cells, opts);
+  EXPECT_NEAR(m.ndcg_at_k, 1.0, 1e-9);
+  EXPECT_NEAR(m.precision_at_k, 0.1, 1e-9);
+}
+
+struct Trained {
+  Dataset data;
+  SparseTensor train;
+  FactorModel model;
+};
+
+Trained TrainSmall() {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, 0.25));
+  EXPECT_TRUE(data.ok());
+  TrainTestSplit split = SplitCheckins(data.value(), 0.8, 11);
+  auto train = BuildCheckinTensor(data.value(), split.train,
+                                  TimeGranularity::kMonthOfYear);
+  EXPECT_TRUE(train.ok());
+  TcssConfig cfg;
+  cfg.epochs = 150;
+  TcssModel model(cfg);
+  EXPECT_TRUE(model
+                  .Fit({&data.value(), &train.value(),
+                        TimeGranularity::kMonthOfYear, 1})
+                  .ok());
+  return {data.MoveValue(), train.MoveValue(), model.factors()};
+}
+
+TEST(FoldInTest, RecoversExistingUserBehaviour) {
+  // Fold in an *existing* user from their own observed cells; the folded
+  // embedding must score that user's held-in cells far above random ones.
+  Trained t = TrainSmall();
+  // Pick the most active user in the train tensor.
+  std::vector<size_t> count(t.train.dim_i(), 0);
+  for (const auto& e : t.train.entries()) ++count[e.i];
+  uint32_t user = 0;
+  for (uint32_t i = 0; i < count.size(); ++i) {
+    if (count[i] > count[user]) user = i;
+  }
+  std::vector<TensorCell> obs;
+  for (const auto& e : t.train.entries()) {
+    if (e.i == user) obs.push_back({e.i, e.j, e.k});
+  }
+  ASSERT_GE(obs.size(), 5u);
+
+  auto folded = FoldInUser(t.model, obs);
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  const auto& u = folded.value();
+  ASSERT_EQ(u.size(), t.model.rank());
+
+  double pos = 0.0;
+  for (const auto& c : obs) pos += FoldInScore(t.model, u, c.j, c.k);
+  pos /= static_cast<double>(obs.size());
+
+  Rng rng(3);
+  double neg = 0.0;
+  size_t n = 0;
+  while (n < obs.size()) {
+    const uint32_t j = static_cast<uint32_t>(rng.UniformInt(t.train.dim_j()));
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(t.train.dim_k()));
+    if (t.train.Contains(user, j, k)) continue;
+    neg += FoldInScore(t.model, u, j, k);
+    ++n;
+  }
+  neg /= static_cast<double>(n);
+  EXPECT_GT(pos, neg + 0.2);
+}
+
+TEST(FoldInTest, FoldedEmbeddingApproximatesTrainedEmbedding) {
+  Trained t = TrainSmall();
+  // For an active user, the folded embedding's predictions should
+  // correlate strongly with the fully trained embedding's predictions.
+  std::vector<size_t> count(t.train.dim_i(), 0);
+  for (const auto& e : t.train.entries()) ++count[e.i];
+  uint32_t user = 0;
+  for (uint32_t i = 0; i < count.size(); ++i) {
+    if (count[i] > count[user]) user = i;
+  }
+  std::vector<TensorCell> obs;
+  for (const auto& e : t.train.entries()) {
+    if (e.i == user) obs.push_back({e.i, e.j, e.k});
+  }
+  auto folded = FoldInUser(t.model, obs);
+  ASSERT_TRUE(folded.ok());
+  // Pearson correlation over a sample of cells.
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int s = 0; s < 500; ++s) {
+    const uint32_t j = static_cast<uint32_t>(rng.UniformInt(t.train.dim_j()));
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(t.train.dim_k()));
+    a.push_back(FoldInScore(t.model, folded.value(), j, k));
+    b.push_back(t.model.Predict(user, j, k));
+  }
+  double ma = 0, mb = 0;
+  for (size_t s = 0; s < a.size(); ++s) {
+    ma += a[s];
+    mb += b[s];
+  }
+  ma /= a.size();
+  mb /= b.size();
+  double cov = 0, va = 0, vb = 0;
+  for (size_t s = 0; s < a.size(); ++s) {
+    cov += (a[s] - ma) * (b[s] - mb);
+    va += (a[s] - ma) * (a[s] - ma);
+    vb += (b[s] - mb) * (b[s] - mb);
+  }
+  const double corr = cov / std::sqrt(va * vb + 1e-30);
+  EXPECT_GT(corr, 0.6);
+}
+
+TEST(FoldInTest, RejectsBadInput) {
+  Trained t = TrainSmall();
+  FactorModel empty;
+  EXPECT_FALSE(FoldInUser(empty, {}).ok());
+  // Out-of-range POI index.
+  EXPECT_FALSE(
+      FoldInUser(t.model,
+                 {{0, static_cast<uint32_t>(t.train.dim_j()), 0}})
+          .ok());
+  // No observations: the ridge system still solves to ~zero vector.
+  auto zero = FoldInUser(t.model, {});
+  ASSERT_TRUE(zero.ok());
+  for (double v : zero.value()) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tcss

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "geo/geo_point.h"
+#include "geo/haversine.h"
+#include "geo/location_entropy.h"
+#include "geo/spatial_grid.h"
+
+namespace tcss {
+namespace {
+
+// Reference city coordinates.
+const GeoPoint kNewYork{40.7128, -74.0060};
+const GeoPoint kLosAngeles{34.0522, -118.2437};
+const GeoPoint kLondon{51.5074, -0.1278};
+
+TEST(GeoPointTest, Validity) {
+  EXPECT_TRUE(IsValid({0, 0}));
+  EXPECT_TRUE(IsValid({-90, 180}));
+  EXPECT_FALSE(IsValid({90.1, 0}));
+  EXPECT_FALSE(IsValid({0, -180.1}));
+}
+
+TEST(GeoPointTest, BoundsExtendAndContain) {
+  GeoBounds b;
+  b.Extend({10, 20});
+  b.Extend({-5, 40});
+  EXPECT_TRUE(b.Contains({0, 30}));
+  EXPECT_FALSE(b.Contains({11, 30}));
+  GeoPoint c = b.Center();
+  EXPECT_DOUBLE_EQ(c.lat, 2.5);
+  EXPECT_DOUBLE_EQ(c.lon, 30.0);
+}
+
+TEST(HaversineTest, KnownCityDistances) {
+  // NYC-LA great-circle distance is ~3936 km; NYC-London ~5570 km.
+  EXPECT_NEAR(HaversineKm(kNewYork, kLosAngeles), 3936.0, 40.0);
+  EXPECT_NEAR(HaversineKm(kNewYork, kLondon), 5570.0, 50.0);
+}
+
+TEST(HaversineTest, IdentityAndSymmetry) {
+  EXPECT_DOUBLE_EQ(HaversineKm(kNewYork, kNewYork), 0.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(kNewYork, kLondon),
+                   HaversineKm(kLondon, kNewYork));
+}
+
+TEST(HaversineTest, AntipodalIsHalfCircumference) {
+  GeoPoint a{0, 0}, b{0, 180};
+  EXPECT_NEAR(HaversineKm(a, b), M_PI * kEarthRadiusKm, 1.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  EXPECT_NEAR(HaversineKm({10, 50}, {11, 50}), 111.2, 1.0);
+}
+
+class HaversineTriangleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaversineTriangleTest, TriangleInequality) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 50; ++t) {
+    GeoPoint a{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+    GeoPoint b{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+    GeoPoint c{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+    EXPECT_LE(HaversineKm(a, c),
+              HaversineKm(a, b) + HaversineKm(b, c) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HaversineTriangleTest,
+                         ::testing::Range(0, 5));
+
+TEST(MaxPairwiseDistanceTest, ExactSmallSet) {
+  std::vector<GeoPoint> pts = {kNewYork, kLosAngeles, kLondon};
+  EXPECT_NEAR(MaxPairwiseDistanceKm(pts),
+              HaversineKm(kLosAngeles, kLondon), 1e-9);
+}
+
+TEST(MaxPairwiseDistanceTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(MaxPairwiseDistanceKm({}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxPairwiseDistanceKm({kNewYork}), 0.0);
+}
+
+TEST(MaxPairwiseDistanceTest, ApproximationUpperBoundsExact) {
+  Rng rng(3);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.Uniform(30, 45), rng.Uniform(-120, -80)});
+  }
+  const double exact = MaxPairwiseDistanceKm(pts, /*exact_threshold=*/1000);
+  const double approx = MaxPairwiseDistanceKm(pts, /*exact_threshold=*/10);
+  EXPECT_GE(approx, exact - 1e-6);
+  EXPECT_LE(approx, exact * 1.25);
+}
+
+TEST(LocationEntropyTest, HandComputedValues) {
+  // POI 0: two users with 1 visit each -> entropy log(2).
+  // POI 1: single user -> entropy 0. POI 2: unvisited -> 0.
+  SparseTensor t(3, 3, 2);
+  ASSERT_TRUE(t.Add(0, 0, 0).ok());
+  ASSERT_TRUE(t.Add(1, 0, 1).ok());
+  ASSERT_TRUE(t.Add(2, 1, 0).ok());
+  ASSERT_TRUE(t.Finalize().ok());
+  auto e = ComputeLocationEntropy(t);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_NEAR(e[0], std::log(2.0), 1e-12);
+  EXPECT_NEAR(e[1], 0.0, 1e-12);
+  EXPECT_NEAR(e[2], 0.0, 1e-12);
+}
+
+TEST(LocationEntropyTest, SkewedVisitsLowerEntropy) {
+  // POI 0: balanced 1/1. POI 1: skewed 9/1 over the value dimension.
+  std::vector<std::vector<std::pair<uint32_t, double>>> counts = {
+      {{0, 1.0}, {1, 1.0}},
+      {{0, 9.0}, {1, 1.0}},
+  };
+  auto e = ComputeLocationEntropyFromCounts(counts);
+  EXPECT_GT(e[0], e[1]);
+  EXPECT_NEAR(e[0], std::log(2.0), 1e-12);
+}
+
+TEST(LocationEntropyTest, WeightsAreExpNegEntropy) {
+  auto w = EntropyWeights({0.0, std::log(2.0), 2.0});
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+  EXPECT_NEAR(w[2], std::exp(-2.0), 1e-12);
+}
+
+TEST(SpatialGridTest, NearestMatchesBruteForce) {
+  Rng rng(5);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.Uniform(35, 40), rng.Uniform(-100, -90)});
+  }
+  SpatialGrid grid(pts);
+  for (int t = 0; t < 100; ++t) {
+    GeoPoint q{rng.Uniform(35, 40), rng.Uniform(-100, -90)};
+    int64_t got = grid.Nearest(q);
+    ASSERT_GE(got, 0);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : pts) best = std::min(best, HaversineKm(q, p));
+    // The ring search is approximate only in degenerate cell layouts; the
+    // returned distance must still be within a small factor of optimal.
+    EXPECT_LE(HaversineKm(q, pts[got]), best * 1.5 + 1e-9);
+  }
+}
+
+TEST(SpatialGridTest, ExcludeSkipsSelf) {
+  std::vector<GeoPoint> pts = {{10, 10}, {10.001, 10.001}, {20, 20}};
+  SpatialGrid grid(pts);
+  EXPECT_EQ(grid.Nearest(pts[0]), 0);
+  EXPECT_EQ(grid.Nearest(pts[0], /*exclude=*/0), 1);
+}
+
+TEST(SpatialGridTest, WithinRadiusMatchesBruteForce) {
+  Rng rng(6);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.Uniform(35, 38), rng.Uniform(-100, -96)});
+  }
+  SpatialGrid grid(pts);
+  for (int t = 0; t < 20; ++t) {
+    GeoPoint q{rng.Uniform(35, 38), rng.Uniform(-100, -96)};
+    const double radius = rng.Uniform(5, 80);
+    auto got = grid.WithinRadius(q, radius);
+    std::vector<uint32_t> expect;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      if (HaversineKm(q, pts[i]) <= radius) expect.push_back(i);
+    }
+    EXPECT_EQ(got, expect) << "radius " << radius;
+  }
+}
+
+TEST(SpatialGridTest, EmptyGrid) {
+  std::vector<GeoPoint> pts;
+  SpatialGrid grid(pts);
+  EXPECT_EQ(grid.Nearest({0, 0}), -1);
+  EXPECT_TRUE(std::isinf(grid.NearestDistanceKm({0, 0})));
+  EXPECT_TRUE(grid.WithinRadius({0, 0}, 100).empty());
+}
+
+}  // namespace
+}  // namespace tcss

@@ -1,0 +1,154 @@
+// End-to-end tests across the whole stack: synthetic generation -> split
+// -> tensor construction -> training -> evaluation, plus persistence and
+// the headline property of the paper (TCSS's side information helps).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/registry.h"
+#include "core/tcss_model.h"
+#include "data/csv_io.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "eval/ranking_protocol.h"
+
+namespace tcss {
+namespace {
+
+struct Pipeline {
+  Dataset data;
+  SparseTensor train;
+  std::vector<TensorCell> test_cells;
+};
+
+Pipeline RunPipeline(const Dataset& data, TimeGranularity g,
+                     uint64_t seed = 42) {
+  TrainTestSplit split = SplitCheckins(data, 0.8, seed);
+  auto train = BuildCheckinTensor(data, split.train, g);
+  EXPECT_TRUE(train.ok());
+  Dataset copy = data;  // Dataset is a value type
+  return {std::move(copy), train.MoveValue(), EventsToCells(split.test, g)};
+}
+
+TEST(IntegrationTest, FullTcssPipelineOnAllGranularities) {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kFoursquareLike, 0.25));
+  ASSERT_TRUE(data.ok());
+  for (TimeGranularity g :
+       {TimeGranularity::kMonthOfYear, TimeGranularity::kWeekOfYear,
+        TimeGranularity::kHourOfDay}) {
+    Pipeline p = RunPipeline(data.value(), g);
+    ASSERT_EQ(p.train.dim_k(), NumBins(g));
+    TcssConfig cfg;
+    cfg.epochs = 80;
+    cfg.hausdorff_users_per_epoch = 24;
+    cfg.hausdorff_pool = 48;
+    TcssModel model(cfg);
+    ASSERT_TRUE(model.Fit({&p.data, &p.train, g, 1}).ok())
+        << GranularityName(g);
+    RankingMetrics m = EvaluateRanking(model, p.data.num_pois(),
+                                       p.test_cells, RankingProtocolOptions{});
+    EXPECT_GT(m.hit_at_k, 0.3) << GranularityName(g);
+  }
+}
+
+TEST(IntegrationTest, SocialHausdorffHeadImprovesOverPlainL2) {
+  // The paper's headline ablation: lambda > 0 must beat lambda = 0.
+  // Run on a mid-sized world so the effect is visible above noise.
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, 0.5));
+  ASSERT_TRUE(data.ok());
+  Pipeline p = RunPipeline(data.value(), TimeGranularity::kMonthOfYear);
+
+  TcssConfig with;
+  with.epochs = 200;
+  TcssConfig without = with;
+  without.lambda = 0.0;
+  without.hausdorff = HausdorffMode::kNone;
+
+  TcssModel m_with(with), m_without(without);
+  ASSERT_TRUE(
+      m_with.Fit({&p.data, &p.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  ASSERT_TRUE(
+      m_without.Fit({&p.data, &p.train, TimeGranularity::kMonthOfYear, 1})
+          .ok());
+  RankingProtocolOptions opts;
+  auto a = EvaluateRanking(m_with, p.data.num_pois(), p.test_cells, opts);
+  auto b = EvaluateRanking(m_without, p.data.num_pois(), p.test_cells, opts);
+  EXPECT_GE(a.hit_at_k + 0.02, b.hit_at_k);  // no collapse
+  EXPECT_GT(a.mrr, b.mrr - 0.02);
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesModelBehaviour) {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kYelpLike, 0.2));
+  ASSERT_TRUE(data.ok());
+  std::string dir = ::testing::TempDir() + "/tcss_integration_csv";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDatasetCsv(data.value(), dir).ok());
+  auto loaded = LoadDatasetCsv(dir);
+  ASSERT_TRUE(loaded.ok());
+
+  Pipeline a = RunPipeline(data.value(), TimeGranularity::kMonthOfYear);
+  Pipeline b = RunPipeline(loaded.value(), TimeGranularity::kMonthOfYear);
+  ASSERT_EQ(a.train.nnz(), b.train.nnz());
+
+  TcssConfig cfg;
+  cfg.epochs = 30;
+  TcssModel ma(cfg), mb(cfg);
+  ASSERT_TRUE(
+      ma.Fit({&a.data, &a.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  ASSERT_TRUE(
+      mb.Fit({&b.data, &b.train, TimeGranularity::kMonthOfYear, 1}).ok());
+  // CSV stores coordinates with 7 decimals, which perturbs haversine
+  // distances at the ~1e-8 level; scores must agree to that precision.
+  EXPECT_NEAR(ma.Score(1, 2, 3), mb.Score(1, 2, 3), 1e-5);
+  EXPECT_NEAR(ma.Score(5, 1, 7), mb.Score(5, 1, 7), 1e-5);
+}
+
+TEST(IntegrationTest, CategoryFilteredPipelines) {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, 0.3));
+  ASSERT_TRUE(data.ok());
+  for (int c = 0; c < kNumCategories; ++c) {
+    Dataset filtered =
+        data.value().FilterByCategory(static_cast<PoiCategory>(c));
+    if (filtered.num_pois() < 10 || filtered.num_checkins() < 200) continue;
+    Pipeline p = RunPipeline(filtered, TimeGranularity::kMonthOfYear);
+    TcssConfig cfg;
+    cfg.epochs = 60;
+    cfg.hausdorff_pool = 48;
+    TcssModel model(cfg);
+    ASSERT_TRUE(
+        model.Fit({&p.data, &p.train, TimeGranularity::kMonthOfYear, 1}).ok())
+        << CategoryName(static_cast<PoiCategory>(c));
+    RankingMetrics m = EvaluateRanking(model, p.data.num_pois(),
+                                       p.test_cells, RankingProtocolOptions{});
+    EXPECT_GT(m.hit_at_k, 0.2)
+        << CategoryName(static_cast<PoiCategory>(c));
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  auto gen = [] {
+    auto data = GenerateSyntheticLbsn(
+        PresetConfig(SyntheticPreset::kGmu5kLike, 0.15));
+    EXPECT_TRUE(data.ok());
+    Pipeline p = RunPipeline(data.value(), TimeGranularity::kMonthOfYear);
+    TcssConfig cfg;
+    cfg.epochs = 25;
+    TcssModel model(cfg);
+    EXPECT_TRUE(
+        model.Fit({&p.data, &p.train, TimeGranularity::kMonthOfYear, 1}).ok());
+    return EvaluateRanking(model, p.data.num_pois(), p.test_cells,
+                           RankingProtocolOptions{});
+  };
+  RankingMetrics a = gen();
+  RankingMetrics b = gen();
+  EXPECT_DOUBLE_EQ(a.hit_at_k, b.hit_at_k);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+}
+
+}  // namespace
+}  // namespace tcss

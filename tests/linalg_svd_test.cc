@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/svd.h"
+
+namespace tcss {
+namespace {
+
+Matrix LowRank(size_t m, size_t n, size_t r, Rng* rng) {
+  return MatMul(Matrix::GaussianRandom(m, r, rng),
+                Matrix::GaussianRandom(r, n, rng));
+}
+
+Matrix Reconstruct(const TruncatedSvd& d) {
+  Matrix us = d.u;
+  for (size_t i = 0; i < us.rows(); ++i)
+    for (size_t t = 0; t < us.cols(); ++t) us(i, t) *= d.s[t];
+  return MatMulT(us, d.v);
+}
+
+TEST(SvdTest, ExactlyRecoversLowRankMatrix) {
+  Rng rng(1);
+  Matrix a = LowRank(15, 9, 3, &rng);
+  auto svd = ComputeTruncatedSvd(a, 3);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(MaxAbsDiff(Reconstruct(svd.value()), a), 1e-8);
+}
+
+TEST(SvdTest, SingularValuesOfKnownMatrix) {
+  // diag(3, 2) as a 2x2: singular values 3 and 2.
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 2}});
+  auto svd = ComputeTruncatedSvd(a, 2);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd.value().s[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd.value().s[1], 2.0, 1e-10);
+}
+
+TEST(SvdTest, FactorsAreOrthonormal) {
+  Rng rng(2);
+  Matrix a = Matrix::GaussianRandom(20, 12, &rng);
+  auto svd = ComputeTruncatedSvd(a, 5);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(MaxAbsDiff(Gram(svd.value().u), Matrix::Identity(5)), 1e-8);
+  EXPECT_LT(MaxAbsDiff(Gram(svd.value().v), Matrix::Identity(5)), 1e-8);
+  // Singular values non-increasing and non-negative.
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_GE(svd.value().s[t], 0.0);
+    if (t > 0) {
+      EXPECT_GE(svd.value().s[t - 1], svd.value().s[t]);
+    }
+  }
+}
+
+TEST(SvdTest, WideAndTallAgree) {
+  Rng rng(3);
+  Matrix a = LowRank(8, 25, 4, &rng);
+  auto tall = ComputeTruncatedSvd(a.Transposed(), 4);
+  auto wide = ComputeTruncatedSvd(a, 4);
+  ASSERT_TRUE(tall.ok());
+  ASSERT_TRUE(wide.ok());
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_NEAR(tall.value().s[t], wide.value().s[t], 1e-7);
+  }
+}
+
+TEST(SvdTest, RejectsBadRank) {
+  Matrix a(4, 3);
+  EXPECT_FALSE(ComputeTruncatedSvd(a, 0).ok());
+  EXPECT_FALSE(ComputeTruncatedSvd(a, 4).ok());
+}
+
+TEST(SvdTest, BestRankOneApproximationError) {
+  // For A = diag(3, 1), the best rank-1 approx leaves error exactly 1.
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  auto svd = ComputeTruncatedSvd(a, 1);
+  ASSERT_TRUE(svd.ok());
+  Matrix approx = Reconstruct(svd.value());
+  Matrix diff = a;
+  diff.Add(approx, -1.0);
+  EXPECT_NEAR(diff.FrobeniusNorm(), 1.0, 1e-8);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto x = CholeskySolve(a, {10, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.75, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, SolveMultiMatchesSingle) {
+  Rng rng(4);
+  Matrix b = Matrix::GaussianRandom(6, 6, &rng);
+  Matrix a = MatMulT(b, b);
+  for (size_t i = 0; i < 6; ++i) a(i, i) += 1.0;  // well-conditioned SPD
+  Matrix rhs = Matrix::GaussianRandom(6, 3, &rng);
+  auto multi = CholeskySolveMulti(a, rhs);
+  ASSERT_TRUE(multi.ok());
+  for (size_t j = 0; j < 3; ++j) {
+    auto single = CholeskySolve(a, rhs.Column(j));
+    ASSERT_TRUE(single.ok());
+    for (size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(multi.value()(i, j), single.value()[i], 1e-10);
+    }
+  }
+}
+
+TEST(CholeskyTest, ResidualIsSmall) {
+  Rng rng(5);
+  Matrix b = Matrix::GaussianRandom(10, 10, &rng);
+  Matrix a = MatMulT(b, b);
+  for (size_t i = 0; i < 10; ++i) a(i, i) += 0.5;
+  std::vector<double> rhs(10, 1.0);
+  auto x = CholeskySolve(a, rhs);
+  ASSERT_TRUE(x.ok());
+  auto ax = MatVec(a, x.value());
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-8);
+}
+
+TEST(CholeskyTest, RidgeRescuesSingularMatrix) {
+  // Rank-deficient A; the automatic ridge escalation should still solve.
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  auto x = CholeskySolve(a, {2, 2}, 1e-8);
+  EXPECT_TRUE(x.ok());
+}
+
+TEST(CholeskyTest, RejectsShapeMismatch) {
+  Matrix a(3, 2);
+  EXPECT_FALSE(CholeskySolve(a, {1, 2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace tcss

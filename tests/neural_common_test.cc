@@ -1,0 +1,123 @@
+// Tests for the shared helpers of the neural baselines: trajectory
+// construction (with the train-tensor leakage filter) and the
+// positive/negative triple sampler.
+#include <gtest/gtest.h>
+
+#include "baselines/neural_common.h"
+#include "data/time_binning.h"
+#include "graph/social_graph.h"
+
+namespace tcss {
+namespace {
+
+Dataset TinyDataset() {
+  SocialGraph social(2);
+  EXPECT_TRUE(social.AddEdge(0, 1).ok());
+  EXPECT_TRUE(social.Finalize().ok());
+  std::vector<Poi> pois = {{{40.0, -74.0}, PoiCategory::kFood},
+                           {{41.0, -75.0}, PoiCategory::kShopping}};
+  Dataset d(2, pois, std::move(social));
+  // Deliberately out of chronological order.
+  EXPECT_TRUE(d.AddCheckIn(0, 1, FromCivil(2011, 3, 1)).ok());
+  EXPECT_TRUE(d.AddCheckIn(0, 0, FromCivil(2011, 1, 1)).ok());
+  EXPECT_TRUE(d.AddCheckIn(0, 0, FromCivil(2011, 2, 1)).ok());
+  EXPECT_TRUE(d.AddCheckIn(1, 1, FromCivil(2011, 6, 1)).ok());
+  return d;
+}
+
+TEST(TrajectoryTest, SortsChronologicallyPerUser) {
+  Dataset d = TinyDataset();
+  auto trajs = BuildTrajectories(d, d.checkins(),
+                                 TimeGranularity::kMonthOfYear, 0);
+  ASSERT_EQ(trajs.size(), 2u);
+  ASSERT_EQ(trajs[0].size(), 3u);
+  EXPECT_EQ(trajs[0][0].poi, 0u);  // January first
+  EXPECT_EQ(trajs[0][1].poi, 0u);  // February
+  EXPECT_EQ(trajs[0][2].poi, 1u);  // March
+  EXPECT_EQ(trajs[0][0].time_bin, 0u);
+  EXPECT_EQ(trajs[0][2].time_bin, 2u);
+  EXPECT_EQ(trajs[1].size(), 1u);
+}
+
+TEST(TrajectoryTest, MaxLenKeepsMostRecent) {
+  Dataset d = TinyDataset();
+  auto trajs = BuildTrajectories(d, d.checkins(),
+                                 TimeGranularity::kMonthOfYear, 2);
+  ASSERT_EQ(trajs[0].size(), 2u);
+  EXPECT_EQ(trajs[0][0].time_bin, 1u);  // February kept
+  EXPECT_EQ(trajs[0][1].time_bin, 2u);  // March kept
+}
+
+TEST(TrajectoryTest, TrainFilterDropsUnobservedCells) {
+  Dataset d = TinyDataset();
+  // Train tensor containing only user 0's January cell.
+  SparseTensor train(2, 2, 12);
+  ASSERT_TRUE(train.Add(0, 0, 0).ok());
+  ASSERT_TRUE(train.Finalize().ok());
+  auto trajs = BuildTrajectories(d, d.checkins(),
+                                 TimeGranularity::kMonthOfYear, 0, &train);
+  ASSERT_EQ(trajs[0].size(), 1u);  // Feb/Mar cells not in train -> dropped
+  EXPECT_EQ(trajs[0][0].time_bin, 0u);
+  EXPECT_TRUE(trajs[1].empty());
+}
+
+TEST(TripleSamplerTest, LabelsAndRanges) {
+  SparseTensor train(6, 6, 4);
+  Rng rng(1);
+  for (int n = 0; n < 20; ++n) {
+    (void)train.Add(rng.UniformInt(6), rng.UniformInt(6), rng.UniformInt(4));
+  }
+  ASSERT_TRUE(train.Finalize().ok());
+
+  TripleSampler sampler(train, 7);
+  TripleBatch batch = sampler.Next(/*num_pos=*/8, /*neg_ratio=*/2);
+  ASSERT_EQ(batch.users.size(), 24u);
+  ASSERT_EQ(batch.labels.rows(), 24u);
+  for (size_t t = 0; t < batch.users.size(); ++t) {
+    EXPECT_LT(batch.users[t], 6u);
+    EXPECT_LT(batch.pois[t], 6u);
+    EXPECT_LT(batch.times[t], 4u);
+    const bool is_positive = (t % 3 == 0);
+    EXPECT_DOUBLE_EQ(batch.labels(t, 0), is_positive ? 1.0 : 0.0);
+    if (is_positive) {
+      EXPECT_TRUE(train.Contains(batch.users[t], batch.pois[t],
+                                 batch.times[t]));
+    }
+  }
+}
+
+TEST(TripleSamplerTest, CursorCyclesThroughAllPositives) {
+  SparseTensor train(4, 4, 2);
+  ASSERT_TRUE(train.Add(0, 0, 0).ok());
+  ASSERT_TRUE(train.Add(1, 1, 1).ok());
+  ASSERT_TRUE(train.Add(2, 2, 0).ok());
+  ASSERT_TRUE(train.Finalize().ok());
+  TripleSampler sampler(train, 3);
+  std::set<uint32_t> seen_users;
+  for (int round = 0; round < 3; ++round) {
+    TripleBatch b = sampler.Next(1, 0);
+    seen_users.insert(b.users[0]);
+  }
+  EXPECT_EQ(seen_users.size(), 3u);  // all three positives visited
+}
+
+TEST(DenseForwardTest, MatchesManualComputation) {
+  nn::Parameter w{"w", Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}),
+                  Matrix(3, 2)};
+  nn::Parameter b{"b", Matrix::FromRows({{0.5, -10.0}}), Matrix(1, 2)};
+  std::vector<double> x = {1, 1, 1};
+  auto linear = DenseForward(w, b, x, /*relu=*/false);
+  EXPECT_DOUBLE_EQ(linear[0], 9.5);
+  EXPECT_DOUBLE_EQ(linear[1], 2.0);
+  auto relu = DenseForward(w, b, x, /*relu=*/true);
+  EXPECT_DOUBLE_EQ(relu[1], 2.0);
+  nn::Parameter b2{"b2", Matrix::FromRows({{0.5, -100.0}}), Matrix(1, 2)};
+  auto relu2 = DenseForward(w, b2, x, /*relu=*/true);
+  EXPECT_DOUBLE_EQ(relu2[1], 0.0);
+  auto sig = DenseForward(w, b2, x, /*relu=*/false, /*sigmoid=*/true);
+  EXPECT_NEAR(sig[1], 0.0, 1e-12);
+  EXPECT_GT(sig[0], 0.99);
+}
+
+}  // namespace
+}  // namespace tcss

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "data/time_binning.h"
+
+namespace tcss {
+namespace {
+
+TEST(SummarizeTest, HandComputedMoments) {
+  DistributionStats s = Summarize({4, 1, 3, 2, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  // sorted: 1 2 3 4 5; p90 index = 0.9*4 = 3 (floor) -> value 4.
+  EXPECT_DOUBLE_EQ(s.p90, 4);
+}
+
+TEST(SummarizeTest, GiniOfUniformIsZero) {
+  DistributionStats s = Summarize({2, 2, 2, 2});
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+}
+
+TEST(SummarizeTest, GiniOfConcentratedIsHigh) {
+  DistributionStats even = Summarize({1, 1, 1, 1, 1, 1, 1, 1});
+  DistributionStats skew = Summarize({0, 0, 0, 0, 0, 0, 0, 8});
+  EXPECT_GT(skew.gini, 0.8);
+  EXPECT_LT(even.gini, 0.01);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  DistributionStats s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+}
+
+Dataset TinyDataset() {
+  SocialGraph social(2);
+  EXPECT_TRUE(social.AddEdge(0, 1).ok());
+  EXPECT_TRUE(social.Finalize().ok());
+  std::vector<Poi> pois = {{{40.0, -74.0}, PoiCategory::kFood},
+                           {{40.5, -74.5}, PoiCategory::kOutdoor}};
+  Dataset d(2, pois, std::move(social));
+  // User 0: visits POI 0 twice (one revisit) and POI 1 once.
+  EXPECT_TRUE(d.AddCheckIn(0, 0, FromCivil(2011, 1, 5)).ok());
+  EXPECT_TRUE(d.AddCheckIn(0, 0, FromCivil(2011, 2, 5)).ok());
+  EXPECT_TRUE(d.AddCheckIn(0, 1, FromCivil(2011, 7, 5)).ok());
+  // User 1: one visit.
+  EXPECT_TRUE(d.AddCheckIn(1, 1, FromCivil(2011, 7, 9)).ok());
+  return d;
+}
+
+TEST(ProfileTest, CountsAndRevisitRatio) {
+  DatasetProfile p = ProfileDataset(TinyDataset());
+  EXPECT_EQ(p.num_users, 2u);
+  EXPECT_EQ(p.num_pois, 2u);
+  EXPECT_EQ(p.num_checkins, 4u);
+  EXPECT_DOUBLE_EQ(p.avg_friends, 1.0);
+  // 1 revisit out of 4 events.
+  EXPECT_NEAR(p.revisit_ratio, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(p.checkins_per_user.max, 3);
+  EXPECT_DOUBLE_EQ(p.distinct_pois_per_user.max, 2);
+  EXPECT_DOUBLE_EQ(p.visitors_per_poi.max, 2);  // POI 1 seen by both
+  // Monthly histogram: food in Jan + Feb, outdoor twice in Jul.
+  EXPECT_EQ(p.monthly_by_category[static_cast<int>(PoiCategory::kFood)][0],
+            1u);
+  EXPECT_EQ(p.monthly_by_category[static_cast<int>(PoiCategory::kFood)][1],
+            1u);
+  EXPECT_EQ(
+      p.monthly_by_category[static_cast<int>(PoiCategory::kOutdoor)][6], 2u);
+  // 4 distinct (i,j,month) cells over 2*2*12 = 48.
+  EXPECT_NEAR(p.tensor_density, 4.0 / 48.0, 1e-12);
+  EXPECT_GT(p.mean_radius_of_gyration_km, 0.0);
+  EXPECT_FALSE(p.ToString().empty());
+}
+
+TEST(ProfileTest, SyntheticPresetIsPlausible) {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, 0.3));
+  ASSERT_TRUE(data.ok());
+  DatasetProfile p = ProfileDataset(data.value());
+  EXPECT_EQ(p.num_checkins, data.value().num_checkins());
+  // Paper-style filters hold: at least 15 check-ins per user.
+  EXPECT_GE(p.checkins_per_user.min, 15.0);
+  // Popularity is skewed (Zipf) but users are more evenly active.
+  EXPECT_GT(p.visitors_per_poi.gini, p.checkins_per_user.gini * 0.5);
+  // Users mostly stay near home: radius of gyration far below the
+  // continental scale of the map (thousands of km).
+  EXPECT_LT(p.mean_radius_of_gyration_km, 1500.0);
+  EXPECT_GT(p.revisit_ratio, 0.3);  // revisit-heavy LBSN behaviour
+}
+
+}  // namespace
+}  // namespace tcss

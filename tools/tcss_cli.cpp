@@ -1,0 +1,294 @@
+// tcss - command-line front end for the TCSS library.
+//
+//   tcss generate  --preset gowalla|yelp|foursquare|gmu5k [--scale S]
+//                  [--seed N] --out DIR
+//   tcss train     --data DIR --model FILE [--epochs N] [--rank R]
+//                  [--lambda L] [--granularity month|week|hour]
+//   tcss evaluate  --data DIR --model FILE [--granularity G]
+//   tcss recommend --data DIR --model FILE --user U [--time K] [--k N]
+//                  [--new-only] [--granularity G]
+//
+// `generate` writes an LBSN as CSV (pois.csv / checkins.csv / friends.csv);
+// `train` fits TCSS on an 80/20 split of the check-ins and saves the
+// factors; `evaluate` reports Hit@10 / MRR on the held-out 20%;
+// `recommend` prints a ranked POI list for one user and time bin.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/model_io.h"
+#include "core/recommend.h"
+#include "core/tcss_model.h"
+#include "data/csv_io.h"
+#include "data/split.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "eval/ranking_protocol.h"
+
+namespace {
+
+using namespace tcss;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  bool new_only = false;
+
+  const char* Get(const std::string& key, const char* dflt = nullptr) const {
+    auto it = flags.find(key);
+    return it != flags.end() ? it->second.c_str() : dflt;
+  }
+  double GetD(const std::string& key, double dflt) const {
+    const char* v = Get(key);
+    return v != nullptr ? std::atof(v) : dflt;
+  }
+  long GetI(const std::string& key, long dflt) const {
+    const char* v = Get(key);
+    return v != nullptr ? std::atol(v) : dflt;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tcss generate  --preset gowalla|yelp|foursquare|gmu5k "
+      "[--scale S] [--seed N] --out DIR\n"
+      "  tcss train     --data DIR --model FILE [--epochs N] [--rank R] "
+      "[--lambda L] [--granularity month|week|hour]\n"
+      "  tcss evaluate  --data DIR --model FILE [--granularity G]\n"
+      "  tcss stats     --data DIR\n"
+      "  tcss recommend --data DIR --model FILE --user U [--time K] "
+      "[--k N] [--new-only] [--granularity G]\n");
+  return 2;
+}
+
+TimeGranularity ParseGranularity(const char* s) {
+  if (s == nullptr || std::strcmp(s, "month") == 0) {
+    return TimeGranularity::kMonthOfYear;
+  }
+  if (std::strcmp(s, "week") == 0) return TimeGranularity::kWeekOfYear;
+  if (std::strcmp(s, "hour") == 0) return TimeGranularity::kHourOfDay;
+  std::fprintf(stderr, "unknown granularity '%s', using month\n", s);
+  return TimeGranularity::kMonthOfYear;
+}
+
+int Generate(const Args& args) {
+  const char* preset_name = args.Get("preset", "gowalla");
+  const char* out = args.Get("out");
+  if (out == nullptr) return Usage();
+  SyntheticPreset preset = SyntheticPreset::kGowallaLike;
+  if (std::strcmp(preset_name, "yelp") == 0) {
+    preset = SyntheticPreset::kYelpLike;
+  } else if (std::strcmp(preset_name, "foursquare") == 0) {
+    preset = SyntheticPreset::kFoursquareLike;
+  } else if (std::strcmp(preset_name, "gmu5k") == 0) {
+    preset = SyntheticPreset::kGmu5kLike;
+  } else if (std::strcmp(preset_name, "gowalla") != 0) {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset_name);
+    return 2;
+  }
+  SyntheticConfig cfg = PresetConfig(preset, args.GetD("scale", 1.0));
+  cfg.seed = static_cast<uint64_t>(args.GetI("seed", cfg.seed));
+  auto data = GenerateSyntheticLbsn(cfg);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::filesystem::create_directories(out);
+  Status st = SaveDatasetCsv(data.value(), out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s to %s\n", data.value().Summary().c_str(), out);
+  return 0;
+}
+
+Result<Dataset> LoadData(const Args& args) {
+  const char* dir = args.Get("data");
+  if (dir == nullptr) return Status::InvalidArgument("--data is required");
+  return LoadDatasetCsv(dir);
+}
+
+int Train(const Args& args) {
+  const char* model_path = args.Get("model");
+  if (model_path == nullptr) return Usage();
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const TimeGranularity g = ParseGranularity(args.Get("granularity"));
+  TrainTestSplit split = SplitCheckins(data.value(), 0.8, 42);
+  auto train = BuildCheckinTensor(data.value(), split.train, g);
+  if (!train.ok()) {
+    std::fprintf(stderr, "%s\n", train.status().ToString().c_str());
+    return 1;
+  }
+  TcssConfig cfg;
+  cfg.epochs = static_cast<int>(args.GetI("epochs", cfg.epochs));
+  cfg.rank = static_cast<size_t>(args.GetI("rank", cfg.rank));
+  cfg.lambda = args.GetD("lambda", cfg.lambda);
+  TcssModel model(cfg);
+  std::printf("training %s on %s ...\n", cfg.Summary().c_str(),
+              data.value().Summary().c_str());
+  Status st = model.FitWithCallback(
+      {&data.value(), &train.value(), g, 13},
+      [&cfg](const EpochStats& s, const FactorModel&) {
+        if (s.epoch % std::max(1, cfg.epochs / 5) == 0) {
+          std::printf("  epoch %4d  L2=%.2f  L1=%.2f\n", s.epoch, s.loss_l2,
+                      s.loss_l1);
+        }
+      });
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = SaveFactorModel(model.factors(), model_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved model to %s\n", model_path);
+  return 0;
+}
+
+// Loads a model and exposes it through the Recommender interface.
+class LoadedModel : public Recommender {
+ public:
+  explicit LoadedModel(FactorModel factors) : factors_(std::move(factors)) {}
+  std::string name() const override { return "TCSS(loaded)"; }
+  Status Fit(const TrainContext&) override { return Status::OK(); }
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override {
+    return factors_.Predict(i, j, k);
+  }
+  const FactorModel& factors() const { return factors_; }
+
+ private:
+  FactorModel factors_;
+};
+
+Result<LoadedModel> LoadModel(const Args& args, const Dataset& data,
+                              TimeGranularity g) {
+  const char* path = args.Get("model");
+  if (path == nullptr) return Status::InvalidArgument("--model is required");
+  auto factors = LoadFactorModel(path);
+  if (!factors.ok()) return factors.status();
+  const FactorModel& m = factors.value();
+  if (m.u1.rows() != data.num_users() || m.u2.rows() != data.num_pois() ||
+      m.u3.rows() != NumBins(g)) {
+    return Status::InvalidArgument(
+        "model dimensions do not match the dataset/granularity");
+  }
+  return LoadedModel(factors.MoveValue());
+}
+
+int Stats(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const DatasetProfile profile = ProfileDataset(data.value());
+  std::fputs(profile.ToString().c_str(), stdout);
+  return 0;
+}
+
+int Evaluate(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const TimeGranularity g = ParseGranularity(args.Get("granularity"));
+  auto model = LoadModel(args, data.value(), g);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  TrainTestSplit split = SplitCheckins(data.value(), 0.8, 42);
+  const auto cells = EventsToCells(split.test, g);
+  RankingMetrics m = EvaluateRanking(model.value(), data.value().num_pois(),
+                                     cells, RankingProtocolOptions{});
+  std::printf("test entries: %zu users: %zu\nHit@10 = %.4f\nMRR    = %.4f\n",
+              m.num_entries, m.num_users, m.hit_at_k, m.mrr);
+  return 0;
+}
+
+int Recommend(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const TimeGranularity g = ParseGranularity(args.Get("granularity"));
+  auto model = LoadModel(args, data.value(), g);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const char* user_s = args.Get("user");
+  if (user_s == nullptr) return Usage();
+  const uint32_t user = static_cast<uint32_t>(std::atol(user_s));
+  if (user >= data.value().num_users()) {
+    std::fprintf(stderr, "user %u out of range\n", user);
+    return 1;
+  }
+  const uint32_t time_bin = static_cast<uint32_t>(
+      args.GetI("time", 0) % static_cast<long>(NumBins(g)));
+
+  TopKOptions opts;
+  opts.k = static_cast<size_t>(args.GetI("k", 10));
+  opts.exclude_visited = args.new_only;
+  TrainTestSplit split = SplitCheckins(data.value(), 0.8, 42);
+  auto train = BuildCheckinTensor(data.value(), split.train, g);
+  if (!train.ok()) {
+    std::fprintf(stderr, "%s\n", train.status().ToString().c_str());
+    return 1;
+  }
+  auto recs = TopKRecommendations(model.value(), user, time_bin,
+                                  data.value().num_pois(), opts,
+                                  &train.value());
+  std::printf("top-%zu POIs for user %u at %s bin %u%s:\n", opts.k, user,
+              GranularityName(g), time_bin,
+              args.new_only ? " (new places only)" : "");
+  std::printf("%-5s %-6s %-14s %-9s %-s\n", "rank", "poi", "category",
+              "score", "location");
+  for (size_t t = 0; t < recs.size(); ++t) {
+    const Poi& poi = data.value().poi(recs[t].poi);
+    std::printf("%-5zu %-6u %-14s %-9.4f %s\n", t + 1, recs[t].poi,
+                CategoryName(poi.category), recs[t].score,
+                ToString(poi.location).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int a = 2; a < argc; ++a) {
+    std::string flag = argv[a];
+    if (flag.rfind("--", 0) != 0) return Usage();
+    flag = flag.substr(2);
+    if (flag == "new-only") {
+      args.new_only = true;
+    } else if (a + 1 < argc) {
+      args.flags[flag] = argv[++a];
+    } else {
+      return Usage();
+    }
+  }
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "train") return Train(args);
+  if (args.command == "evaluate") return Evaluate(args);
+  if (args.command == "stats") return Stats(args);
+  if (args.command == "recommend") return Recommend(args);
+  return Usage();
+}
