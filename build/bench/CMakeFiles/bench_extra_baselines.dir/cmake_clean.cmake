@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_baselines.dir/bench_extra_baselines.cc.o"
+  "CMakeFiles/bench_extra_baselines.dir/bench_extra_baselines.cc.o.d"
+  "bench_extra_baselines"
+  "bench_extra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

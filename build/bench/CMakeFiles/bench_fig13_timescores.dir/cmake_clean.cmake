@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_timescores.dir/bench_fig13_timescores.cc.o"
+  "CMakeFiles/bench_fig13_timescores.dir/bench_fig13_timescores.cc.o.d"
+  "bench_fig13_timescores"
+  "bench_fig13_timescores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_timescores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_timescores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_timefactors.dir/bench_fig6_7_timefactors.cc.o"
+  "CMakeFiles/bench_fig6_7_timefactors.dir/bench_fig6_7_timefactors.cc.o.d"
+  "bench_fig6_7_timefactors"
+  "bench_fig6_7_timefactors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_timefactors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_weight_grid.dir/bench_fig8_weight_grid.cc.o"
+  "CMakeFiles/bench_fig8_weight_grid.dir/bench_fig8_weight_grid.cc.o.d"
+  "bench_fig8_weight_grid"
+  "bench_fig8_weight_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_weight_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_mttkrp.dir/bench_kernel_mttkrp.cc.o"
+  "CMakeFiles/bench_kernel_mttkrp.dir/bench_kernel_mttkrp.cc.o.d"
+  "bench_kernel_mttkrp"
+  "bench_kernel_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

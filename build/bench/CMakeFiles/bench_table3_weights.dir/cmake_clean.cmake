@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_weights.dir/bench_table3_weights.cc.o"
+  "CMakeFiles/bench_table3_weights.dir/bench_table3_weights.cc.o.d"
+  "bench_table3_weights"
+  "bench_table3_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_losscost.dir/bench_table4_losscost.cc.o"
+  "CMakeFiles/bench_table4_losscost.dir/bench_table4_losscost.cc.o.d"
+  "bench_table4_losscost"
+  "bench_table4_losscost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_losscost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

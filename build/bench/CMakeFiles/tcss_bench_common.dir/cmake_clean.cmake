@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tcss_bench_common.dir/bench_common.cc.o.d"
+  "libtcss_bench_common.a"
+  "libtcss_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

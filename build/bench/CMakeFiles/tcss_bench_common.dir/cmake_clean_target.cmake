@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcss_bench_common.a"
+)

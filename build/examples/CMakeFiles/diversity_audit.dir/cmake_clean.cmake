@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_audit.dir/diversity_audit.cpp.o"
+  "CMakeFiles/diversity_audit.dir/diversity_audit.cpp.o.d"
+  "diversity_audit"
+  "diversity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

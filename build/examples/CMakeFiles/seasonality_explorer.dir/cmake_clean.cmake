@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seasonality_explorer.dir/seasonality_explorer.cpp.o"
+  "CMakeFiles/seasonality_explorer.dir/seasonality_explorer.cpp.o.d"
+  "seasonality_explorer"
+  "seasonality_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seasonality_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for seasonality_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/social_planner.cpp" "examples/CMakeFiles/social_planner.dir/social_planner.cpp.o" "gcc" "examples/CMakeFiles/social_planner.dir/social_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

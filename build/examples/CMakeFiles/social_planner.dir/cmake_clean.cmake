@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_planner.dir/social_planner.cpp.o"
+  "CMakeFiles/social_planner.dir/social_planner.cpp.o.d"
+  "social_planner"
+  "social_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/costco.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/costco.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/costco.cc.o.d"
+  "/root/repo/src/baselines/cp_als.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/cp_als.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/cp_als.cc.o.d"
+  "/root/repo/src/baselines/geomf.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/geomf.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/geomf.cc.o.d"
+  "/root/repo/src/baselines/lfbca.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/lfbca.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/lfbca.cc.o.d"
+  "/root/repo/src/baselines/mcco.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/mcco.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/mcco.cc.o.d"
+  "/root/repo/src/baselines/ncf.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/ncf.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/ncf.cc.o.d"
+  "/root/repo/src/baselines/ntm.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/ntm.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/ntm.cc.o.d"
+  "/root/repo/src/baselines/p_tucker.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/p_tucker.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/p_tucker.cc.o.d"
+  "/root/repo/src/baselines/popularity.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/popularity.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/popularity.cc.o.d"
+  "/root/repo/src/baselines/pure_svd.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/pure_svd.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/pure_svd.cc.o.d"
+  "/root/repo/src/baselines/recommender.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/recommender.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/recommender.cc.o.d"
+  "/root/repo/src/baselines/stan.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/stan.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/stan.cc.o.d"
+  "/root/repo/src/baselines/stgn.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/stgn.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/stgn.cc.o.d"
+  "/root/repo/src/baselines/strnn.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/strnn.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/strnn.cc.o.d"
+  "/root/repo/src/baselines/tucker_hooi.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/tucker_hooi.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/tucker_hooi.cc.o.d"
+  "/root/repo/src/baselines/user_knn.cc" "src/CMakeFiles/tcss_baselines.dir/baselines/user_knn.cc.o" "gcc" "src/CMakeFiles/tcss_baselines.dir/baselines/user_knn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_common.dir/common/logging.cc.o"
+  "CMakeFiles/tcss_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/tcss_common.dir/common/rng.cc.o"
+  "CMakeFiles/tcss_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/tcss_common.dir/common/status.cc.o"
+  "CMakeFiles/tcss_common.dir/common/status.cc.o.d"
+  "CMakeFiles/tcss_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/tcss_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/tcss_common.dir/common/strings.cc.o"
+  "CMakeFiles/tcss_common.dir/common/strings.cc.o.d"
+  "libtcss_common.a"
+  "libtcss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fold_in.cc" "src/CMakeFiles/tcss_core.dir/core/fold_in.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/fold_in.cc.o.d"
+  "/root/repo/src/core/hausdorff_loss.cc" "src/CMakeFiles/tcss_core.dir/core/hausdorff_loss.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/hausdorff_loss.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/tcss_core.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/recommend.cc" "src/CMakeFiles/tcss_core.dir/core/recommend.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/recommend.cc.o.d"
+  "/root/repo/src/core/spectral_init.cc" "src/CMakeFiles/tcss_core.dir/core/spectral_init.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/spectral_init.cc.o.d"
+  "/root/repo/src/core/tcss_config.cc" "src/CMakeFiles/tcss_core.dir/core/tcss_config.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/tcss_config.cc.o.d"
+  "/root/repo/src/core/tcss_model.cc" "src/CMakeFiles/tcss_core.dir/core/tcss_model.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/tcss_model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/tcss_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/trainer.cc.o.d"
+  "/root/repo/src/core/whole_data_loss.cc" "src/CMakeFiles/tcss_core.dir/core/whole_data_loss.cc.o" "gcc" "src/CMakeFiles/tcss_core.dir/core/whole_data_loss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

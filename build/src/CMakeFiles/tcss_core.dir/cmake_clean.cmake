@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_core.dir/core/fold_in.cc.o"
+  "CMakeFiles/tcss_core.dir/core/fold_in.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/hausdorff_loss.cc.o"
+  "CMakeFiles/tcss_core.dir/core/hausdorff_loss.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/model_io.cc.o"
+  "CMakeFiles/tcss_core.dir/core/model_io.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/recommend.cc.o"
+  "CMakeFiles/tcss_core.dir/core/recommend.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/spectral_init.cc.o"
+  "CMakeFiles/tcss_core.dir/core/spectral_init.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/tcss_config.cc.o"
+  "CMakeFiles/tcss_core.dir/core/tcss_config.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/tcss_model.cc.o"
+  "CMakeFiles/tcss_core.dir/core/tcss_model.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/trainer.cc.o"
+  "CMakeFiles/tcss_core.dir/core/trainer.cc.o.d"
+  "CMakeFiles/tcss_core.dir/core/whole_data_loss.cc.o"
+  "CMakeFiles/tcss_core.dir/core/whole_data_loss.cc.o.d"
+  "libtcss_core.a"
+  "libtcss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

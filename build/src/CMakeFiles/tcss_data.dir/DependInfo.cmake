@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_io.cc" "src/CMakeFiles/tcss_data.dir/data/csv_io.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/tcss_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/tcss_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/tcss_data.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/tcss_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/tensor_builder.cc" "src/CMakeFiles/tcss_data.dir/data/tensor_builder.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/tensor_builder.cc.o.d"
+  "/root/repo/src/data/time_binning.cc" "src/CMakeFiles/tcss_data.dir/data/time_binning.cc.o" "gcc" "src/CMakeFiles/tcss_data.dir/data/time_binning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

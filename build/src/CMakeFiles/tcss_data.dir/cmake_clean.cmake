@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_data.dir/data/csv_io.cc.o"
+  "CMakeFiles/tcss_data.dir/data/csv_io.cc.o.d"
+  "CMakeFiles/tcss_data.dir/data/dataset.cc.o"
+  "CMakeFiles/tcss_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/tcss_data.dir/data/split.cc.o"
+  "CMakeFiles/tcss_data.dir/data/split.cc.o.d"
+  "CMakeFiles/tcss_data.dir/data/stats.cc.o"
+  "CMakeFiles/tcss_data.dir/data/stats.cc.o.d"
+  "CMakeFiles/tcss_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/tcss_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/tcss_data.dir/data/tensor_builder.cc.o"
+  "CMakeFiles/tcss_data.dir/data/tensor_builder.cc.o.d"
+  "CMakeFiles/tcss_data.dir/data/time_binning.cc.o"
+  "CMakeFiles/tcss_data.dir/data/time_binning.cc.o.d"
+  "libtcss_data.a"
+  "libtcss_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

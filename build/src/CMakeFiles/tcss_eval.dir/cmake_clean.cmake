@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/tcss_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/tcss_eval.dir/eval/ranking_protocol.cc.o"
+  "CMakeFiles/tcss_eval.dir/eval/ranking_protocol.cc.o.d"
+  "libtcss_eval.a"
+  "libtcss_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

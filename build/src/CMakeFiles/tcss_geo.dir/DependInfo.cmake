@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo_point.cc" "src/CMakeFiles/tcss_geo.dir/geo/geo_point.cc.o" "gcc" "src/CMakeFiles/tcss_geo.dir/geo/geo_point.cc.o.d"
+  "/root/repo/src/geo/haversine.cc" "src/CMakeFiles/tcss_geo.dir/geo/haversine.cc.o" "gcc" "src/CMakeFiles/tcss_geo.dir/geo/haversine.cc.o.d"
+  "/root/repo/src/geo/location_entropy.cc" "src/CMakeFiles/tcss_geo.dir/geo/location_entropy.cc.o" "gcc" "src/CMakeFiles/tcss_geo.dir/geo/location_entropy.cc.o.d"
+  "/root/repo/src/geo/spatial_grid.cc" "src/CMakeFiles/tcss_geo.dir/geo/spatial_grid.cc.o" "gcc" "src/CMakeFiles/tcss_geo.dir/geo/spatial_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_geo.dir/geo/geo_point.cc.o"
+  "CMakeFiles/tcss_geo.dir/geo/geo_point.cc.o.d"
+  "CMakeFiles/tcss_geo.dir/geo/haversine.cc.o"
+  "CMakeFiles/tcss_geo.dir/geo/haversine.cc.o.d"
+  "CMakeFiles/tcss_geo.dir/geo/location_entropy.cc.o"
+  "CMakeFiles/tcss_geo.dir/geo/location_entropy.cc.o.d"
+  "CMakeFiles/tcss_geo.dir/geo/spatial_grid.cc.o"
+  "CMakeFiles/tcss_geo.dir/geo/spatial_grid.cc.o.d"
+  "libtcss_geo.a"
+  "libtcss_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_graph.dir/graph/personalized_pagerank.cc.o"
+  "CMakeFiles/tcss_graph.dir/graph/personalized_pagerank.cc.o.d"
+  "CMakeFiles/tcss_graph.dir/graph/social_graph.cc.o"
+  "CMakeFiles/tcss_graph.dir/graph/social_graph.cc.o.d"
+  "libtcss_graph.a"
+  "libtcss_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_linalg.dir/linalg/cholesky.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/cholesky.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/jacobi_eigen.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/jacobi_eigen.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/lanczos.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/lanczos.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/qr.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/qr.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/subspace_iteration.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/subspace_iteration.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/svd.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/svd.cc.o.d"
+  "CMakeFiles/tcss_linalg.dir/linalg/vector_ops.cc.o"
+  "CMakeFiles/tcss_linalg.dir/linalg/vector_ops.cc.o.d"
+  "libtcss_linalg.a"
+  "libtcss_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

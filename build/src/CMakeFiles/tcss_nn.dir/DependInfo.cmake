@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/tcss_nn.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/tcss_nn.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/tcss_nn.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/tcss_nn.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/tcss_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/tcss_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/tape.cc" "src/CMakeFiles/tcss_nn.dir/nn/tape.cc.o" "gcc" "src/CMakeFiles/tcss_nn.dir/nn/tape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

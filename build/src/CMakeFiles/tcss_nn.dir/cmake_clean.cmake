@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/tcss_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/tcss_nn.dir/nn/ops.cc.o"
+  "CMakeFiles/tcss_nn.dir/nn/ops.cc.o.d"
+  "CMakeFiles/tcss_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/tcss_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/tcss_nn.dir/nn/tape.cc.o"
+  "CMakeFiles/tcss_nn.dir/nn/tape.cc.o.d"
+  "libtcss_nn.a"
+  "libtcss_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/csf_tensor.cc" "src/CMakeFiles/tcss_tensor.dir/tensor/csf_tensor.cc.o" "gcc" "src/CMakeFiles/tcss_tensor.dir/tensor/csf_tensor.cc.o.d"
+  "/root/repo/src/tensor/dense_tensor.cc" "src/CMakeFiles/tcss_tensor.dir/tensor/dense_tensor.cc.o" "gcc" "src/CMakeFiles/tcss_tensor.dir/tensor/dense_tensor.cc.o.d"
+  "/root/repo/src/tensor/gram_operator.cc" "src/CMakeFiles/tcss_tensor.dir/tensor/gram_operator.cc.o" "gcc" "src/CMakeFiles/tcss_tensor.dir/tensor/gram_operator.cc.o.d"
+  "/root/repo/src/tensor/matricization.cc" "src/CMakeFiles/tcss_tensor.dir/tensor/matricization.cc.o" "gcc" "src/CMakeFiles/tcss_tensor.dir/tensor/matricization.cc.o.d"
+  "/root/repo/src/tensor/mttkrp.cc" "src/CMakeFiles/tcss_tensor.dir/tensor/mttkrp.cc.o" "gcc" "src/CMakeFiles/tcss_tensor.dir/tensor/mttkrp.cc.o.d"
+  "/root/repo/src/tensor/sparse_tensor.cc" "src/CMakeFiles/tcss_tensor.dir/tensor/sparse_tensor.cc.o" "gcc" "src/CMakeFiles/tcss_tensor.dir/tensor/sparse_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcss_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

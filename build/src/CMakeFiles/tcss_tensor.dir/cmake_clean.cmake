@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss_tensor.dir/tensor/csf_tensor.cc.o"
+  "CMakeFiles/tcss_tensor.dir/tensor/csf_tensor.cc.o.d"
+  "CMakeFiles/tcss_tensor.dir/tensor/dense_tensor.cc.o"
+  "CMakeFiles/tcss_tensor.dir/tensor/dense_tensor.cc.o.d"
+  "CMakeFiles/tcss_tensor.dir/tensor/gram_operator.cc.o"
+  "CMakeFiles/tcss_tensor.dir/tensor/gram_operator.cc.o.d"
+  "CMakeFiles/tcss_tensor.dir/tensor/matricization.cc.o"
+  "CMakeFiles/tcss_tensor.dir/tensor/matricization.cc.o.d"
+  "CMakeFiles/tcss_tensor.dir/tensor/mttkrp.cc.o"
+  "CMakeFiles/tcss_tensor.dir/tensor/mttkrp.cc.o.d"
+  "CMakeFiles/tcss_tensor.dir/tensor/sparse_tensor.cc.o"
+  "CMakeFiles/tcss_tensor.dir/tensor/sparse_tensor.cc.o.d"
+  "libtcss_tensor.a"
+  "libtcss_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

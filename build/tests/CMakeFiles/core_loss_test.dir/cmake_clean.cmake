@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_loss_test.dir/core_loss_test.cc.o"
+  "CMakeFiles/core_loss_test.dir/core_loss_test.cc.o.d"
+  "core_loss_test"
+  "core_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

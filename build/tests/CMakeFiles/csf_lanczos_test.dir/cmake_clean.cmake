@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csf_lanczos_test.dir/csf_lanczos_test.cc.o"
+  "CMakeFiles/csf_lanczos_test.dir/csf_lanczos_test.cc.o.d"
+  "csf_lanczos_test"
+  "csf_lanczos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csf_lanczos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_in_test.dir/fold_in_test.cc.o"
+  "CMakeFiles/fold_in_test.dir/fold_in_test.cc.o.d"
+  "fold_in_test"
+  "fold_in_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_in_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_common_test.dir/neural_common_test.cc.o"
+  "CMakeFiles/neural_common_test.dir/neural_common_test.cc.o.d"
+  "neural_common_test"
+  "neural_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

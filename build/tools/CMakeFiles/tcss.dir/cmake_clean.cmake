@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcss.dir/tcss_cli.cpp.o"
+  "CMakeFiles/tcss.dir/tcss_cli.cpp.o.d"
+  "tcss"
+  "tcss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
