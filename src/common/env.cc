@@ -1,0 +1,139 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/strings.h"
+
+namespace tcss {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (f_ == nullptr) return Status::FailedPrecondition("file is closed");
+    if (data.empty()) return Status::OK();
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IOError("short write to " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (f_ == nullptr) return Status::FailedPrecondition("file is closed");
+    if (std::fflush(f_) != 0) return Status::IOError("flush failed " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return close_status_;
+    std::FILE* f = f_;
+    f_ = nullptr;
+    if (std::fclose(f) != 0) {
+      close_status_ = Status::IOError("close failed " + path_);
+    }
+    return close_status_;
+  }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+  Status close_status_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IOError("cannot open " + path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename " + from + " -> " + to + " failed");
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::IOError("cannot delete " + path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("cannot create directory " + path);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override {
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) return Status::IOError("cannot list " + dir);
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Result<std::string> ReadFileToString(
+      const std::string& path) const override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IOError("cannot open " + path);
+    std::string out;
+    char buf[1 << 14];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.append(buf, n);
+    }
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) return Status::IOError("read failed " + path);
+    return out;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  auto file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  WritableFile* f = file.value().get();
+  TCSS_RETURN_IF_ERROR(f->Append(contents));
+  TCSS_RETURN_IF_ERROR(f->Flush());
+  TCSS_RETURN_IF_ERROR(f->Close());
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace tcss

@@ -1,0 +1,75 @@
+#ifndef TCSS_COMMON_ENV_H_
+#define TCSS_COMMON_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcss {
+
+/// Sequential-write file handle in the RocksDB/LevelDB style. Obtained from
+/// an Env; all persistence code (model_io, checkpointing) writes through
+/// this interface so tests can substitute a fault-injecting implementation
+/// and prove crash safety.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes user-space buffers to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  /// Flushes and closes. The handle is unusable afterwards; double-Close
+  /// is a no-op returning the first Close's status.
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem abstraction. Production code uses Env::Default()
+/// (POSIX/std::filesystem); tests swap in FaultInjectionEnv to simulate
+/// crashes, full disks and torn writes at any point of a save.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide real-filesystem Env; never null, not owned by callers.
+  static Env* Default();
+
+  /// Creates (truncating) a file for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Plain file names (not full paths) in `dir`, sorted ascending.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const = 0;
+
+  virtual Result<std::string> ReadFileToString(
+      const std::string& path) const = 0;
+};
+
+/// Writes `contents` to `path` crash-safely: the bytes go to
+/// "<path>.tmp", which is renamed onto `path` only after a successful
+/// flush + close. A failure at any step leaves the previous `path`
+/// (if any) untouched; a stale .tmp may remain and is overwritten by the
+/// next attempt.
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents);
+
+}  // namespace tcss
+
+#endif  // TCSS_COMMON_ENV_H_

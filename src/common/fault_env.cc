@@ -1,0 +1,97 @@
+#include "common/fault_env.h"
+
+namespace tcss {
+namespace {
+
+Status Crashed(const char* op) {
+  return Status::IOError(std::string("injected fault: ") + op);
+}
+
+}  // namespace
+
+/// Wraps a real WritableFile and routes every mutation through the
+/// owning env's fault countdown.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(std::unique_ptr<WritableFile> base,
+                             FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->NextOpFails()) {
+      if (env_->truncate_on_failure_ && !data.empty()) {
+        // Torn write: half the payload lands, then the "crash".
+        (void)base_->Append(data.substr(0, data.size() / 2));
+        (void)base_->Flush();
+      }
+      return Crashed("Append");
+    }
+    return base_->Append(data);
+  }
+
+  Status Flush() override {
+    if (env_->NextOpFails()) return Crashed("Flush");
+    return base_->Flush();
+  }
+
+  Status Close() override {
+    if (env_->NextOpFails()) {
+      // The data may never have reached the disk; drop the handle.
+      (void)base_->Close();
+      return Crashed("Close");
+    }
+    return base_->Close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+bool FaultInjectionEnv::NextOpFails() {
+  const int op = ops_attempted_++;
+  const bool fails = fail_after_ >= 0 && op >= fail_after_;
+  if (fails) ++ops_failed_;
+  return fails;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  if (NextOpFails()) return Crashed("NewWritableFile");
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(base.MoveValue(), this));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (NextOpFails()) return Crashed("RenameFile");
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  if (NextOpFails()) return Crashed("DeleteFile");
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) const {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  if (NextOpFails()) return Crashed("CreateDirs");
+  return base_->CreateDirs(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) const {
+  return base_->ListDir(dir);
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) const {
+  return base_->ReadFileToString(path);
+}
+
+}  // namespace tcss

@@ -1,0 +1,78 @@
+#ifndef TCSS_COMMON_FAULT_ENV_H_
+#define TCSS_COMMON_FAULT_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace tcss {
+
+/// Env wrapper that simulates a crash (or a full disk) part-way through a
+/// save. Every *mutating* operation — Append, Flush, Close, Rename,
+/// Delete, directory creation — consumes one tick of a countdown; once the
+/// countdown reaches zero, that operation and every later one fail with
+/// IOError, as if the process had died at that instant. Optionally the
+/// failing Append first writes a prefix of its payload, modelling a torn
+/// write.
+///
+/// Read operations are passed through untouched so tests can inspect the
+/// resulting filesystem state ("what would a restarted process see?").
+///
+/// Typical atomicity sweep:
+///
+///   for (int k = 0; ; ++k) {
+///     FaultInjectionEnv env(Env::Default());
+///     env.set_fail_after(k);
+///     Status st = SaveSomething(&env, ...);
+///     if (st.ok()) break;            // k exceeded the total op count
+///     // Crash happened at op k: loading must still see a valid file.
+///   }
+class FaultInjectionEnv : public Env {
+ public:
+  /// `base` must outlive this wrapper; typically Env::Default().
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Fails the (k+1)-th mutating operation and all later ones.
+  /// Negative k disables injection (the default).
+  void set_fail_after(int k) { fail_after_ = k; }
+
+  /// When enabled, the failing Append writes the first half of its payload
+  /// before reporting the error (torn write). Later ops still fail clean.
+  void set_truncate_on_failure(bool v) { truncate_on_failure_ = v; }
+
+  /// Mutating operations attempted so far (successful or not). Run a save
+  /// once with injection disabled to learn the total op count to sweep.
+  int ops_attempted() const { return ops_attempted_; }
+
+  int ops_failed() const { return ops_failed_; }
+
+  // Env interface -------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override;
+  Result<std::string> ReadFileToString(
+      const std::string& path) const override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  /// Consumes one tick; returns true if this operation must fail.
+  bool NextOpFails();
+
+  Env* base_;
+  int fail_after_ = -1;
+  bool truncate_on_failure_ = false;
+  int ops_attempted_ = 0;
+  int ops_failed_ = 0;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_COMMON_FAULT_ENV_H_

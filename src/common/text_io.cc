@@ -1,0 +1,91 @@
+#include "common/text_io.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tcss {
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::string_view TextScanner::NextToken() {
+  while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
+  const size_t start = pos_;
+  while (pos_ < text_.size() && !IsSpace(text_[pos_])) ++pos_;
+  return text_.substr(start, pos_ - start);
+}
+
+bool TextScanner::AtEnd() {
+  while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
+  return pos_ == text_.size();
+}
+
+bool TextScanner::Expect(std::string_view expected) {
+  return NextToken() == expected;
+}
+
+bool TextScanner::NextDouble(double* out) {
+  const std::string_view tok = NextToken();
+  if (tok.empty() || tok.size() > 63) return false;
+  char buf[64];
+  tok.copy(buf, tok.size());
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool TextScanner::NextSize(size_t* out) {
+  const std::string_view tok = NextToken();
+  if (tok.empty() || tok.size() > 19) return false;
+  size_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool TextScanner::NextInt64(int64_t* out) {
+  std::string_view tok = NextToken();
+  if (tok.empty()) return false;
+  bool neg = false;
+  if (tok[0] == '-') {
+    neg = true;
+    tok.remove_prefix(1);
+  }
+  if (tok.empty() || tok.size() > 18) return false;
+  int64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+bool TextScanner::NextHex32(uint32_t* out) {
+  const std::string_view tok = NextToken();
+  if (tok.size() != 8) return false;
+  uint32_t v = 0;
+  for (char c : tok) {
+    uint32_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace tcss

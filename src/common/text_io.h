@@ -1,0 +1,47 @@
+#ifndef TCSS_COMMON_TEXT_IO_H_
+#define TCSS_COMMON_TEXT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tcss {
+
+/// Whitespace-delimited token reader over an in-memory buffer. The
+/// persistence formats (TCSSv1 models, TCKPv1 checkpoints) are token
+/// streams of keywords, integers and hex floats; loading a whole file into
+/// memory and scanning it beats repeated fscanf and makes CRC validation
+/// of the exact byte range trivial.
+class TextScanner {
+ public:
+  explicit TextScanner(std::string_view text) : text_(text) {}
+
+  /// Next token, or empty view at end of input.
+  std::string_view NextToken();
+
+  /// True if only whitespace remains.
+  bool AtEnd();
+
+  /// Reads a token and requires it to equal `expected`.
+  bool Expect(std::string_view expected);
+
+  /// Parses the next token as a double. Accepts the C99 hex-float form
+  /// ("0x1.8p+1") that the writers emit, as well as "nan"/"inf" (callers
+  /// decide whether non-finite values are acceptable).
+  bool NextDouble(double* out);
+
+  /// Parses the next token as a non-negative integer.
+  bool NextSize(size_t* out);
+  bool NextInt64(int64_t* out);
+
+  /// Parses the next token as exactly 8 lowercase hex digits.
+  bool NextHex32(uint32_t* out);
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_COMMON_TEXT_IO_H_

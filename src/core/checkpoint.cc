@@ -1,0 +1,187 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "common/text_io.h"
+#include "core/model_io.h"
+
+namespace tcss {
+namespace {
+
+constexpr const char kMagic[] = "TCKPv1";
+constexpr const char kFilePrefix[] = "ckpt-";
+constexpr const char kFileSuffix[] = ".tckp";
+
+// Appends one Adam-moment section: h vector then the three matrices, all
+// shapes implied by the model header.
+void AppendMoments(const char* label, const FactorGrads& g,
+                   std::string* out) {
+  out->append(label);
+  out->push_back('\n');
+  AppendVectorText(g.h, out);
+  AppendMatrixText(g.u1, out);
+  AppendMatrixText(g.u2, out);
+  AppendMatrixText(g.u3, out);
+}
+
+Status ScanMoments(TextScanner* scanner, const char* label,
+                   const FactorModel& shape, FactorGrads* g) {
+  if (!scanner->Expect(label)) {
+    return Status::IOError(std::string("missing section ") + label);
+  }
+  TCSS_RETURN_IF_ERROR(ScanVector(scanner, shape.h.size(), &g->h));
+  TCSS_RETURN_IF_ERROR(
+      ScanMatrix(scanner, shape.u1.rows(), shape.u1.cols(), &g->u1));
+  TCSS_RETURN_IF_ERROR(
+      ScanMatrix(scanner, shape.u2.rows(), shape.u2.cols(), &g->u2));
+  TCSS_RETURN_IF_ERROR(
+      ScanMatrix(scanner, shape.u3.rows(), shape.u3.cols(), &g->u3));
+  return Status::OK();
+}
+
+// "ckpt-000123.tckp" -> 123; -1 when the name is not a checkpoint file.
+int EpochFromName(const std::string& name) {
+  const std::string_view prefix = kFilePrefix;
+  const std::string_view suffix = kFileSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  int epoch = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9' || epoch > 100'000'000) return -1;
+    epoch = epoch * 10 + (c - '0');
+  }
+  return epoch;
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const TrainerCheckpoint& ckpt) {
+  std::string out;
+  out.append(StrFormat("%s\n", kMagic));
+  out.append(StrFormat("epoch %d\n", ckpt.epoch));
+  out.append(StrFormat("adam_t %lld\n",
+                       static_cast<long long>(ckpt.adam_t)));
+  out.append(StrFormat("rotation %zu\n", ckpt.hausdorff_rotation));
+  out.append(StrFormat("lr_scale %a\n", ckpt.lr_scale));
+  out.append(SerializeFactorModel(ckpt.model));
+  AppendMoments("adam_m", ckpt.adam_m, &out);
+  AppendMoments("adam_v", ckpt.adam_v, &out);
+  AppendCrcFooter(&out);
+  return out;
+}
+
+Result<TrainerCheckpoint> ParseCheckpoint(std::string_view text) {
+  // Integrity first: any truncation or corruption anywhere in the file —
+  // including mid-token — fails the CRC before parsing starts.
+  std::string_view payload;
+  TCSS_RETURN_IF_ERROR(ValidateCrcFooter(text, &payload));
+
+  TextScanner scanner(payload);
+  if (!scanner.Expect(kMagic)) return Status::IOError("bad checkpoint magic");
+  TrainerCheckpoint ckpt;
+  int64_t epoch64 = 0;
+  if (!scanner.Expect("epoch") || !scanner.NextInt64(&epoch64) ||
+      epoch64 < 0 || epoch64 > 100'000'000) {
+    return Status::IOError("bad epoch field");
+  }
+  ckpt.epoch = static_cast<int>(epoch64);
+  if (!scanner.Expect("adam_t") || !scanner.NextInt64(&ckpt.adam_t) ||
+      ckpt.adam_t < 0) {
+    return Status::IOError("bad adam_t field");
+  }
+  if (!scanner.Expect("rotation") ||
+      !scanner.NextSize(&ckpt.hausdorff_rotation)) {
+    return Status::IOError("bad rotation field");
+  }
+  if (!scanner.Expect("lr_scale") || !scanner.NextDouble(&ckpt.lr_scale) ||
+      !std::isfinite(ckpt.lr_scale) || ckpt.lr_scale <= 0.0) {
+    return Status::IOError("bad lr_scale field");
+  }
+  auto model = ParseFactorModel(&scanner);
+  if (!model.ok()) return model.status();
+  ckpt.model = model.MoveValue();
+  TCSS_RETURN_IF_ERROR(
+      ScanMoments(&scanner, "adam_m", ckpt.model, &ckpt.adam_m));
+  TCSS_RETURN_IF_ERROR(
+      ScanMoments(&scanner, "adam_v", ckpt.model, &ckpt.adam_v));
+  if (!scanner.AtEnd()) {
+    return Status::IOError("trailing garbage in checkpoint");
+  }
+  return ckpt;
+}
+
+CheckpointManager::CheckpointManager(CheckpointOptions options)
+    : options_(std::move(options)) {
+  if (options_.env == nullptr) options_.env = Env::Default();
+  if (options_.every < 1) options_.every = 1;
+  if (options_.retain < 1) options_.retain = 1;
+}
+
+Status CheckpointManager::Init() {
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("checkpoint dir is empty");
+  }
+  return options_.env->CreateDirs(options_.dir);
+}
+
+std::string CheckpointManager::PathForEpoch(int epoch) const {
+  return options_.dir + "/" +
+         StrFormat("%s%06d%s", kFilePrefix, epoch, kFileSuffix);
+}
+
+std::vector<int> CheckpointManager::ListEpochs() const {
+  std::vector<int> epochs;
+  auto names = options_.env->ListDir(options_.dir);
+  if (!names.ok()) return epochs;
+  for (const std::string& name : names.value()) {
+    const int e = EpochFromName(name);
+    if (e >= 0) epochs.push_back(e);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status CheckpointManager::Save(const TrainerCheckpoint& ckpt) {
+  TCSS_RETURN_IF_ERROR(AtomicWriteFile(options_.env, PathForEpoch(ckpt.epoch),
+                                       SerializeCheckpoint(ckpt)));
+  // Retention. Best-effort: a file that refuses to die must not fail the
+  // save that just succeeded.
+  std::vector<int> epochs = ListEpochs();
+  if (epochs.size() > static_cast<size_t>(options_.retain)) {
+    for (size_t i = 0; i + options_.retain < epochs.size(); ++i) {
+      (void)options_.env->DeleteFile(PathForEpoch(epochs[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TrainerCheckpoint> CheckpointManager::Load(
+    const std::string& path) const {
+  auto contents = options_.env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  auto ckpt = ParseCheckpoint(contents.value());
+  if (!ckpt.ok()) {
+    return Status::IOError(ckpt.status().message() + " in " + path);
+  }
+  return ckpt;
+}
+
+Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
+  std::vector<int> epochs = ListEpochs();
+  // Newest first; skip over torn or corrupt files so one bad snapshot
+  // costs `every` epochs of progress, not the whole run.
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    auto ckpt = Load(PathForEpoch(*it));
+    if (ckpt.ok()) return ckpt;
+  }
+  return Status::NotFound("no valid checkpoint in " + options_.dir);
+}
+
+}  // namespace tcss

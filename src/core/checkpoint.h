@@ -1,0 +1,88 @@
+#ifndef TCSS_CORE_CHECKPOINT_H_
+#define TCSS_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "core/factor_model.h"
+
+namespace tcss {
+
+/// Everything needed to continue a TcssTrainer run bit-identically from
+/// the end of some epoch: the model, the Adam moments + step counter, the
+/// epoch number, the Hausdorff minibatch cursor, and the divergence-guard
+/// learning-rate scale.
+struct TrainerCheckpoint {
+  FactorModel model;
+  FactorGrads adam_m;
+  FactorGrads adam_v;
+  int64_t adam_t = 0;
+  int epoch = 0;                 ///< epochs fully completed
+  size_t hausdorff_rotation = 0;
+  double lr_scale = 1.0;         ///< divergence-backoff multiplier
+};
+
+/// In-memory (de)serialization of the TCKPv1 checkpoint format: a text
+/// token stream (hex floats, exact double round-trip) ending in a CRC32
+/// footer over every preceding byte. See DESIGN.md "Crash safety".
+std::string SerializeCheckpoint(const TrainerCheckpoint& ckpt);
+Result<TrainerCheckpoint> ParseCheckpoint(std::string_view text);
+
+/// Options for CheckpointManager.
+struct CheckpointOptions {
+  std::string dir;      ///< directory holding ckpt-<epoch>.tckp files
+  int every = 10;       ///< snapshot period in epochs (>= 1)
+  int retain = 3;       ///< keep the newest N checkpoints (>= 1)
+  Env* env = nullptr;   ///< defaults to Env::Default()
+};
+
+/// Writes and reads periodic training checkpoints crash-safely:
+///
+///  * Save() serializes to "<dir>/ckpt-<epoch>.tckp.tmp", then renames
+///    onto the final name — a crash at any instant leaves either the old
+///    set of checkpoints or the old set plus the complete new file, never
+///    a torn one under the real name.
+///  * Every file carries a CRC32 footer; LoadLatest() walks the directory
+///    newest-first and returns the first checkpoint that passes both the
+///    CRC and the structural parse, so stray corruption degrades to "resume
+///    from one snapshot earlier" instead of a crash or silent garbage.
+///  * After a successful save, checkpoints beyond `retain` are deleted
+///    oldest-first; deletion failures are ignored (retention is advisory,
+///    correctness never depends on it).
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointOptions options);
+
+  /// Creates the checkpoint directory. Call once before Save().
+  Status Init();
+
+  /// True when the epoch loop should snapshot after `epoch` completes.
+  bool ShouldSnapshot(int epoch) const {
+    return options_.every > 0 && epoch % options_.every == 0;
+  }
+
+  /// Atomically writes ckpt-<epoch>.tckp and applies retention.
+  Status Save(const TrainerCheckpoint& ckpt);
+
+  /// Most recent checkpoint that validates; NotFound if none exists.
+  Result<TrainerCheckpoint> LoadLatest() const;
+
+  /// Loads and validates one specific file.
+  Result<TrainerCheckpoint> Load(const std::string& path) const;
+
+  /// Epochs of the on-disk checkpoint files, ascending (no validation).
+  std::vector<int> ListEpochs() const;
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  std::string PathForEpoch(int epoch) const;
+
+  CheckpointOptions options_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_CORE_CHECKPOINT_H_

@@ -29,10 +29,14 @@ struct FactorModel {
   }
 };
 
-/// Gradient accumulator shaped like a FactorModel.
+/// Gradient accumulator shaped like a FactorModel. Also reused as the
+/// container for Adam moment estimates (same shape as the model).
 struct FactorGrads {
   Matrix u1, u2, u3;
   std::vector<double> h;
+
+  /// Empty shape; filled in by deserialization (checkpoint restore).
+  FactorGrads() = default;
 
   explicit FactorGrads(const FactorModel& m)
       : u1(m.u1.rows(), m.u1.cols()),

@@ -65,6 +65,14 @@ class SocialHausdorffLoss {
     return friend_pois_[user];
   }
 
+  /// Rotating-minibatch cursor over eligible users. Checkpointed and
+  /// restored by the trainer so a resumed run replays the exact same
+  /// minibatch sequence as an uninterrupted one.
+  size_t rotation() const { return rotation_; }
+  void set_rotation(size_t r) {
+    rotation_ = eligible_.empty() ? 0 : r % eligible_.size();
+  }
+
  private:
   const Dataset* data_;
   const SparseTensor* train_;

@@ -1,43 +1,73 @@
 #include "core/model_io.h"
 
-#include <cinttypes>
-#include <cstdio>
-#include <memory>
+#include <cmath>
 
+#include "common/crc32.h"
 #include "common/strings.h"
 
 namespace tcss {
 namespace {
 
-constexpr const char kMagic[] = "TCSSv1";
+constexpr const char kMagicV1[] = "TCSSv1";
+constexpr const char kMagicV2[] = "TCSSv2";
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
+/// Dims + h + U1..U3, shared by both format versions.
+std::string SerializeBody(const FactorModel& model) {
+  std::string out;
+  out.append(StrFormat("%zu %zu %zu %zu\n", model.u1.rows(),
+                       model.u2.rows(), model.u3.rows(), model.rank()));
+  AppendVectorText(model.h, &out);
+  AppendMatrixText(model.u1, &out);
+  AppendMatrixText(model.u2, &out);
+  AppendMatrixText(model.u3, &out);
+  return out;
+}
+
+Result<FactorModel> ParseBody(TextScanner* scanner) {
+  size_t I, J, K, r;
+  if (!scanner->NextSize(&I) || !scanner->NextSize(&J) ||
+      !scanner->NextSize(&K) || !scanner->NextSize(&r)) {
+    return Status::IOError("bad header");
   }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+  if (r == 0 || I == 0 || J == 0 || K == 0 || r > kMaxModelRank ||
+      I > kMaxModelDim || J > kMaxModelDim || K > kMaxModelDim) {
+    return Status::IOError("implausible dimensions");
+  }
+  FactorModel model;
+  TCSS_RETURN_IF_ERROR(ScanVector(scanner, r, &model.h));
+  TCSS_RETURN_IF_ERROR(ScanMatrix(scanner, I, r, &model.u1));
+  TCSS_RETURN_IF_ERROR(ScanMatrix(scanner, J, r, &model.u2));
+  TCSS_RETURN_IF_ERROR(ScanMatrix(scanner, K, r, &model.u3));
+  return model;
+}
 
-Status WriteMatrix(std::FILE* f, const Matrix& m) {
+}  // namespace
+
+void AppendMatrixText(const Matrix& m, std::string* out) {
   for (size_t i = 0; i < m.rows(); ++i) {
     for (size_t j = 0; j < m.cols(); ++j) {
       // Hex float round-trips doubles exactly.
-      if (std::fprintf(f, "%a%c", m(i, j),
-                       j + 1 == m.cols() ? '\n' : ' ') < 0) {
-        return Status::IOError("write failed");
-      }
+      out->append(StrFormat("%a%c", m(i, j), j + 1 == m.cols() ? '\n' : ' '));
     }
   }
-  return Status::OK();
 }
 
-Status ReadMatrix(std::FILE* f, size_t rows, size_t cols, Matrix* m) {
+void AppendVectorText(const std::vector<double>& v, std::string* out) {
+  for (size_t t = 0; t < v.size(); ++t) {
+    out->append(StrFormat("%a%c", v[t], t + 1 == v.size() ? '\n' : ' '));
+  }
+}
+
+Status ScanMatrix(TextScanner* scanner, size_t rows, size_t cols, Matrix* m) {
   m->Resize(rows, cols);
   for (size_t i = 0; i < rows; ++i) {
     for (size_t j = 0; j < cols; ++j) {
       double v;
-      if (std::fscanf(f, "%la", &v) != 1) {
-        return Status::IOError("truncated matrix data");
+      if (!scanner->NextDouble(&v)) {
+        return Status::IOError("truncated or malformed matrix data");
+      }
+      if (!std::isfinite(v)) {
+        return Status::IOError("non-finite matrix entry");
       }
       (*m)(i, j) = v;
     }
@@ -45,53 +75,61 @@ Status ReadMatrix(std::FILE* f, size_t rows, size_t cols, Matrix* m) {
   return Status::OK();
 }
 
-}  // namespace
-
-Status SaveFactorModel(const FactorModel& model, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "w"));
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  if (std::fprintf(f.get(), "%s\n%zu %zu %zu %zu\n", kMagic,
-                   model.u1.rows(), model.u2.rows(), model.u3.rows(),
-                   model.rank()) < 0) {
-    return Status::IOError("write failed");
-  }
-  for (size_t t = 0; t < model.h.size(); ++t) {
-    if (std::fprintf(f.get(), "%a%c", model.h[t],
-                     t + 1 == model.h.size() ? '\n' : ' ') < 0) {
-      return Status::IOError("write failed");
+Status ScanVector(TextScanner* scanner, size_t n, std::vector<double>* v) {
+  v->resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    if (!scanner->NextDouble(&(*v)[t])) {
+      return Status::IOError("truncated or malformed vector data");
+    }
+    if (!std::isfinite((*v)[t])) {
+      return Status::IOError("non-finite vector entry");
     }
   }
-  TCSS_RETURN_IF_ERROR(WriteMatrix(f.get(), model.u1));
-  TCSS_RETURN_IF_ERROR(WriteMatrix(f.get(), model.u2));
-  TCSS_RETURN_IF_ERROR(WriteMatrix(f.get(), model.u3));
   return Status::OK();
 }
 
-Result<FactorModel> LoadFactorModel(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  char magic[16] = {0};
-  if (std::fscanf(f.get(), "%15s", magic) != 1 ||
-      std::string(magic) != kMagic) {
-    return Status::IOError("bad magic in " + path);
-  }
-  size_t I, J, K, r;
-  if (std::fscanf(f.get(), "%zu %zu %zu %zu", &I, &J, &K, &r) != 4) {
-    return Status::IOError("bad header in " + path);
-  }
-  if (r == 0 || I == 0 || J == 0 || K == 0 || r > 4096) {
-    return Status::IOError("implausible dimensions in " + path);
-  }
-  FactorModel model;
-  model.h.resize(r);
-  for (size_t t = 0; t < r; ++t) {
-    if (std::fscanf(f.get(), "%la", &model.h[t]) != 1) {
-      return Status::IOError("truncated h vector");
+std::string SerializeFactorModel(const FactorModel& model) {
+  return std::string(kMagicV1) + "\n" + SerializeBody(model);
+}
+
+Result<FactorModel> ParseFactorModel(TextScanner* scanner) {
+  if (!scanner->Expect(kMagicV1)) return Status::IOError("bad magic");
+  return ParseBody(scanner);
+}
+
+Status SaveFactorModel(const FactorModel& model, const std::string& path,
+                       Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::string contents = std::string(kMagicV2) + "\n" + SerializeBody(model);
+  AppendCrcFooter(&contents);
+  return AtomicWriteFile(env, path, contents);
+}
+
+Result<FactorModel> LoadFactorModel(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::string_view text = contents.value();
+
+  const bool v2 = text.rfind(kMagicV2, 0) == 0;
+  std::string_view payload = text;
+  if (v2) {
+    Status crc = ValidateCrcFooter(text, &payload);
+    if (!crc.ok()) {
+      return Status::IOError(crc.message() + " in " + path);
     }
   }
-  TCSS_RETURN_IF_ERROR(ReadMatrix(f.get(), I, r, &model.u1));
-  TCSS_RETURN_IF_ERROR(ReadMatrix(f.get(), J, r, &model.u2));
-  TCSS_RETURN_IF_ERROR(ReadMatrix(f.get(), K, r, &model.u3));
+  TextScanner scanner(payload);
+  if (!scanner.Expect(v2 ? kMagicV2 : kMagicV1)) {
+    return Status::IOError("bad magic in " + path);
+  }
+  auto model = ParseBody(&scanner);
+  if (!model.ok()) {
+    return Status::IOError(model.status().message() + " in " + path);
+  }
+  if (!scanner.AtEnd()) {
+    return Status::IOError("trailing garbage after factors in " + path);
+  }
   return model;
 }
 

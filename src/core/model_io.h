@@ -2,21 +2,59 @@
 #define TCSS_CORE_MODEL_IO_H_
 
 #include <string>
+#include <string_view>
 
+#include "common/env.h"
 #include "common/status.h"
+#include "common/text_io.h"
 #include "core/factor_model.h"
 
 namespace tcss {
 
 /// Serializes a trained FactorModel to a file. The format is a simple
-/// versioned text format ("TCSSv1"), portable across platforms:
-///   header line, dims line (I J K r), then h and the three factor
-///   matrices row-major with full double precision (hex floats).
-Status SaveFactorModel(const FactorModel& model, const std::string& path);
+/// versioned text format, portable across platforms:
+///   magic line ("TCSSv2"), dims line (I J K r), then h and the three
+///   factor matrices row-major with full double precision (hex floats),
+///   terminated by a "CRC32 <hex>" integrity footer.
+/// The write is crash-safe: bytes go to "<path>.tmp" which is renamed onto
+/// `path` only after a successful close, so a crash mid-save leaves any
+/// previous file at `path` intact. `env` defaults to Env::Default().
+Status SaveFactorModel(const FactorModel& model, const std::string& path,
+                       Env* env = nullptr);
 
-/// Loads a FactorModel written by SaveFactorModel. Validates the header,
-/// dimensions and element counts.
-Result<FactorModel> LoadFactorModel(const std::string& path);
+/// Loads a FactorModel written by SaveFactorModel. For "TCSSv2" files the
+/// CRC footer is mandatory, so any truncation or bit corruption is
+/// detected; legacy "TCSSv1" files (no footer) still load with structural
+/// validation only. Both paths validate the header, bound the dimensions
+/// (so a corrupt header cannot trigger a huge allocation), and reject
+/// non-finite entries and trailing garbage.
+Result<FactorModel> LoadFactorModel(const std::string& path,
+                                    Env* env = nullptr);
+
+// --- Serialization building blocks (shared with the checkpoint format) ---
+
+/// Largest per-mode dimension / rank accepted by the loaders. Generous for
+/// any realistic LBSN, small enough that a corrupt header cannot OOM.
+inline constexpr size_t kMaxModelDim = 50'000'000;
+inline constexpr size_t kMaxModelRank = 4096;
+
+/// Appends `m` row-major as hex-float tokens, one row per line.
+void AppendMatrixText(const Matrix& m, std::string* out);
+
+/// Appends `v` as one line of hex-float tokens.
+void AppendVectorText(const std::vector<double>& v, std::string* out);
+
+/// Reads rows*cols doubles into `m`; fails on malformed tokens or
+/// non-finite values.
+Status ScanMatrix(TextScanner* scanner, size_t rows, size_t cols, Matrix* m);
+
+/// Reads n doubles into `v`; same validation as ScanMatrix.
+Status ScanVector(TextScanner* scanner, size_t n, std::vector<double>* v);
+
+/// In-memory TCSSv1-section writer/parser, embedded by the checkpoint
+/// format (whose own CRC footer covers the section, so none is nested).
+std::string SerializeFactorModel(const FactorModel& model);
+Result<FactorModel> ParseFactorModel(TextScanner* scanner);
 
 }  // namespace tcss
 

@@ -26,6 +26,12 @@ Status TcssModel::Fit(const TrainContext& ctx) {
 
 Status TcssModel::FitWithCallback(const TrainContext& ctx,
                                   const EpochCallback& callback) {
+  return FitWithOptions(ctx, TrainOptions{}, callback);
+}
+
+Status TcssModel::FitWithOptions(const TrainContext& ctx,
+                                 const TrainOptions& options,
+                                 const EpochCallback& callback) {
   if (ctx.data == nullptr || ctx.train == nullptr) {
     return Status::InvalidArgument("TcssModel::Fit: null context");
   }
@@ -33,7 +39,7 @@ Status TcssModel::FitWithCallback(const TrainContext& ctx,
     return Status::FailedPrecondition("TcssModel::Fit called twice");
   }
   TcssTrainer trainer(*ctx.data, *ctx.train, config_);
-  auto trained = trainer.Train(callback);
+  auto trained = trainer.Train(options, callback);
   if (!trained.ok()) return trained.status();
   factors_ = trained.MoveValue();
   num_pois_ = ctx.train->dim_j();

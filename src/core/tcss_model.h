@@ -31,6 +31,11 @@ class TcssModel : public Recommender {
   Status FitWithCallback(const TrainContext& ctx,
                          const EpochCallback& callback);
 
+  /// Fit with full resilience control: periodic checkpoints, resume,
+  /// divergence rollback, early stopping (see TrainOptions).
+  Status FitWithOptions(const TrainContext& ctx, const TrainOptions& options,
+                        const EpochCallback& callback = nullptr);
+
   /// Xhat(i,j,k); for the zero-out ablation, POIs outside the sigma radius
   /// of the user's own train POIs are pushed to -infinity-like scores.
   double Score(uint32_t i, uint32_t j, uint32_t k) const override;

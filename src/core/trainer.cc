@@ -1,11 +1,38 @@
 #include "core/trainer.h"
 
 #include <cmath>
+#include <limits>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "core/spectral_init.h"
 
 namespace tcss {
+namespace {
+
+/// Max-abs entry over all gradient blocks; +inf if any entry is NaN/Inf,
+/// so a single comparison catches both explosion and corruption.
+double GradMaxAbs(const FactorGrads& g) {
+  double m = 0.0;
+  auto scan = [&m](const double* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(p[i])) {
+        m = std::numeric_limits<double>::infinity();
+        return;
+      }
+      const double a = std::fabs(p[i]);
+      if (a > m) m = a;
+    }
+  };
+  scan(g.u1.data(), g.u1.size());
+  scan(g.u2.data(), g.u2.size());
+  scan(g.u3.data(), g.u3.size());
+  scan(g.h.data(), g.h.size());
+  return m;
+}
+
+}  // namespace
 
 TcssTrainer::TcssTrainer(const Dataset& data, const SparseTensor& train,
                          const TcssConfig& config)
@@ -77,39 +104,185 @@ double TcssTrainer::AddTemporalSmoothness(const FactorModel& model,
   return loss;
 }
 
+double TcssTrainer::ScheduledLr(int epoch) const {
+  double lr = config_.learning_rate;
+  if (epoch > config_.epochs * 17 / 20) {
+    lr *= config_.lr_step_factor * config_.lr_step_factor;
+  } else if (epoch > config_.epochs * 3 / 5) {
+    lr *= config_.lr_step_factor;
+  }
+  return lr;
+}
+
 Result<FactorModel> TcssTrainer::Train(const EpochCallback& callback) {
+  return Train(TrainOptions{}, callback);
+}
+
+Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
+                                       const EpochCallback& callback) {
   const std::string problem = config_.Validate();
   if (!problem.empty()) return Status::InvalidArgument(problem);
+  if (options.resume && options.checkpoints == nullptr) {
+    return Status::InvalidArgument("resume requested without checkpoints");
+  }
 
-  auto init = InitializeFactors(*train_, config_);
-  if (!init.ok()) return init.status();
-  FactorModel model = init.MoveValue();
+  FactorModel model;
+  int start_epoch = 0;        // epochs already completed
+  double lr_scale = 1.0;      // divergence-backoff multiplier
+
+  std::unique_ptr<AdamState> adam;
+  bool resumed = false;
+  if (options.resume) {
+    auto loaded = options.checkpoints->LoadLatest();
+    if (loaded.ok()) {
+      TrainerCheckpoint ckpt = loaded.MoveValue();
+      if (ckpt.model.u1.rows() != train_->dim_i() ||
+          ckpt.model.u2.rows() != train_->dim_j() ||
+          ckpt.model.u3.rows() != train_->dim_k() ||
+          ckpt.model.rank() != config_.rank) {
+        return Status::InvalidArgument(
+            "checkpoint shape does not match the training tensor/config");
+      }
+      model = std::move(ckpt.model);
+      adam = std::make_unique<AdamState>(model);
+      adam->m = std::move(ckpt.adam_m);
+      adam->v = std::move(ckpt.adam_v);
+      adam->t = ckpt.adam_t;
+      start_epoch = ckpt.epoch;
+      lr_scale = ckpt.lr_scale;
+      if (hausdorff_ != nullptr) {
+        hausdorff_->set_rotation(ckpt.hausdorff_rotation);
+      }
+      resumed = true;
+      TCSS_LOG(Info) << "resuming training from checkpoint at epoch "
+                     << start_epoch;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+  if (!resumed) {
+    auto init = InitializeFactors(*train_, config_);
+    if (!init.ok()) return init.status();
+    model = init.MoveValue();
+    adam = std::make_unique<AdamState>(model);
+  }
 
   FactorGrads grads(model);
-  AdamState adam(model);
 
-  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+  // Last state whose *forward* loss was verified finite. Rolling back here
+  // and shrinking the LR changes the trajectory that diverged; rolling
+  // back a single step would recompute the identical non-finite loss.
+  TrainerCheckpoint last_good;
+  auto record_last_good = [&](int completed_epochs) {
+    last_good.model = model;
+    last_good.adam_m = adam->m;
+    last_good.adam_v = adam->v;
+    last_good.adam_t = adam->t;
+    last_good.epoch = completed_epochs;
+    last_good.hausdorff_rotation =
+        hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
+    last_good.lr_scale = lr_scale;
+  };
+  record_last_good(start_epoch);
+
+  int rollbacks = 0;
+  double best_monitored = std::numeric_limits<double>::infinity();
+  int plateau_streak = 0;
+
+  for (int epoch = start_epoch + 1; epoch <= config_.epochs; ++epoch) {
     Stopwatch sw;
     grads.Zero();
     EpochStats stats;
     stats.epoch = epoch;
+    const size_t rotation_before =
+        hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
     stats.loss_l2 = l2_->ComputeWithGrads(model, *train_, &grads);
     if (hausdorff_ != nullptr) {
       stats.loss_l1 =
           hausdorff_->ComputeWithGrads(model, config_.lambda, &grads);
     }
     if (config_.temporal_smoothness > 0.0) {
-      AddTemporalSmoothness(model, config_.temporal_smoothness, &grads);
+      stats.loss_ts =
+          AddTemporalSmoothness(model, config_.temporal_smoothness, &grads);
     }
-    double lr = config_.learning_rate;
-    if (epoch > config_.epochs * 17 / 20) {
-      lr *= config_.lr_step_factor * config_.lr_step_factor;
-    } else if (epoch > config_.epochs * 3 / 5) {
-      lr *= config_.lr_step_factor;
+    stats.grad_norm = GradMaxAbs(grads);
+
+    const bool diverged =
+        !std::isfinite(stats.TotalLoss()) ||
+        !std::isfinite(stats.grad_norm) ||
+        (options.grad_norm_limit > 0.0 &&
+         stats.grad_norm > options.grad_norm_limit);
+    if (diverged) {
+      if (rollbacks >= options.max_divergence_retries) {
+        return Status::NotConverged(StrFormat(
+            "divergence at epoch %d (loss=%g, grad_norm=%g): %d rollback "
+            "retries with LR backoff %g exhausted; lower the learning rate",
+            epoch, stats.TotalLoss(), stats.grad_norm, rollbacks,
+            options.lr_backoff));
+      }
+      ++rollbacks;
+      lr_scale *= options.lr_backoff;  // compounds across retries
+      TCSS_LOG(Warning) << "divergence at epoch " << epoch
+                        << " (loss=" << stats.TotalLoss()
+                        << ", grad_norm=" << stats.grad_norm
+                        << "); rolling back to epoch " << last_good.epoch
+                        << " with lr_scale " << lr_scale;
+      model = last_good.model;
+      adam->m = last_good.adam_m;
+      adam->v = last_good.adam_v;
+      adam->t = last_good.adam_t;
+      if (hausdorff_ != nullptr) {
+        hausdorff_->set_rotation(last_good.hausdorff_rotation);
+      }
+      epoch = last_good.epoch;  // loop increment restarts at epoch + 1
+      continue;
     }
-    AdamStep(&model, grads, &adam, lr);
+
+    // The forward pass from the pre-step state was finite, so that state
+    // is a safe rollback target (capture it before the step mutates it).
+    last_good.model = model;
+    last_good.adam_m = adam->m;
+    last_good.adam_v = adam->v;
+    last_good.adam_t = adam->t;
+    last_good.epoch = epoch - 1;
+    last_good.hausdorff_rotation = rotation_before;
+    last_good.lr_scale = lr_scale;
+
+    stats.lr = ScheduledLr(epoch) * lr_scale;
+    stats.rollbacks = rollbacks;
+    AdamStep(&model, grads, adam.get(), stats.lr);
     stats.seconds = sw.ElapsedSeconds();
     if (callback) callback(stats, model);
+
+    if (options.checkpoints != nullptr &&
+        (options.checkpoints->ShouldSnapshot(epoch) ||
+         epoch == config_.epochs)) {
+      TrainerCheckpoint ckpt;
+      ckpt.model = model;
+      ckpt.adam_m = adam->m;
+      ckpt.adam_v = adam->v;
+      ckpt.adam_t = adam->t;
+      ckpt.epoch = epoch;
+      ckpt.hausdorff_rotation =
+          hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
+      ckpt.lr_scale = lr_scale;
+      TCSS_RETURN_IF_ERROR(options.checkpoints->Save(ckpt));
+    }
+
+    if (options.plateau_patience > 0) {
+      const double monitored = options.validation_metric
+                                   ? options.validation_metric(model)
+                                   : stats.TotalLoss();
+      if (monitored < best_monitored - options.plateau_min_delta) {
+        best_monitored = monitored;
+        plateau_streak = 0;
+      } else if (++plateau_streak >= options.plateau_patience) {
+        TCSS_LOG(Info) << "early stop at epoch " << epoch
+                       << ": monitored value plateaued at "
+                       << best_monitored;
+        break;
+      }
+    }
   }
   return model;
 }

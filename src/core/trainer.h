@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/factor_model.h"
 #include "core/hausdorff_loss.h"
 #include "core/tcss_config.h"
@@ -19,13 +20,56 @@ struct EpochStats {
   int epoch = 0;
   double loss_l2 = 0.0;       ///< least-squares head value
   double loss_l1 = 0.0;       ///< social Hausdorff head value (extrapolated)
+  double loss_ts = 0.0;       ///< temporal-smoothness penalty value
+  double grad_norm = 0.0;     ///< max-abs entry over all gradients
+  double lr = 0.0;            ///< effective learning rate of this epoch
+  int rollbacks = 0;          ///< divergence rollbacks so far in the run
   double seconds = 0.0;       ///< wall time of the epoch
+
+  double TotalLoss() const { return loss_l2 + loss_l1 + loss_ts; }
 };
 
 /// Called after every epoch with stats and the current factors (e.g. to
 /// record convergence curves, Fig 9).
 using EpochCallback =
     std::function<void(const EpochStats&, const FactorModel&)>;
+
+/// Resilience knobs of TcssTrainer::Train. Defaults preserve the classic
+/// behavior (no checkpoints, no early stop) except that non-finite
+/// losses/gradients now trigger rollback + LR backoff instead of silently
+/// training on NaN — a run that stays finite is bit-identical to before.
+struct TrainOptions {
+  /// Periodic crash-safe snapshots. Not owned; may be null (no
+  /// checkpointing). Call CheckpointManager::Init() before training.
+  CheckpointManager* checkpoints = nullptr;
+
+  /// Restore model + optimizer state + epoch counter from the newest valid
+  /// checkpoint and continue; a missing checkpoint falls back to a cold
+  /// start. Requires `checkpoints`. A resumed run replays the exact
+  /// floating-point trajectory of an uninterrupted one (deterministic loss
+  /// modes; kNegativeSampling redraws its samples).
+  bool resume = false;
+
+  /// Divergence guard: on a non-finite loss/gradient (or grad_norm above
+  /// `grad_norm_limit`), roll back to the last verified-good state and
+  /// multiply the learning rate by `lr_backoff`. After
+  /// `max_divergence_retries` rollbacks the run aborts with
+  /// Status::NotConverged.
+  int max_divergence_retries = 3;
+  double lr_backoff = 0.5;
+  /// Extra explosion guard on the max-abs gradient entry; 0 disables it
+  /// (non-finite values are always caught).
+  double grad_norm_limit = 0.0;
+
+  /// Early stopping: stop once the monitored value fails to improve by
+  /// more than `plateau_min_delta` for `plateau_patience` consecutive
+  /// epochs. 0 disables. The monitored value is `validation_metric(model)`
+  /// when set (lower is better — pass e.g. negated Hit@10), otherwise the
+  /// epoch's total training loss.
+  int plateau_patience = 0;
+  double plateau_min_delta = 1e-4;
+  std::function<double(const FactorModel&)> validation_metric;
+};
 
 /// Joint trainer of L = lambda * L1 + L2 (Eq 20) with Adam, entirely on
 /// hand-derived analytic gradients.
@@ -35,8 +79,14 @@ class TcssTrainer {
   TcssTrainer(const Dataset& data, const SparseTensor& train,
               const TcssConfig& config);
 
-  /// Runs config.epochs epochs from the configured initialization.
+  /// Runs config.epochs epochs from the configured initialization with
+  /// default TrainOptions.
   Result<FactorModel> Train(const EpochCallback& callback = nullptr);
+
+  /// Full-control variant: checkpoint/resume, divergence guards with
+  /// rollback + LR backoff, optional early stopping.
+  Result<FactorModel> Train(const TrainOptions& options,
+                            const EpochCallback& callback);
 
   /// Measures the wall time of a single gradient evaluation of the L2 head
   /// under the given mode, on a freshly initialized model (Table IV).
@@ -62,6 +112,10 @@ class TcssTrainer {
 
   void AdamStep(FactorModel* model, const FactorGrads& grads,
                 AdamState* state, double lr) const;
+
+  /// Learning rate of `epoch` under the step schedule (before any
+  /// divergence backoff).
+  double ScheduledLr(int epoch) const;
 
   const Dataset* data_;
   const SparseTensor* train_;

@@ -18,6 +18,16 @@ Status OpenForRead(const std::string& path, std::ifstream* in) {
   return Status::OK();
 }
 
+/// A full disk (or any write error) must yield IOError, not a silently
+/// truncated CSV: flush and inspect the stream state before returning.
+Status CloseChecked(std::ofstream* out, const char* name) {
+  out->flush();
+  if (!out->good()) {
+    return Status::IOError(std::string("write to ") + name + " failed");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveDatasetCsv(const Dataset& data, const std::string& dir) {
@@ -31,6 +41,7 @@ Status SaveDatasetCsv(const Dataset& data, const std::string& dir) {
           << StrFormat("%.7f", p.location.lon) << ','
           << static_cast<int>(p.category) << '\n';
     }
+    TCSS_RETURN_IF_ERROR(CloseChecked(&out, "pois.csv"));
   }
   {
     std::ofstream out(dir + "/checkins.csv");
@@ -39,6 +50,7 @@ Status SaveDatasetCsv(const Dataset& data, const std::string& dir) {
     for (const auto& c : data.checkins()) {
       out << c.user << ',' << c.poi << ',' << c.timestamp << '\n';
     }
+    TCSS_RETURN_IF_ERROR(CloseChecked(&out, "checkins.csv"));
   }
   {
     std::ofstream out(dir + "/friends.csv");
@@ -50,6 +62,7 @@ Status SaveDatasetCsv(const Dataset& data, const std::string& dir) {
         if (u < *p) out << u << ',' << *p << '\n';
       }
     }
+    TCSS_RETURN_IF_ERROR(CloseChecked(&out, "friends.csv"));
   }
   return Status::OK();
 }

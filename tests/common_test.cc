@@ -4,10 +4,14 @@
 #include <cmath>
 #include <set>
 
+#include "common/crc32.h"
+#include "common/env.h"
+#include "common/fault_env.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/text_io.h"
 
 namespace tcss {
 namespace {
@@ -196,6 +200,191 @@ TEST(StringsTest, ParseIndex) {
 TEST(StringsTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(Crc32Test, MatchesKnownAnswer) {
+  // The classic CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, IsIncremental) {
+  const std::string s = "the quick brown fox";
+  const uint32_t whole = Crc32(s);
+  uint32_t inc = Crc32(s.substr(0, 7));
+  inc = Crc32(s.substr(7), inc);
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32Test, FooterRoundTrips) {
+  std::string buf = "payload line 1\npayload line 2\n";
+  const std::string original = buf;
+  AppendCrcFooter(&buf);
+  std::string_view payload;
+  ASSERT_TRUE(ValidateCrcFooter(buf, &payload).ok());
+  EXPECT_EQ(payload, original);
+}
+
+TEST(Crc32Test, FooterCatchesCorruptionAndTruncation) {
+  std::string buf = "some payload\n";
+  AppendCrcFooter(&buf);
+  std::string_view payload;
+  // Flip a payload bit.
+  std::string bad = buf;
+  bad[2] ^= 0x01;
+  EXPECT_FALSE(ValidateCrcFooter(bad, &payload).ok());
+  // Flip a footer digit.
+  bad = buf;
+  bad[bad.size() - 2] = bad[bad.size() - 2] == '0' ? '1' : '0';
+  EXPECT_FALSE(ValidateCrcFooter(bad, &payload).ok());
+  // Every strict prefix fails — except dropping only the final newline,
+  // which leaves the checksum and payload complete (harmless).
+  for (size_t n = 0; n + 1 < buf.size(); ++n) {
+    EXPECT_FALSE(ValidateCrcFooter(buf.substr(0, n), &payload).ok())
+        << "prefix of " << n << " bytes validated";
+  }
+  // No footer at all.
+  EXPECT_FALSE(ValidateCrcFooter("no footer here\n", &payload).ok());
+}
+
+TEST(TextScannerTest, TokenizesAndParses) {
+  TextScanner s("hdr 12 -7 0x1.8p+1 deadbeef  \n");
+  EXPECT_TRUE(s.Expect("hdr"));
+  size_t n = 0;
+  EXPECT_TRUE(s.NextSize(&n));
+  EXPECT_EQ(n, 12u);
+  int64_t i = 0;
+  EXPECT_TRUE(s.NextInt64(&i));
+  EXPECT_EQ(i, -7);
+  double d = 0;
+  EXPECT_TRUE(s.NextDouble(&d));
+  EXPECT_DOUBLE_EQ(d, 3.0);
+  uint32_t h = 0;
+  EXPECT_TRUE(s.NextHex32(&h));
+  EXPECT_EQ(h, 0xDEADBEEFu);
+  EXPECT_TRUE(s.AtEnd());
+}
+
+TEST(TextScannerTest, RejectsMalformedTokens) {
+  {
+    TextScanner s("xyz");
+    size_t n;
+    EXPECT_FALSE(s.NextSize(&n));
+  }
+  {
+    TextScanner s("-3");
+    size_t n;
+    EXPECT_FALSE(s.NextSize(&n));
+  }
+  {
+    TextScanner s("1.5oops");
+    double d;
+    EXPECT_FALSE(s.NextDouble(&d));
+  }
+  {
+    TextScanner s("DEADBEEF");  // uppercase: not what the writer emits
+    uint32_t h;
+    EXPECT_FALSE(s.NextHex32(&h));
+  }
+  {
+    TextScanner s("abc");  // too short for hex32
+    uint32_t h;
+    EXPECT_FALSE(s.NextHex32(&h));
+  }
+  {
+    TextScanner s("");
+    EXPECT_TRUE(s.AtEnd());
+    EXPECT_FALSE(s.Expect("x"));
+  }
+}
+
+TEST(TextScannerTest, ParsesNonFiniteDoubles) {
+  // The scanner accepts them; format loaders reject them afterwards.
+  TextScanner s("nan inf -inf");
+  double d = 0;
+  EXPECT_TRUE(s.NextDouble(&d));
+  EXPECT_TRUE(std::isnan(d));
+  EXPECT_TRUE(s.NextDouble(&d));
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_TRUE(s.NextDouble(&d));
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(EnvTest, WriteListReadDelete) {
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/tcss_env_test";
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  const std::string path = dir + "/file.txt";
+  {
+    auto f = env->NewWritableFile(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()->Append("hello ").ok());
+    ASSERT_TRUE(f.value()->Append("world").ok());
+    ASSERT_TRUE(f.value()->Flush().ok());
+    ASSERT_TRUE(f.value()->Close().ok());
+  }
+  EXPECT_TRUE(env->FileExists(path));
+  auto contents = env->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello world");
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_NE(std::find(names.value().begin(), names.value().end(),
+                      "file.txt"),
+            names.value().end());
+  EXPECT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_FALSE(env->ReadFileToString(path).ok());
+}
+
+TEST(EnvTest, AtomicWriteFileReplacesAndSurvives) {
+  Env* env = Env::Default();
+  const std::string path = ::testing::TempDir() + "/tcss_atomic.txt";
+  ASSERT_TRUE(AtomicWriteFile(env, path, "first").ok());
+  ASSERT_TRUE(AtomicWriteFile(env, path, "second").ok());
+  auto contents = env->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "second");
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));  // tmp cleaned by rename
+}
+
+TEST(FaultEnvTest, CountdownFailsKthAndLaterOps) {
+  const std::string path = ::testing::TempDir() + "/tcss_fault.txt";
+  FaultInjectionEnv env(Env::Default());
+  env.set_fail_after(1);  // op 0 succeeds, op 1+ fail
+  auto f = env.NewWritableFile(path);  // op 0
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f.value()->Append("boom").ok());   // op 1: fails
+  EXPECT_FALSE(f.value()->Flush().ok());          // op 2: still failing
+  EXPECT_EQ(env.ops_attempted(), 3);
+  EXPECT_EQ(env.ops_failed(), 2);
+}
+
+TEST(FaultEnvTest, DisabledInjectionPassesThrough) {
+  const std::string path = ::testing::TempDir() + "/tcss_nofault.txt";
+  FaultInjectionEnv env(Env::Default());
+  ASSERT_TRUE(AtomicWriteFile(&env, path, "fine").ok());
+  auto contents = env.ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "fine");
+  EXPECT_GT(env.ops_attempted(), 0);
+  EXPECT_EQ(env.ops_failed(), 0);
+}
+
+TEST(FaultEnvTest, TruncateOnFailureTearsTheWrite) {
+  const std::string path = ::testing::TempDir() + "/tcss_torn.txt";
+  FaultInjectionEnv env(Env::Default());
+  env.set_fail_after(1);
+  env.set_truncate_on_failure(true);
+  auto f = env.NewWritableFile(path);  // op 0
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f.value()->Append("0123456789").ok());  // op 1: torn
+  // A restarted process sees a prefix of the payload, not all of it.
+  auto contents = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_LT(contents.value().size(), 10u);
+  EXPECT_EQ(contents.value(), std::string("0123456789")
+                                  .substr(0, contents.value().size()));
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -1,0 +1,171 @@
+// Corruption and crash-safety coverage for the TCSSv1 model format:
+// truncation, bad magic, implausible dims, non-finite payloads, trailing
+// garbage, and fault-injected saves must all surface as a non-OK Status
+// (never a crash) and must never leave a torn file behind.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/env.h"
+#include "common/fault_env.h"
+#include "common/rng.h"
+#include "core/model_io.h"
+
+namespace tcss {
+namespace {
+
+FactorModel RandomModel(size_t I, size_t J, size_t K, size_t r,
+                        uint64_t seed) {
+  Rng rng(seed);
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(I, r, &rng, 0.5);
+  m.u2 = Matrix::GaussianRandom(J, r, &rng, 0.5);
+  m.u3 = Matrix::GaussianRandom(K, r, &rng, 0.5);
+  m.h.resize(r);
+  for (auto& h : m.h) h = rng.Gaussian();
+  return m;
+}
+
+bool SameModel(const FactorModel& a, const FactorModel& b) {
+  if (a.rank() != b.rank()) return false;
+  for (size_t t = 0; t < a.rank(); ++t) {
+    if (a.h[t] != b.h[t]) return false;
+  }
+  return MaxAbsDiff(a.u1, b.u1) == 0.0 && MaxAbsDiff(a.u2, b.u2) == 0.0 &&
+         MaxAbsDiff(a.u3, b.u3) == 0.0;
+}
+
+Status WriteRaw(const std::string& path, const std::string& contents) {
+  auto f = Env::Default()->NewWritableFile(path);
+  if (!f.ok()) return f.status();
+  TCSS_RETURN_IF_ERROR(f.value()->Append(contents));
+  return f.value()->Close();
+}
+
+TEST(ModelIoCorruptionTest, TruncatedAtEveryPrefixIsRejected) {
+  const FactorModel m = RandomModel(4, 3, 5, 2, 9);
+  const std::string path = ::testing::TempDir() + "/trunc_model.txt";
+  ASSERT_TRUE(SaveFactorModel(m, path).ok());
+  auto contents = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  const std::string& full = contents.value();
+  // The mandatory CRC footer of the saved format catches *every* strict
+  // prefix — even one that cuts a hex-float token at a place that still
+  // parses. (Cutting only the final newline leaves the payload complete,
+  // hence the size()-1 bound.)
+  for (size_t n = 0; n + 1 < full.size(); ++n) {
+    ASSERT_TRUE(WriteRaw(path, full.substr(0, n)).ok());
+    auto loaded = LoadFactorModel(path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << n << " bytes parsed";
+  }
+  ASSERT_TRUE(WriteRaw(path, full).ok());
+  EXPECT_TRUE(LoadFactorModel(path).ok());
+}
+
+TEST(ModelIoCorruptionTest, SingleFlippedBitIsRejected) {
+  const FactorModel m = RandomModel(3, 3, 3, 2, 11);
+  const std::string path = ::testing::TempDir() + "/bitflip_model.txt";
+  ASSERT_TRUE(SaveFactorModel(m, path).ok());
+  auto contents = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string flipped = contents.value();
+  flipped[flipped.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteRaw(path, flipped).ok());
+  EXPECT_FALSE(LoadFactorModel(path).ok());
+}
+
+TEST(ModelIoCorruptionTest, RejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/bad_magic.txt";
+  ASSERT_TRUE(WriteRaw(path, "TCSSv9\n1 1 1 1\n0x1p+0\n").ok());
+  auto loaded = LoadFactorModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(ModelIoCorruptionTest, RejectsImplausibleDims) {
+  const std::string path = ::testing::TempDir() + "/bad_dims.txt";
+  // A corrupt header must not trigger a huge allocation: dims far beyond
+  // kMaxModelDim / kMaxModelRank are rejected before any resize.
+  const char* cases[] = {
+      "TCSSv1\n99999999999999 3 3 2\n",  // I overflow-scale
+      "TCSSv1\n3 99999999 3 2\n",        // J > kMaxModelDim
+      "TCSSv1\n3 3 3 5000\n",            // r > kMaxModelRank
+      "TCSSv1\n0 3 3 2\n",               // zero dim
+      "TCSSv1\n3 3 3 0\n",               // zero rank
+  };
+  for (const char* c : cases) {
+    ASSERT_TRUE(WriteRaw(path, c).ok());
+    auto loaded = LoadFactorModel(path);
+    ASSERT_FALSE(loaded.ok()) << c;
+    EXPECT_NE(loaded.status().message().find("implausible"),
+              std::string::npos)
+        << c;
+  }
+}
+
+TEST(ModelIoCorruptionTest, RejectsNonFinitePayload) {
+  const std::string path = ::testing::TempDir() + "/nan_model.txt";
+  // NaN in h.
+  ASSERT_TRUE(
+      WriteRaw(path, "TCSSv1\n1 1 1 1\nnan\n0x1p+0\n0x1p+0\n0x1p+0\n").ok());
+  EXPECT_FALSE(LoadFactorModel(path).ok());
+  // Inf in a factor matrix.
+  ASSERT_TRUE(
+      WriteRaw(path, "TCSSv1\n1 1 1 1\n0x1p+0\ninf\n0x1p+0\n0x1p+0\n").ok());
+  EXPECT_FALSE(LoadFactorModel(path).ok());
+}
+
+TEST(ModelIoCorruptionTest, RejectsTrailingGarbage) {
+  const FactorModel m = RandomModel(2, 2, 2, 2, 3);
+  const std::string path = ::testing::TempDir() + "/trailing_model.txt";
+  ASSERT_TRUE(WriteRaw(path, SerializeFactorModel(m) + "0x1p+0\n").ok());
+  auto loaded = LoadFactorModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ModelIoCorruptionTest, RejectsMalformedTokens) {
+  const std::string path = ::testing::TempDir() + "/malformed_model.txt";
+  ASSERT_TRUE(
+      WriteRaw(path, "TCSSv1\n1 1 1 1\nhello\n0x1p+0\n0x1p+0\n0x1p+0\n")
+          .ok());
+  EXPECT_FALSE(LoadFactorModel(path).ok());
+}
+
+TEST(ModelIoFaultInjectionTest, SaveIsAtomicUnderEveryFailurePoint) {
+  const FactorModel old_model = RandomModel(4, 3, 5, 2, 1);
+  const FactorModel new_model = RandomModel(4, 3, 5, 2, 2);
+  const std::string path = ::testing::TempDir() + "/atomic_model.txt";
+
+  // Learn the op count of a clean save.
+  FaultInjectionEnv probe(Env::Default());
+  ASSERT_TRUE(SaveFactorModel(new_model, path, &probe).ok());
+  const int total_ops = probe.ops_attempted();
+  ASSERT_GT(total_ops, 2);
+
+  for (int k = 0; k <= total_ops; ++k) {
+    // Start each round from a valid old file.
+    ASSERT_TRUE(SaveFactorModel(old_model, path).ok());
+    FaultInjectionEnv env(Env::Default());
+    env.set_fail_after(k);
+    env.set_truncate_on_failure(true);
+    const Status st = SaveFactorModel(new_model, path, &env);
+    auto loaded = LoadFactorModel(path);
+    ASSERT_TRUE(loaded.ok())
+        << "crash at op " << k << " tore the file: "
+        << loaded.status().ToString();
+    const bool is_old = SameModel(loaded.value(), old_model);
+    const bool is_new = SameModel(loaded.value(), new_model);
+    EXPECT_TRUE(is_old || is_new) << "crash at op " << k;
+    if (st.ok()) {
+      EXPECT_TRUE(is_new) << "successful save at op " << k
+                          << " must yield the new model";
+    } else {
+      EXPECT_TRUE(is_old) << "failed save at op " << k
+                          << " must leave the old model";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcss

@@ -62,6 +62,54 @@ TEST(TemporalSmoothnessTest, ReducesTimeFactorRoughness) {
             0.8 * TimeRoughness(rough.value()));
 }
 
+TEST(TemporalSmoothnessTest, PenaltyValueIsReportedInEpochStats) {
+  // Train() must surface the temporal-smoothness penalty it adds to the
+  // gradient as stats.loss_ts (it was silently discarded once).
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 3;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+  cfg.temporal_smoothness = 5.0;
+
+  TcssTrainer trainer(w.data, w.train, cfg);
+  double reported = -1.0;
+  FactorModel before;
+  bool captured = false;
+  auto result = trainer.Train(
+      [&](const EpochStats& s, const FactorModel& m) {
+        if (s.epoch == 1) {
+          reported = s.loss_ts;
+          before = m;  // post-step model; stats refer to the pre-step one
+          captured = true;
+        }
+        EXPECT_GT(s.loss_ts, 0.0) << "epoch " << s.epoch;
+        EXPECT_TRUE(std::isfinite(s.TotalLoss()));
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(captured);
+  EXPECT_GT(reported, 0.0);
+
+  // Cross-check the epoch-2 value exactly: recompute the penalty on the
+  // model the callback saw after epoch 1.
+  double recomputed = 0.0;
+  {
+    FactorGrads scratch(before);
+    scratch.Zero();
+    recomputed =
+        trainer.AddTemporalSmoothness(before, cfg.temporal_smoothness,
+                                      &scratch);
+  }
+  double epoch2 = -1.0;
+  TcssTrainer trainer2(w.data, w.train, cfg);
+  auto result2 = trainer2.Train(
+      [&epoch2](const EpochStats& s, const FactorModel&) {
+        if (s.epoch == 2) epoch2 = s.loss_ts;
+      });
+  ASSERT_TRUE(result2.ok());
+  EXPECT_DOUBLE_EQ(epoch2, recomputed);
+}
+
 TEST(TemporalSmoothnessTest, GradientMatchesNumerical) {
   // Directly validate AddTemporalSmoothness's analytic gradient against a
   // numerical derivative of the penalty.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sanitizer CI check: configure with AddressSanitizer + UBSan, build
+# everything, and run the full test suite under the instrumented binaries.
+#
+#   tools/check.sh [build-dir]        (default: build-asan)
+#
+# Any sanitizer report (heap overflow, UB, leak) fails the ctest run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTCSS_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j
+
+# halt_on_error so UBSan findings fail the test instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "sanitizer check passed"

@@ -4,6 +4,8 @@
 //                  [--seed N] --out DIR
 //   tcss train     --data DIR --model FILE [--epochs N] [--rank R]
 //                  [--lambda L] [--granularity month|week|hour]
+//                  [--checkpoint-dir DIR] [--checkpoint-every N]
+//                  [--checkpoint-retain N] [--resume]
 //   tcss evaluate  --data DIR --model FILE [--granularity G]
 //   tcss recommend --data DIR --model FILE --user U [--time K] [--k N]
 //                  [--new-only] [--granularity G]
@@ -16,8 +18,10 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "core/checkpoint.h"
 #include "core/model_io.h"
 #include "core/recommend.h"
 #include "core/tcss_model.h"
@@ -36,6 +40,7 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
   bool new_only = false;
+  bool resume = false;
 
   const char* Get(const std::string& key, const char* dflt = nullptr) const {
     auto it = flags.find(key);
@@ -58,7 +63,9 @@ int Usage() {
       "  tcss generate  --preset gowalla|yelp|foursquare|gmu5k "
       "[--scale S] [--seed N] --out DIR\n"
       "  tcss train     --data DIR --model FILE [--epochs N] [--rank R] "
-      "[--lambda L] [--granularity month|week|hour]\n"
+      "[--lambda L] [--granularity month|week|hour] "
+      "[--checkpoint-dir DIR] [--checkpoint-every N] "
+      "[--checkpoint-retain N] [--resume]\n"
       "  tcss evaluate  --data DIR --model FILE [--granularity G]\n"
       "  tcss stats     --data DIR\n"
       "  tcss recommend --data DIR --model FILE --user U [--time K] "
@@ -133,11 +140,34 @@ int Train(const Args& args) {
   cfg.epochs = static_cast<int>(args.GetI("epochs", cfg.epochs));
   cfg.rank = static_cast<size_t>(args.GetI("rank", cfg.rank));
   cfg.lambda = args.GetD("lambda", cfg.lambda);
+
+  const char* ckpt_dir = args.Get("checkpoint-dir");
+  if (args.resume && ckpt_dir == nullptr) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (ckpt_dir != nullptr) {
+    CheckpointOptions copts;
+    copts.dir = ckpt_dir;
+    copts.every = static_cast<int>(args.GetI("checkpoint-every", 25));
+    copts.retain = static_cast<int>(args.GetI("checkpoint-retain", 3));
+    checkpoints = std::make_unique<CheckpointManager>(copts);
+    Status cst = checkpoints->Init();
+    if (!cst.ok()) {
+      std::fprintf(stderr, "%s\n", cst.ToString().c_str());
+      return 1;
+    }
+  }
+  TrainOptions topts;
+  topts.checkpoints = checkpoints.get();
+  topts.resume = args.resume;
+
   TcssModel model(cfg);
   std::printf("training %s on %s ...\n", cfg.Summary().c_str(),
               data.value().Summary().c_str());
-  Status st = model.FitWithCallback(
-      {&data.value(), &train.value(), g, 13},
+  Status st = model.FitWithOptions(
+      {&data.value(), &train.value(), g, 13}, topts,
       [&cfg](const EpochStats& s, const FactorModel&) {
         if (s.epoch % std::max(1, cfg.epochs / 5) == 0) {
           std::printf("  epoch %4d  L2=%.2f  L1=%.2f\n", s.epoch, s.loss_l2,
@@ -279,6 +309,8 @@ int main(int argc, char** argv) {
     flag = flag.substr(2);
     if (flag == "new-only") {
       args.new_only = true;
+    } else if (flag == "resume") {
+      args.resume = true;
     } else if (a + 1 < argc) {
       args.flags[flag] = argv[++a];
     } else {
