@@ -91,6 +91,15 @@ Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
 
 Result<std::string> FaultInjectionEnv::ReadFileToString(
     const std::string& path) const {
+  const int op = reads_attempted_++;
+  if (fail_reads_after_ >= 0 && op >= fail_reads_after_) {
+    if (truncate_reads_) {
+      auto full = base_->ReadFileToString(path);
+      if (!full.ok()) return full.status();
+      return full.value().substr(0, full.value().size() / 2);
+    }
+    return Crashed("ReadFileToString");
+  }
   return base_->ReadFileToString(path);
 }
 

@@ -17,8 +17,13 @@ namespace tcss {
 /// failing Append first writes a prefix of its payload, modelling a torn
 /// write.
 ///
-/// Read operations are passed through untouched so tests can inspect the
-/// resulting filesystem state ("what would a restarted process see?").
+/// Reads have their own, independent countdown so the *serving* path can be
+/// swept the same way: once it expires, every ReadFileToString either fails
+/// with IOError or — with set_truncate_reads(true) — returns only a prefix
+/// of the file, modelling a read that races a half-written model. With read
+/// injection disabled (the default) reads pass through untouched so tests
+/// can inspect the resulting filesystem state ("what would a restarted
+/// process see?").
 ///
 /// Typical atomicity sweep:
 ///
@@ -42,11 +47,24 @@ class FaultInjectionEnv : public Env {
   /// before reporting the error (torn write). Later ops still fail clean.
   void set_truncate_on_failure(bool v) { truncate_on_failure_ = v; }
 
+  /// Fails (or tears, see set_truncate_reads) the (k+1)-th
+  /// ReadFileToString and all later ones. Negative k disables read
+  /// injection (the default).
+  void set_fail_reads_after(int k) { fail_reads_after_ = k; }
+
+  /// When enabled, an injected read fault returns the first half of the
+  /// file instead of an error — a torn read of a file another process is
+  /// mid-way through writing non-atomically.
+  void set_truncate_reads(bool v) { truncate_reads_ = v; }
+
   /// Mutating operations attempted so far (successful or not). Run a save
   /// once with injection disabled to learn the total op count to sweep.
   int ops_attempted() const { return ops_attempted_; }
 
   int ops_failed() const { return ops_failed_; }
+
+  /// ReadFileToString calls attempted so far (injected or not).
+  int reads_attempted() const { return reads_attempted_; }
 
   // Env interface -------------------------------------------------------
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -71,6 +89,9 @@ class FaultInjectionEnv : public Env {
   bool truncate_on_failure_ = false;
   int ops_attempted_ = 0;
   int ops_failed_ = 0;
+  int fail_reads_after_ = -1;
+  bool truncate_reads_ = false;
+  mutable int reads_attempted_ = 0;  ///< ReadFileToString is const
 };
 
 }  // namespace tcss

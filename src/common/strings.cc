@@ -50,6 +50,29 @@ bool ParseIndex(std::string_view s, size_t* out) {
   return true;
 }
 
+bool ParseInt64(std::string_view s, int64_t* out) {
+  s = Trim(s);
+  bool negative = false;
+  if (!s.empty() && s[0] == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  // Largest magnitude representable: 2^63 for "-", 2^63 - 1 otherwise.
+  const uint64_t limit =
+      negative ? (1ULL << 63) : (1ULL << 63) - 1;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (limit - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = negative ? -static_cast<int64_t>(v - 1) - 1
+                  : static_cast<int64_t>(v);
+  return true;
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

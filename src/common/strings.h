@@ -19,6 +19,11 @@ bool ParseDouble(std::string_view s, double* out);
 /// Parses a non-negative integer; returns false on malformed input.
 bool ParseIndex(std::string_view s, size_t* out);
 
+/// Parses a signed decimal integer (optional leading '-'); returns false on
+/// malformed input, fractional/exponent forms ("1.5e9"), or int64 overflow.
+/// Unlike ParseDouble-then-cast this never loses precision above 2^53.
+bool ParseInt64(std::string_view s, int64_t* out);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -11,8 +11,15 @@ Result<std::vector<double>> FoldInUser(
   if (r == 0) {
     return Status::FailedPrecondition("FoldInUser: empty model");
   }
+  if (model.u2.cols() != r || model.u3.cols() != r) {
+    return Status::FailedPrecondition(
+        "FoldInUser: factor widths do not match rank");
+  }
   const size_t J = model.u2.rows();
   const size_t K = model.u3.rows();
+  if (J == 0 || K == 0) {
+    return Status::FailedPrecondition("FoldInUser: empty POI/time factors");
+  }
 
   // Whole-grid Gram of phi_jk = h ⊙ U2_j ⊙ U3_k:
   //   sum_{j,k} phi phi^T = (h h^T) ⊙ (U2^T U2) ⊙ (U3^T U3).

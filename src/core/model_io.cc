@@ -105,30 +105,51 @@ Status SaveFactorModel(const FactorModel& model, const std::string& path,
   return AtomicWriteFile(env, path, contents);
 }
 
+Result<FactorModel> ParseFactorModelBytes(std::string_view text) {
+  const bool v2 = text.rfind(kMagicV2, 0) == 0;
+  std::string_view payload = text;
+  if (v2) {
+    TCSS_RETURN_IF_ERROR(ValidateCrcFooter(text, &payload));
+  }
+  TextScanner scanner(payload);
+  if (!scanner.Expect(v2 ? kMagicV2 : kMagicV1)) {
+    return Status::IOError("bad magic");
+  }
+  auto model = ParseBody(&scanner);
+  if (!model.ok()) return model.status();
+  if (!scanner.AtEnd()) {
+    return Status::IOError("trailing garbage after factors");
+  }
+  return model;
+}
+
+Status ValidateModelShape(const FactorModel& model, size_t num_users,
+                          size_t num_pois, size_t num_bins) {
+  if (model.u2.rows() != num_pois) {
+    return Status::InvalidArgument(
+        StrFormat("model has %zu POIs, dataset has %zu", model.u2.rows(),
+                  num_pois));
+  }
+  if (model.u3.rows() != num_bins) {
+    return Status::InvalidArgument(
+        StrFormat("model has %zu time bins, granularity has %zu",
+                  model.u3.rows(), num_bins));
+  }
+  if (model.u1.rows() == 0 || model.u1.rows() > num_users) {
+    return Status::InvalidArgument(
+        StrFormat("model covers %zu users, dataset has %zu",
+                  model.u1.rows(), num_users));
+  }
+  return Status::OK();
+}
+
 Result<FactorModel> LoadFactorModel(const std::string& path, Env* env) {
   if (env == nullptr) env = Env::Default();
   auto contents = env->ReadFileToString(path);
   if (!contents.ok()) return contents.status();
-  std::string_view text = contents.value();
-
-  const bool v2 = text.rfind(kMagicV2, 0) == 0;
-  std::string_view payload = text;
-  if (v2) {
-    Status crc = ValidateCrcFooter(text, &payload);
-    if (!crc.ok()) {
-      return Status::IOError(crc.message() + " in " + path);
-    }
-  }
-  TextScanner scanner(payload);
-  if (!scanner.Expect(v2 ? kMagicV2 : kMagicV1)) {
-    return Status::IOError("bad magic in " + path);
-  }
-  auto model = ParseBody(&scanner);
+  auto model = ParseFactorModelBytes(contents.value());
   if (!model.ok()) {
     return Status::IOError(model.status().message() + " in " + path);
-  }
-  if (!scanner.AtEnd()) {
-    return Status::IOError("trailing garbage after factors in " + path);
   }
   return model;
 }

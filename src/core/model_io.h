@@ -31,6 +31,19 @@ Status SaveFactorModel(const FactorModel& model, const std::string& path,
 Result<FactorModel> LoadFactorModel(const std::string& path,
                                     Env* env = nullptr);
 
+/// Same validation as LoadFactorModel, but over bytes already in memory.
+/// The serving hot-reload path reads the file exactly once and validates
+/// the very bytes it will swap in, so a file mutated between a "validate"
+/// read and a "load" read can never slip through (no TOCTOU window).
+Result<FactorModel> ParseFactorModelBytes(std::string_view text);
+
+/// Shape compatibility of a loaded model with a serving dataset: U2/U3
+/// must match the POI count and time-bin count exactly; U1 may cover a
+/// *prefix* of the users (users registered after the model was trained are
+/// served by fold-in instead).
+Status ValidateModelShape(const FactorModel& model, size_t num_users,
+                          size_t num_pois, size_t num_bins);
+
 // --- Serialization building blocks (shared with the checkpoint format) ---
 
 /// Largest per-mode dimension / rank accepted by the loaders. Generous for

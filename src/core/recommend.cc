@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
-
 namespace tcss {
 
 std::vector<Recommendation> TopKRecommendations(
@@ -11,13 +9,16 @@ std::vector<Recommendation> TopKRecommendations(
     size_t num_pois, const TopKOptions& opts, const SparseTensor* train) {
   std::vector<uint8_t> visited;
   if (opts.exclude_visited) {
-    TCSS_CHECK(train != nullptr)
-        << "exclude_visited requires the train tensor";
+    // The serving path reaches here with untrusted requests: a missing
+    // train tensor cannot honor the exclusion, so the only safe answer is
+    // an empty list (not a crash, not silently ignoring the flag).
+    if (train == nullptr) return {};
     visited.assign(num_pois, 0);
     for (const auto& e : train->entries()) {
-      if (e.i == user) visited[e.j] = 1;
+      if (e.i == user && e.j < num_pois) visited[e.j] = 1;
     }
   }
+  const size_t k = std::min(opts.k, num_pois);
 
   std::vector<Recommendation> heap;  // min-heap of size <= k on score
   auto cmp = [](const Recommendation& a, const Recommendation& b) {
@@ -26,7 +27,7 @@ std::vector<Recommendation> TopKRecommendations(
   auto consider = [&](uint32_t j) {
     if (!visited.empty() && visited[j]) return;
     const double s = model.Score(user, j, time_bin);
-    if (heap.size() < opts.k) {
+    if (heap.size() < k) {
       heap.push_back({j, s});
       std::push_heap(heap.begin(), heap.end(), cmp);
     } else if (!heap.empty() && s > heap.front().score) {

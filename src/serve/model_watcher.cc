@@ -1,0 +1,94 @@
+#include "serve/model_watcher.h"
+
+#include <utility>
+
+#include "common/crc32.h"
+#include "core/model_io.h"
+
+namespace tcss {
+
+ModelWatcher::ModelWatcher(std::string path, const Options& opts)
+    : path_(std::move(path)),
+      env_(opts.env != nullptr ? opts.env : Env::Default()),
+      num_users_(opts.num_users),
+      num_pois_(opts.num_pois),
+      num_bins_(opts.num_bins) {}
+
+std::shared_ptr<const FactorModel> ModelWatcher::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+ModelWatcher::PollResult ModelWatcher::Reject(uint32_t crc, size_t size,
+                                              Status why) {
+  ++rejects_;
+  has_rejected_ = true;
+  rejected_crc_ = crc;
+  rejected_size_ = size;
+  stale_ = true;
+  last_error_ = std::move(why);
+  return PollResult::kRejected;
+}
+
+ModelWatcher::PollResult ModelWatcher::Poll() {
+  if (!env_->FileExists(path_)) {
+    // Explicit unserve: drop the model so the service degrades openly
+    // instead of silently serving a file an operator removed.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_.reset();
+    }
+    has_live_ = false;
+    has_rejected_ = false;
+    stale_ = false;
+    last_error_ = Status::NotFound("model file missing: " + path_);
+    return PollResult::kMissing;
+  }
+
+  auto read = env_->ReadFileToString(path_);
+  if (!read.ok()) {
+    // A failed read has no bytes to fingerprint; count it every time.
+    ++rejects_;
+    stale_ = true;
+    last_error_ = read.status();
+    return PollResult::kRejected;
+  }
+  const std::string& bytes = read.value();
+  const uint32_t crc = Crc32(bytes);
+
+  if (has_live_ && crc == live_crc_ && bytes.size() == live_size_) {
+    stale_ = false;
+    return PollResult::kUnchanged;
+  }
+  if (has_rejected_ && crc == rejected_crc_ &&
+      bytes.size() == rejected_size_) {
+    return PollResult::kRejected;  // same bad bytes; already counted
+  }
+
+  auto model = ParseFactorModelBytes(bytes);
+  if (!model.ok()) {
+    return Reject(crc, bytes.size(), model.status());
+  }
+  Status shape =
+      ValidateModelShape(model.value(), num_users_, num_pois_, num_bins_);
+  if (!shape.ok()) {
+    return Reject(crc, bytes.size(), std::move(shape));
+  }
+
+  auto fresh = std::make_shared<const FactorModel>(model.MoveValue());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(fresh);
+  }
+  has_live_ = true;
+  live_crc_ = crc;
+  live_size_ = bytes.size();
+  has_rejected_ = false;
+  stale_ = false;
+  ++successes_;
+  ++generation_;
+  last_error_ = Status::OK();
+  return PollResult::kReloaded;
+}
+
+}  // namespace tcss

@@ -1,0 +1,242 @@
+#include "serve/recommend_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "data/tensor_builder.h"
+
+namespace tcss {
+namespace {
+
+/// Tier-0 adapter: scores through the hot-reloaded factors. Holds its own
+/// shared_ptr so the model stays alive for the whole query even if the
+/// watcher swaps mid-scoring.
+class FactorTier : public Recommender {
+ public:
+  explicit FactorTier(std::shared_ptr<const FactorModel> m)
+      : model_(std::move(m)) {}
+  std::string name() const override { return "serve-model"; }
+  Status Fit(const TrainContext&) override { return Status::OK(); }
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override {
+    return model_->Predict(i, j, k);
+  }
+
+ private:
+  std::shared_ptr<const FactorModel> model_;
+};
+
+/// Tier-1 adapter: scores one folded-in user embedding against the fixed
+/// POI/time factors.
+class FoldInTier : public Recommender {
+ public:
+  FoldInTier(std::shared_ptr<const FactorModel> m,
+             const std::vector<double>* user)
+      : model_(std::move(m)), user_(user) {}
+  std::string name() const override { return "serve-fold-in"; }
+  Status Fit(const TrainContext&) override { return Status::OK(); }
+  double Score(uint32_t, uint32_t j, uint32_t k) const override {
+    return FoldInScore(*model_, *user_, j, k);
+  }
+
+ private:
+  std::shared_ptr<const FactorModel> model_;
+  const std::vector<double>* user_;
+};
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  return StrFormat(
+      "health=%s reloads=%llu rejects=%llu q_model=%llu q_fold_in=%llu "
+      "q_popularity=%llu deadline_degrades=%llu invalid=%llu total=%llu "
+      "p50_ms=%.3f p99_ms=%.3f",
+      ServeHealthName(health),
+      static_cast<unsigned long long>(reload_successes),
+      static_cast<unsigned long long>(reload_rejects),
+      static_cast<unsigned long long>(queries_by_tier[0]),
+      static_cast<unsigned long long>(queries_by_tier[1]),
+      static_cast<unsigned long long>(queries_by_tier[2]),
+      static_cast<unsigned long long>(deadline_degrades),
+      static_cast<unsigned long long>(invalid_requests),
+      static_cast<unsigned long long>(total_queries), p50_ms, p99_ms);
+}
+
+RecommendService::RecommendService(const Dataset* data,
+                                   TimeGranularity granularity,
+                                   ModelWatcher* watcher, const Options& opts)
+    : data_(data), granularity_(granularity), watcher_(watcher),
+      opts_(opts) {}
+
+Status RecommendService::Init() {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("RecommendService: null dataset");
+  }
+  if (data_->num_pois() == 0) {
+    return Status::FailedPrecondition(
+        "RecommendService: empty POI catalogue, nothing to rank");
+  }
+  num_bins_ = NumBins(granularity_);
+
+  auto train = BuildCheckinTensor(*data_, granularity_);
+  if (!train.ok()) return train.status();
+  train_ = train.MoveValue();
+
+  TCSS_RETURN_IF_ERROR(
+      popularity_.Fit({data_, &train_, granularity_, /*seed=*/1}));
+
+  // Per-user distinct (poi, time) cells — the fold-in observations.
+  user_cells_.assign(data_->num_users(), {});
+  for (const auto& e : train_.entries()) {
+    if (e.i < user_cells_.size()) {
+      user_cells_[e.i].push_back({e.i, e.j, e.k});
+    }
+  }
+
+  latency_ring_.clear();
+  latency_ring_.reserve(std::max<size_t>(1, opts_.latency_window));
+  initialized_ = true;
+  if (watcher_ != nullptr) watcher_->Poll();
+  return Status::OK();
+}
+
+void RecommendService::PollModel() {
+  if (watcher_ != nullptr) watcher_->Poll();
+}
+
+ServeTier RecommendService::ChooseTier(
+    const ServeRequest& req,
+    const std::shared_ptr<const FactorModel>& model) {
+  if (model != nullptr && req.user < model->u1.rows()) {
+    return ServeTier::kModel;
+  }
+  if (model != nullptr && req.user < user_cells_.size() &&
+      !user_cells_[req.user].empty()) {
+    return ServeTier::kFoldIn;
+  }
+  return ServeTier::kPopularity;
+}
+
+RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
+  Response resp;
+  if (!initialized_ || req.time_bin >= num_bins_) {
+    // An out-of-range time bin would index past every tier's tables; an
+    // empty answer is the only safe response to that input.
+    ++invalid_requests_;
+    return resp;
+  }
+  Stopwatch sw;
+
+  std::shared_ptr<const FactorModel> model =
+      watcher_ != nullptr ? watcher_->current() : nullptr;
+  ServeTier tier = ChooseTier(req, model);
+
+  // Deadline budget: if this tier's recent latency already exceeds the
+  // budget, answer from the cheap non-personalized tier instead of
+  // predictably blowing the deadline.
+  if (req.deadline_ms > 0.0 && tier != ServeTier::kPopularity &&
+      tier_ewma_valid_[static_cast<int>(tier)] &&
+      tier_ewma_ms_[static_cast<int>(tier)] > req.deadline_ms) {
+    tier = ServeTier::kPopularity;
+    ++deadline_degrades_;
+  }
+
+  TopKOptions topts;
+  topts.k = req.k;
+  topts.exclude_visited = req.exclude_visited;
+  topts.candidates = req.candidates;
+  const size_t num_pois = data_->num_pois();
+
+  if (tier == ServeTier::kFoldIn) {
+    // Re-solve embeddings only when the model generation changed.
+    if (watcher_->generation() != fold_in_generation_) {
+      fold_in_cache_.clear();
+      fold_in_generation_ = watcher_->generation();
+    }
+    auto it = fold_in_cache_.find(req.user);
+    if (it == fold_in_cache_.end()) {
+      auto emb = FoldInUser(*model, user_cells_[req.user], opts_.fold_in);
+      if (emb.ok()) {
+        it = fold_in_cache_.emplace(req.user, emb.MoveValue()).first;
+      }
+    }
+    if (it != fold_in_cache_.end()) {
+      FoldInTier scorer(model, &it->second);
+      resp.recs = TopKRecommendations(scorer, req.user, req.time_bin,
+                                      num_pois, topts, &train_);
+      resp.tier = ServeTier::kFoldIn;
+    } else {
+      tier = ServeTier::kPopularity;  // singular solve: degrade further
+    }
+  }
+  if (tier == ServeTier::kModel) {
+    FactorTier scorer(model);
+    resp.recs = TopKRecommendations(scorer, req.user, req.time_bin,
+                                    num_pois, topts, &train_);
+    resp.tier = ServeTier::kModel;
+  } else if (tier == ServeTier::kPopularity) {
+    resp.recs = TopKRecommendations(popularity_, req.user, req.time_bin,
+                                    num_pois, topts, &train_);
+    resp.tier = ServeTier::kPopularity;
+  }
+
+  resp.latency_ms = sw.ElapsedMillis();
+  RecordLatency(resp.tier, resp.latency_ms);
+  return resp;
+}
+
+void RecommendService::RecordLatency(ServeTier tier, double ms) {
+  const int t = static_cast<int>(tier);
+  ++queries_by_tier_[t];
+  ++total_queries_;
+  if (tier_ewma_valid_[t]) {
+    tier_ewma_ms_[t] = (1.0 - opts_.latency_ewma_alpha) * tier_ewma_ms_[t] +
+                       opts_.latency_ewma_alpha * ms;
+  } else {
+    tier_ewma_ms_[t] = ms;
+    tier_ewma_valid_[t] = true;
+  }
+  const size_t window = std::max<size_t>(1, opts_.latency_window);
+  if (latency_ring_.size() < window) {
+    latency_ring_.push_back(ms);
+  } else {
+    latency_ring_[latency_next_ % window] = ms;
+  }
+  ++latency_next_;
+}
+
+ServeHealth RecommendService::health() const {
+  if (!initialized_ || watcher_ == nullptr || watcher_->current() == nullptr) {
+    return ServeHealth::kFallback;
+  }
+  return watcher_->stale() ? ServeHealth::kDegraded : ServeHealth::kHealthy;
+}
+
+ServiceStats RecommendService::Stats() const {
+  ServiceStats s;
+  s.health = health();
+  if (watcher_ != nullptr) {
+    s.reload_successes = watcher_->reload_successes();
+    s.reload_rejects = watcher_->reload_rejects();
+  }
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    s.queries_by_tier[t] = queries_by_tier_[t];
+  }
+  s.deadline_degrades = deadline_degrades_;
+  s.invalid_requests = invalid_requests_;
+  s.total_queries = total_queries_;
+  if (!latency_ring_.empty()) {
+    std::vector<double> sorted = latency_ring_;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&sorted](double p) {
+      const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    s.p50_ms = pct(0.50);
+    s.p99_ms = pct(0.99);
+  }
+  return s;
+}
+
+}  // namespace tcss

@@ -1,0 +1,127 @@
+#ifndef TCSS_SERVE_RECOMMEND_SERVICE_H_
+#define TCSS_SERVE_RECOMMEND_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/popularity.h"
+#include "core/fold_in.h"
+#include "core/recommend.h"
+#include "data/dataset.h"
+#include "data/time_binning.h"
+#include "serve/model_watcher.h"
+#include "serve/request.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Aggregate serving statistics, exposed for health endpoints and dumped
+/// to stderr by `tcss serve`.
+struct ServiceStats {
+  ServeHealth health = ServeHealth::kFallback;
+  uint64_t reload_successes = 0;
+  uint64_t reload_rejects = 0;
+  uint64_t queries_by_tier[kNumServeTiers] = {0, 0, 0};
+  uint64_t deadline_degrades = 0;  ///< budget forced the popularity tier
+  uint64_t invalid_requests = 0;   ///< e.g. time bin outside the granularity
+  uint64_t total_queries = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  /// One-line "health=... reloads=... p99_ms=..." summary.
+  std::string ToString() const;
+};
+
+/// The serving read path: answers TopK queries through a fallback chain of
+/// recommenders, never crashing and never blocking on a model reload.
+///
+///   tier 0  model       — the hot-reloaded TCSS factors, for any user the
+///                         model was trained on
+///   tier 1  fold_in     — ridge fold-in (factors held fixed) for dataset
+///                         users the model has no row for
+///   tier 2  popularity  — non-personalized counts; always available once
+///                         Init() succeeded, and the answer of last resort
+///                         for unknown users or when no model is live
+///
+/// The chain degrades per *request*, not globally: one query from an
+/// unseen user answers from fold-in while the next answers from the model.
+/// A per-request deadline budget can force the cheap popularity tier when
+/// the chosen tier's recent latency (EWMA) would blow the budget.
+class RecommendService {
+ public:
+  struct Options {
+    FoldInOptions fold_in;
+    /// Ring-buffer size for the latency percentiles.
+    size_t latency_window = 4096;
+    /// EWMA smoothing for per-tier latency estimates (0 < a <= 1).
+    double latency_ewma_alpha = 0.2;
+  };
+
+  /// `data` must outlive the service. `watcher` may be null (pure
+  /// popularity service); if set it must outlive the service too.
+  RecommendService(const Dataset* data, TimeGranularity granularity,
+                   ModelWatcher* watcher, const Options& opts);
+  RecommendService(const Dataset* data, TimeGranularity granularity,
+                   ModelWatcher* watcher)
+      : RecommendService(data, granularity, watcher, Options()) {}
+
+  /// Builds the check-in tensor, fits the popularity tier and performs the
+  /// initial watcher poll. Must be called once before TopK(); failure
+  /// means even the last-resort tier could not be constructed.
+  Status Init();
+
+  struct Response {
+    ServeTier tier = ServeTier::kPopularity;
+    std::vector<Recommendation> recs;
+    double latency_ms = 0.0;
+  };
+
+  /// Answers one query. Never fails: untrusted fields degrade (bad user →
+  /// popularity) or yield an empty list (bad time bin), and a missing or
+  /// stale model falls down the chain.
+  Response TopK(const ServeRequest& req);
+
+  /// Triggers one hot-reload check on the watcher (no-op without one).
+  void PollModel();
+
+  ServeHealth health() const;
+  ServiceStats Stats() const;
+
+ private:
+  ServeTier ChooseTier(const ServeRequest& req,
+                       const std::shared_ptr<const FactorModel>& model);
+  void RecordLatency(ServeTier tier, double ms);
+
+  const Dataset* data_;
+  const TimeGranularity granularity_;
+  ModelWatcher* watcher_;
+  const Options opts_;
+
+  bool initialized_ = false;
+  size_t num_bins_ = 0;
+  SparseTensor train_;  ///< full-data check-in tensor (visited-POI filter)
+  Popularity popularity_;
+  /// Per-user distinct (poi, time) cells, the fold-in observations.
+  std::vector<std::vector<TensorCell>> user_cells_;
+
+  /// Fold-in embeddings are valid only for the model generation they were
+  /// solved against.
+  uint64_t fold_in_generation_ = 0;
+  std::unordered_map<uint32_t, std::vector<double>> fold_in_cache_;
+
+  uint64_t queries_by_tier_[kNumServeTiers] = {0, 0, 0};
+  uint64_t deadline_degrades_ = 0;
+  uint64_t invalid_requests_ = 0;
+  uint64_t total_queries_ = 0;
+  double tier_ewma_ms_[kNumServeTiers] = {0.0, 0.0, 0.0};
+  bool tier_ewma_valid_[kNumServeTiers] = {false, false, false};
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_SERVE_RECOMMEND_SERVICE_H_

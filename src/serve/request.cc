@@ -1,0 +1,102 @@
+#include "serve/request.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace tcss {
+namespace {
+
+bool ParseU32(std::string_view s, uint32_t* out) {
+  size_t v = 0;
+  if (!ParseIndex(s, &v) || v > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+const char* ServeTierName(ServeTier t) {
+  switch (t) {
+    case ServeTier::kModel:
+      return "model";
+    case ServeTier::kFoldIn:
+      return "fold_in";
+    case ServeTier::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
+const char* ServeHealthName(ServeHealth h) {
+  switch (h) {
+    case ServeHealth::kHealthy:
+      return "healthy";
+    case ServeHealth::kDegraded:
+      return "degraded";
+    case ServeHealth::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
+Result<ServeRequest> ParseRequestLine(std::string_view line) {
+  std::vector<std::string> tokens;
+  for (const auto& t : Split(std::string(Trim(line)), ' ')) {
+    if (!Trim(t).empty()) tokens.emplace_back(Trim(t));
+  }
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  if (tokens[0] != "topk") {
+    return Status::InvalidArgument("unknown directive '" + tokens[0] + "'");
+  }
+  if (tokens.size() < 3) {
+    return Status::InvalidArgument(
+        "topk needs at least <user> <time_bin>");
+  }
+  ServeRequest req;
+  if (!ParseU32(tokens[1], &req.user)) {
+    return Status::InvalidArgument("bad user id '" + tokens[1] + "'");
+  }
+  if (!ParseU32(tokens[2], &req.time_bin)) {
+    return Status::InvalidArgument("bad time bin '" + tokens[2] + "'");
+  }
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok == "new") {
+      req.exclude_visited = true;
+    } else if (tok.rfind("k=", 0) == 0) {
+      size_t k = 0;
+      if (!ParseIndex(tok.substr(2), &k) || k > kMaxRequestK) {
+        return Status::InvalidArgument("bad k '" + tok + "'");
+      }
+      req.k = k;
+    } else if (tok.rfind("deadline_ms=", 0) == 0) {
+      double d = 0;
+      if (!ParseDouble(tok.substr(12), &d) || !std::isfinite(d) || d < 0) {
+        return Status::InvalidArgument("bad deadline '" + tok + "'");
+      }
+      req.deadline_ms = d;
+    } else if (tok.rfind("cand=", 0) == 0) {
+      for (const auto& c : Split(tok.substr(5), ',')) {
+        uint32_t j = 0;
+        if (!ParseU32(c, &j)) {
+          return Status::InvalidArgument("bad candidate '" + c + "'");
+        }
+        if (req.candidates.size() >= kMaxRequestCandidates) {
+          return Status::InvalidArgument("too many candidates");
+        }
+        req.candidates.push_back(j);
+      }
+    } else {
+      return Status::InvalidArgument("unknown option '" + tok + "'");
+    }
+  }
+  return req;
+}
+
+}  // namespace tcss

@@ -1,0 +1,70 @@
+#ifndef TCSS_SERVE_REQUEST_H_
+#define TCSS_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcss {
+
+/// Which tier of the fallback chain produced an answer.
+enum class ServeTier {
+  kModel = 0,       ///< full TCSS factors (users covered by the model)
+  kFoldIn = 1,      ///< ridge fold-in for users the model was not trained on
+  kPopularity = 2,  ///< non-personalized last resort
+};
+inline constexpr int kNumServeTiers = 3;
+
+/// "model" / "fold_in" / "popularity".
+const char* ServeTierName(ServeTier t);
+
+/// Serving health, derived from the reload state machine:
+///   Healthy  — a validated model is live and matches the file on disk.
+///   Degraded — a model is live but stale: the most recent reload attempt
+///              was rejected (corrupt / torn / unreadable file), so the
+///              previous model keeps serving.
+///   Fallback — no valid model at all; every query degrades to popularity.
+enum class ServeHealth { kHealthy, kDegraded, kFallback };
+
+/// "healthy" / "degraded" / "fallback".
+const char* ServeHealthName(ServeHealth h);
+
+/// One top-K query against the service. All fields arrive from untrusted
+/// input (a request file or, eventually, the network) and are re-validated
+/// by the service: an out-of-range user degrades to popularity, an
+/// out-of-range time bin yields an empty answer, out-of-range candidate
+/// ids are dropped.
+struct ServeRequest {
+  uint32_t user = 0;
+  uint32_t time_bin = 0;
+  size_t k = 10;
+  bool exclude_visited = false;
+  /// Per-request latency budget in milliseconds; 0 = unlimited. When the
+  /// chosen tier's recent latency exceeds the budget, the service degrades
+  /// the request to the (cheap, precomputable) popularity tier up front
+  /// rather than blowing the deadline.
+  double deadline_ms = 0.0;
+  /// Restrict ranking to these POI ids (empty = the full catalogue).
+  std::vector<uint32_t> candidates;
+};
+
+/// Hard caps on untrusted request fields, so a hostile request file cannot
+/// trigger huge allocations.
+inline constexpr size_t kMaxRequestK = 100'000;
+inline constexpr size_t kMaxRequestCandidates = 1'000'000;
+
+/// Parses one line of the batch request grammar:
+///
+///   topk <user> <time_bin> [k=N] [new] [deadline_ms=X] [cand=j1,j2,...]
+///
+/// Returns InvalidArgument for anything malformed — unknown directive,
+/// non-numeric fields, values beyond the caps above, non-finite deadline —
+/// never crashes and never allocates proportionally to a corrupt length
+/// field.
+Result<ServeRequest> ParseRequestLine(std::string_view line);
+
+}  // namespace tcss
+
+#endif  // TCSS_SERVE_REQUEST_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 #include "common/crc32.h"
@@ -195,6 +196,43 @@ TEST(StringsTest, ParseIndex) {
   EXPECT_FALSE(ParseIndex("-3", &v));
   EXPECT_FALSE(ParseIndex("3.5", &v));
   EXPECT_FALSE(ParseIndex("", &v));
+}
+
+TEST(StringsTest, ParseInt64AcceptsFullRange) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("1300000000", &v));
+  EXPECT_EQ(v, 1300000000);
+  EXPECT_TRUE(ParseInt64("-62135596800", &v));
+  EXPECT_EQ(v, -62135596800);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+}
+
+TEST(StringsTest, ParseInt64RejectsNonIntegersAndOverflow) {
+  int64_t v = 0;
+  // Floats must be rejected, not truncated: a "1.5e9" timestamp silently
+  // becoming 1 would corrupt every time bin derived from it.
+  EXPECT_FALSE(ParseInt64("1.5e9", &v));
+  EXPECT_FALSE(ParseInt64("3.0", &v));
+  EXPECT_FALSE(ParseInt64("1e3", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("+5", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("nan", &v));
+  // Surrounding whitespace is trimmed, like ParseDouble.
+  EXPECT_TRUE(ParseInt64(" 12 ", &v));
+  EXPECT_EQ(v, 12);
+  // One past each end of the int64 range.
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999999", &v));
 }
 
 TEST(StringsTest, StrFormat) {

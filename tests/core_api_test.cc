@@ -145,6 +145,45 @@ TEST(TopKTest, CandidateRestriction) {
   EXPECT_EQ(recs[1].poi, 3u);
 }
 
+TEST(TopKTest, ExcludeVisitedWithoutTrainReturnsEmpty) {
+  // The exclusion cannot be honored without the visit history; serving an
+  // unfiltered list would leak already-visited POIs, so the contract is
+  // an empty answer rather than UB or a crash.
+  TableRecommender model({0.9, 0.8});
+  TopKOptions opts;
+  opts.k = 2;
+  opts.exclude_visited = true;
+  auto recs = TopKRecommendations(model, 0, 0, 2, opts, nullptr);
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST(TopKTest, ZeroKAndZeroCatalogueReturnEmpty) {
+  TableRecommender model({0.9, 0.8});
+  TopKOptions opts;
+  opts.k = 0;
+  EXPECT_TRUE(TopKRecommendations(model, 0, 0, 2, opts).empty());
+  opts.k = 5;
+  EXPECT_TRUE(TopKRecommendations(model, 0, 0, 0, opts).empty());
+}
+
+TEST(TopKTest, OutOfRangeTrainEntriesAreIgnored) {
+  // The train tensor may cover a larger POI catalogue than the one being
+  // served (e.g. after a category filter); its extra columns must neither
+  // crash the visited-set construction nor exclude valid POIs.
+  TableRecommender model({0.9, 0.8, 0.7});
+  SparseTensor train(2, 10, 2);
+  ASSERT_TRUE(train.Add(0, 1, 0).ok());  // real visit inside the catalogue
+  ASSERT_TRUE(train.Add(0, 7, 0).ok());  // outside the served 3 POIs
+  ASSERT_TRUE(train.Finalize().ok());
+  TopKOptions opts;
+  opts.k = 3;
+  opts.exclude_visited = true;
+  auto recs = TopKRecommendations(model, 0, 0, 3, opts, &train);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].poi, 0u);
+  EXPECT_EQ(recs[1].poi, 2u);
+}
+
 TEST(TopKTest, TiesBrokenByPoiId) {
   TableRecommender model({0.5, 0.5, 0.5});
   TopKOptions opts;

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "data/csv_io.h"
 #include "data/dataset.h"
@@ -201,6 +202,139 @@ TEST(CsvIoTest, RoundTrip) {
 
 TEST(CsvIoTest, MissingDirectoryFails) {
   EXPECT_FALSE(LoadDatasetCsv("/nonexistent/dir").ok());
+}
+
+// Writes the three CSV files of a dataset directory from raw strings.
+std::string WriteCsvDir(const std::string& name, const std::string& pois,
+                        const std::string& checkins,
+                        const std::string& friends) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::create_directories(dir);
+  std::filesystem::remove(dir + "/quarantine.csv");
+  EXPECT_TRUE(AtomicWriteFile(Env::Default(), dir + "/pois.csv", pois).ok());
+  EXPECT_TRUE(
+      AtomicWriteFile(Env::Default(), dir + "/checkins.csv", checkins).ok());
+  EXPECT_TRUE(
+      AtomicWriteFile(Env::Default(), dir + "/friends.csv", friends).ok());
+  return dir;
+}
+
+const char kDirtyPois[] =
+    "poi_id,lat,lon,category\n"
+    "0,40.5,-74.1,2\n"
+    "1,95.0,-74.2,0\n"      // lat out of [-90, 90]
+    "2,40.7,-200.0,2\n"         // lon out of [-180, 180]
+    "3,nan,12.0,2\n"            // NaN must not pass the range check
+    "4,48.8,2.35,1\n";  // kEntertainment
+
+const char kDirtyCheckins[] =
+    "user_id,poi_id,unix_seconds\n"
+    "0,0,1300000000\n"
+    "0,4,1.5e9\n"                  // float timestamp: rejected, not truncated
+    "1,1,1300100000\n"             // references quarantined poi 1
+    "1,4,9999999999999\n"          // past year 9999
+    "2,4,1300200000\n";
+
+const char kDirtyFriends[] =
+    "user_id,friend_id\n"
+    "0,1\n"
+    "1,1\n"                        // self-loop
+    "1,0\n"                        // duplicate of 0,1 (other orientation)
+    "1,2\n";
+
+TEST(CsvIoTest, StrictModeFailsOnFirstBadRowWithLineNumber) {
+  const std::string dir =
+      WriteCsvDir("tcss_csv_strict", kDirtyPois, kDirtyCheckins,
+                  kDirtyFriends);
+  auto r = LoadDatasetCsv(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("pois.csv line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvIoTest, StrictModeRejectsSelfLoopsAndDuplicateEdges) {
+  const char pois[] = "poi_id,lat,lon,category\n0,40.5,-74.1,2\n";
+  const char checkins[] = "user_id,poi_id,unix_seconds\n0,0,1300000000\n";
+  {
+    const std::string dir = WriteCsvDir(
+        "tcss_csv_selfloop", pois, checkins,
+        "user_id,friend_id\n2,2\n");
+    auto r = LoadDatasetCsv(dir);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().ToString().find("friends.csv line 2"),
+              std::string::npos);
+  }
+  {
+    const std::string dir = WriteCsvDir(
+        "tcss_csv_dupedge", pois, checkins,
+        "user_id,friend_id\n0,1\n1,0\n");
+    EXPECT_FALSE(LoadDatasetCsv(dir).ok());
+  }
+}
+
+TEST(CsvIoTest, LenientModeQuarantinesAndReindexes) {
+  const std::string dir =
+      WriteCsvDir("tcss_csv_lenient", kDirtyPois, kDirtyCheckins,
+                  kDirtyFriends);
+  CsvLoadOptions opts;
+  opts.mode = CsvLoadMode::kLenient;
+  LoadReport report;
+  auto r = LoadDatasetCsv(dir, opts, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Dataset& d = r.value();
+
+  // POIs 1, 2, 3 were quarantined; survivors 0 and 4 re-index to 0 and 1.
+  EXPECT_EQ(report.bad_pois, 3u);
+  ASSERT_EQ(d.num_pois(), 2u);
+  EXPECT_NEAR(d.poi(1).location.lat, 48.8, 1e-9);
+  EXPECT_EQ(d.poi(1).category, PoiCategory::kEntertainment);
+
+  // Bad timestamp rows and the check-in at quarantined POI 1 are dropped;
+  // the two clean check-ins land on the re-indexed POIs.
+  EXPECT_EQ(report.bad_checkins, 3u);
+  ASSERT_EQ(d.num_checkins(), 2u);
+  EXPECT_EQ(d.checkins()[0].poi, 0u);
+  EXPECT_EQ(d.checkins()[1].poi, 1u);
+
+  // Self-loop and duplicate edge quarantined; edges 0-1 and 1-2 survive.
+  EXPECT_EQ(report.bad_edges, 2u);
+  EXPECT_EQ(report.edges_loaded, 2u);
+  EXPECT_TRUE(d.social().HasEdge(0, 1));
+  EXPECT_TRUE(d.social().HasEdge(1, 2));
+
+  // The quarantine file names every dropped row with file + line + reason.
+  ASSERT_FALSE(report.quarantine_path.empty());
+  auto q = Env::Default()->ReadFileToString(report.quarantine_path);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(q.value().find("pois.csv,3"), std::string::npos) << q.value();
+  EXPECT_NE(q.value().find("references quarantined poi"), std::string::npos);
+  EXPECT_EQ(report.bad_rows(), 8u);
+}
+
+TEST(CsvIoTest, LenientModeFailsPastMaxBadRows) {
+  const std::string dir =
+      WriteCsvDir("tcss_csv_budget", kDirtyPois, kDirtyCheckins,
+                  kDirtyFriends);
+  CsvLoadOptions opts;
+  opts.mode = CsvLoadMode::kLenient;
+  opts.max_bad_rows = 2;  // the dirty corpus has 8 bad rows
+  LoadReport report;
+  EXPECT_FALSE(LoadDatasetCsv(dir, opts, &report).ok());
+}
+
+TEST(CsvIoTest, CleanDataLoadsIdenticallyInBothModes) {
+  Dataset d = TinyDataset();
+  std::string dir = ::testing::TempDir() + "/tcss_csv_clean_lenient";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDatasetCsv(d, dir).ok());
+  CsvLoadOptions opts;
+  opts.mode = CsvLoadMode::kLenient;
+  LoadReport report;
+  auto r = LoadDatasetCsv(dir, opts, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(report.bad_rows(), 0u);
+  EXPECT_TRUE(report.quarantine_path.empty());
+  EXPECT_EQ(r.value().num_checkins(), d.num_checkins());
 }
 
 class SyntheticPresetTest

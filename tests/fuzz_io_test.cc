@@ -1,0 +1,256 @@
+// Randomized corruption harness for every untrusted-input loader: the CSV
+// dataset loader (strict and lenient), the TCSSv2 model parser and the
+// TCKPv1 checkpoint parser. A deterministic Rng mutates, splices and
+// truncates known-good bytes; every loader must hand back a Status (ok or
+// not), never crash, never hang and never return half-validated data.
+// tools/check.sh runs this binary under ASan/UBSan as well.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "core/model_io.h"
+#include "data/csv_io.h"
+
+namespace tcss {
+namespace {
+
+// --- Known-good corpora -----------------------------------------------
+
+const char kGoodPois[] =
+    "poi_id,lat,lon,category\n"
+    "0,40.5,-74.1,2\n"
+    "1,40.6,-74.2,0\n"
+    "2,-33.9,151.2,3\n"
+    "3,48.8,2.35,1\n";
+
+const char kGoodCheckins[] =
+    "user_id,poi_id,unix_seconds\n"
+    "0,0,1300000000\n"
+    "0,2,1300100000\n"
+    "1,1,1300200000\n"
+    "2,3,1300300000\n"
+    "2,0,1300400000\n";
+
+const char kGoodFriends[] =
+    "user_id,friend_id\n"
+    "0,1\n"
+    "1,2\n";
+
+FactorModel SmallModel() {
+  FactorModel m;
+  m.u1 = Matrix(3, 2);
+  m.u2 = Matrix(4, 2);
+  m.u3 = Matrix(5, 2);
+  for (size_t i = 0; i < m.u1.rows(); ++i)
+    for (size_t t = 0; t < 2; ++t) m.u1(i, t) = 0.1 * double(i) + 0.01;
+  for (size_t j = 0; j < m.u2.rows(); ++j)
+    for (size_t t = 0; t < 2; ++t) m.u2(j, t) = 0.2 * double(j) - 0.5;
+  for (size_t k = 0; k < m.u3.rows(); ++k)
+    for (size_t t = 0; t < 2; ++t) m.u3(k, t) = 0.05 * double(k + t);
+  m.h = {1.25, -0.75};
+  return m;
+}
+
+// Serialized TCSSv2 bytes (with CRC footer) for SmallModel().
+std::string GoodModelBytes() {
+  const std::string path = ::testing::TempDir() + "/fuzz_good_model.txt";
+  EXPECT_TRUE(SaveFactorModel(SmallModel(), path).ok());
+  auto bytes = Env::Default()->ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok());
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+std::string GoodCheckpointBytes() {
+  TrainerCheckpoint ckpt;
+  ckpt.model = SmallModel();
+  ckpt.adam_m = FactorGrads(ckpt.model);
+  ckpt.adam_v = FactorGrads(ckpt.model);
+  ckpt.adam_m.Zero();
+  ckpt.adam_v.Zero();
+  ckpt.adam_t = 42;
+  ckpt.epoch = 7;
+  ckpt.hausdorff_rotation = 3;
+  ckpt.lr_scale = 0.5;
+  return SerializeCheckpoint(ckpt);
+}
+
+// --- Mutation engine ---------------------------------------------------
+
+// Applies 1-4 random byte-level mutations: flip, insert, delete, truncate,
+// chunk duplication, or a splice of random bytes. Deterministic in `rng`.
+std::string Mutate(const std::string& good, Rng* rng) {
+  std::string s = good;
+  const int n_mutations = 1 + int(rng->UniformInt(4));
+  for (int m = 0; m < n_mutations && !s.empty(); ++m) {
+    switch (rng->UniformInt(6)) {
+      case 0: {  // flip one byte to an arbitrary value
+        s[rng->UniformInt(s.size())] = char(rng->UniformInt(256));
+        break;
+      }
+      case 1: {  // insert a random byte
+        s.insert(s.begin() + long(rng->UniformInt(s.size() + 1)),
+                 char(rng->UniformInt(256)));
+        break;
+      }
+      case 2: {  // delete one byte
+        s.erase(s.begin() + long(rng->UniformInt(s.size())));
+        break;
+      }
+      case 3: {  // truncate (torn write)
+        s.resize(rng->UniformInt(s.size() + 1));
+        break;
+      }
+      case 4: {  // duplicate a chunk somewhere else
+        const size_t from = rng->UniformInt(s.size());
+        const size_t len = 1 + rng->UniformInt(std::min<size_t>(64, s.size() - from));
+        const std::string chunk = s.substr(from, len);
+        s.insert(rng->UniformInt(s.size() + 1), chunk);
+        break;
+      }
+      default: {  // splice random bytes over a region
+        const size_t at = rng->UniformInt(s.size());
+        const size_t len =
+            std::min<size_t>(1 + rng->UniformInt(16), s.size() - at);
+        for (size_t i = 0; i < len; ++i)
+          s[at + i] = char(rng->UniformInt(256));
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+// --- CSV loader fuzz ---------------------------------------------------
+
+class CsvFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/tcss_fuzz_csv";
+    ASSERT_TRUE(Env::Default()->CreateDirs(dir_).ok());
+  }
+
+  void WriteDataset(const std::string& pois, const std::string& checkins,
+                    const std::string& friends) {
+    Env* env = Env::Default();
+    ASSERT_TRUE(AtomicWriteFile(env, dir_ + "/pois.csv", pois).ok());
+    ASSERT_TRUE(AtomicWriteFile(env, dir_ + "/checkins.csv", checkins).ok());
+    ASSERT_TRUE(AtomicWriteFile(env, dir_ + "/friends.csv", friends).ok());
+    // A stale quarantine file from a previous iteration must not leak
+    // into this one's report.
+    (void)env->DeleteFile(dir_ + "/quarantine.csv");
+  }
+
+  // Loads in both modes; the only contract is "returns, with a Status".
+  void LoadBothModes() {
+    auto strict = LoadDatasetCsv(dir_);
+    (void)strict.ok();
+    CsvLoadOptions lenient;
+    lenient.mode = CsvLoadMode::kLenient;
+    lenient.max_bad_rows = 1000;
+    LoadReport report;
+    auto loose = LoadDatasetCsv(dir_, lenient, &report);
+    if (loose.ok()) {
+      // Whatever survived must be internally consistent: every check-in
+      // refers to a loaded POI and a real user.
+      const Dataset& d = loose.value();
+      for (const auto& e : d.checkins()) {
+        ASSERT_LT(e.poi, d.num_pois());
+        ASSERT_LT(e.user, d.num_users());
+      }
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CsvFuzz, MutatedCsvFilesNeverCrashLoaders) {
+  Rng rng(0xc0ffee);
+  const std::string good[3] = {kGoodPois, kGoodCheckins, kGoodFriends};
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string files[3] = {good[0], good[1], good[2]};
+    // Mutate one, sometimes two of the files.
+    files[rng.UniformInt(3)] = Mutate(files[rng.UniformInt(3)], &rng);
+    if (rng.Bernoulli(0.3))
+      files[rng.UniformInt(3)] = Mutate(files[rng.UniformInt(3)], &rng);
+    WriteDataset(files[0], files[1], files[2]);
+    LoadBothModes();
+  }
+}
+
+TEST_F(CsvFuzz, TruncatedCsvFilesNeverCrashLoaders) {
+  const std::string good[3] = {kGoodPois, kGoodCheckins, kGoodFriends};
+  for (int which = 0; which < 3; ++which) {
+    for (size_t n = 0; n <= good[which].size(); ++n) {
+      std::string files[3] = {good[0], good[1], good[2]};
+      files[which] = good[which].substr(0, n);
+      WriteDataset(files[0], files[1], files[2]);
+      LoadBothModes();
+    }
+  }
+}
+
+// --- Model / checkpoint parser fuzz ------------------------------------
+
+TEST(ModelFuzz, MutatedModelBytesNeverCrashParser) {
+  const std::string good = GoodModelBytes();
+  ASSERT_FALSE(good.empty());
+  ASSERT_TRUE(ParseFactorModelBytes(good).ok());
+  Rng rng(0xfacade);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string bad = Mutate(good, &rng);
+    auto r = ParseFactorModelBytes(bad);
+    if (r.ok()) {
+      // Astronomically unlikely (the CRC footer must still match), but if
+      // it parses it must be a structurally sound model.
+      EXPECT_GT(r.value().rank(), 0u);
+    }
+  }
+}
+
+// True when the bytes lost by cutting `good` at `n` are pure whitespace:
+// such a prefix is semantically the complete file and may legally parse.
+bool TailIsWhitespace(const std::string& good, size_t n) {
+  return good.find_last_not_of(" \t\r\n") < n;
+}
+
+TEST(ModelFuzz, EveryModelPrefixIsRejected) {
+  const std::string good = GoodModelBytes();
+  ASSERT_FALSE(good.empty());
+  for (size_t n = 0; n < good.size(); ++n) {
+    if (TailIsWhitespace(good, n)) continue;
+    auto r = ParseFactorModelBytes(good.substr(0, n));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << n << " parsed";
+  }
+}
+
+TEST(CheckpointFuzz, MutatedCheckpointBytesNeverCrashParser) {
+  const std::string good = GoodCheckpointBytes();
+  ASSERT_TRUE(ParseCheckpoint(good).ok());
+  Rng rng(0xdecade);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string bad = Mutate(good, &rng);
+    auto r = ParseCheckpoint(bad);
+    if (r.ok()) {
+      EXPECT_GT(r.value().model.rank(), 0u);
+    }
+  }
+}
+
+TEST(CheckpointFuzz, EveryCheckpointPrefixIsRejected) {
+  const std::string good = GoodCheckpointBytes();
+  for (size_t n = 0; n < good.size(); ++n) {
+    if (TailIsWhitespace(good, n)) continue;
+    auto r = ParseCheckpoint(good.substr(0, n));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << n << " parsed";
+  }
+}
+
+}  // namespace
+}  // namespace tcss

@@ -1,15 +1,28 @@
 #!/usr/bin/env bash
-# Sanitizer CI check: configure with AddressSanitizer + UBSan, build
-# everything, and run the full test suite under the instrumented binaries.
+# CI check, two stages:
 #
-#   tools/check.sh [build-dir]        (default: build-asan)
+#   1. Plain build: run the serving-layer and randomized-corruption suites
+#      (ctest labels "serve" and "fuzz") in the production configuration —
+#      the exact binaries that ship.
+#   2. Sanitizer build: configure with AddressSanitizer + UBSan and run
+#      the FULL test suite (which again includes serve + fuzz) under the
+#      instrumented binaries.
 #
-# Any sanitizer report (heap overflow, UB, leak) fails the ctest run.
+#   tools/check.sh [asan-build-dir]   (default: build-asan; the plain
+#                                      stage uses/creates ./build)
+#
+# Any test failure or sanitizer report (heap overflow, UB, leak) fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
+# --- Stage 1: plain build, resilience suites -----------------------------
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -L "serve|fuzz"
+
+# --- Stage 2: ASan/UBSan build, full suite -------------------------------
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTCSS_SANITIZE="address;undefined"

@@ -9,18 +9,28 @@
 //   tcss evaluate  --data DIR --model FILE [--granularity G]
 //   tcss recommend --data DIR --model FILE --user U [--time K] [--k N]
 //                  [--new-only] [--granularity G]
+//   tcss serve     --data DIR --model FILE --requests FILE
+//                  [--granularity G] [--poll-every N]
 //
 // `generate` writes an LBSN as CSV (pois.csv / checkins.csv / friends.csv);
 // `train` fits TCSS on an 80/20 split of the check-ins and saves the
 // factors; `evaluate` reports Hit@10 / MRR on the held-out 20%;
-// `recommend` prints a ranked POI list for one user and time bin.
+// `recommend` prints a ranked POI list for one user and time bin; `serve`
+// answers a batch request file through the resilient fallback chain
+// (hot-reloaded model -> fold-in -> popularity), ranked lists on stdout and
+// service stats on stderr.
+//
+// All data-loading commands accept `--lenient` (quarantine malformed CSV
+// rows instead of failing the load) and `--max-bad-rows N`.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/strings.h"
 #include "core/checkpoint.h"
 #include "core/model_io.h"
 #include "core/recommend.h"
@@ -31,6 +41,9 @@
 #include "data/synthetic.h"
 #include "data/tensor_builder.h"
 #include "eval/ranking_protocol.h"
+#include "serve/model_watcher.h"
+#include "serve/recommend_service.h"
+#include "serve/request.h"
 
 namespace {
 
@@ -41,6 +54,7 @@ struct Args {
   std::map<std::string, std::string> flags;
   bool new_only = false;
   bool resume = false;
+  bool lenient = false;
 
   const char* Get(const std::string& key, const char* dflt = nullptr) const {
     auto it = flags.find(key);
@@ -69,7 +83,10 @@ int Usage() {
       "  tcss evaluate  --data DIR --model FILE [--granularity G]\n"
       "  tcss stats     --data DIR\n"
       "  tcss recommend --data DIR --model FILE --user U [--time K] "
-      "[--k N] [--new-only] [--granularity G]\n");
+      "[--k N] [--new-only] [--granularity G]\n"
+      "  tcss serve     --data DIR --model FILE --requests FILE "
+      "[--granularity G] [--poll-every N]\n"
+      "common flags: [--lenient] [--max-bad-rows N]\n");
   return 2;
 }
 
@@ -118,7 +135,20 @@ int Generate(const Args& args) {
 Result<Dataset> LoadData(const Args& args) {
   const char* dir = args.Get("data");
   if (dir == nullptr) return Status::InvalidArgument("--data is required");
-  return LoadDatasetCsv(dir);
+  CsvLoadOptions opts;
+  opts.mode = args.lenient ? CsvLoadMode::kLenient : CsvLoadMode::kStrict;
+  opts.max_bad_rows = static_cast<size_t>(
+      args.GetI("max-bad-rows", static_cast<long>(opts.max_bad_rows)));
+  LoadReport report;
+  auto data = LoadDatasetCsv(dir, opts, &report);
+  if (data.ok() && report.bad_rows() > 0) {
+    std::fprintf(stderr,
+                 "warning: quarantined %zu bad rows (%zu pois, %zu "
+                 "checkins, %zu edges) to %s\n",
+                 report.bad_rows(), report.bad_pois, report.bad_checkins,
+                 report.bad_edges, report.quarantine_path.c_str());
+  }
+  return data;
 }
 
 int Train(const Args& args) {
@@ -297,6 +327,84 @@ int Recommend(const Args& args) {
   return 0;
 }
 
+// Batch serving front end: every line of --requests is either a `topk`
+// query (see ParseRequestLine), `poll` (one hot-reload check), `stats`
+// (dump running stats to stderr), a blank line or a `#` comment. The
+// process never aborts on a malformed line — it reports and moves on,
+// because request files are untrusted input.
+int Serve(const Args& args) {
+  const char* model_path = args.Get("model");
+  const char* requests_path = args.Get("requests");
+  if (model_path == nullptr || requests_path == nullptr) return Usage();
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const TimeGranularity g = ParseGranularity(args.Get("granularity"));
+  const long poll_every = args.GetI("poll-every", 0);
+
+  ModelWatcher::Options wopts;
+  wopts.num_users = data.value().num_users();
+  wopts.num_pois = data.value().num_pois();
+  wopts.num_bins = NumBins(g);
+  ModelWatcher watcher(model_path, wopts);
+  RecommendService service(&data.value(), g, &watcher);
+  Status st = service.Init();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (watcher.current() == nullptr) {
+    std::fprintf(stderr, "warning: no valid model at %s (%s); serving %s\n",
+                 model_path, watcher.last_error().ToString().c_str(),
+                 ServeHealthName(service.health()));
+  }
+
+  std::ifstream in(requests_path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", requests_path);
+    return 1;
+  }
+  std::string line;
+  size_t lineno = 0;
+  long since_poll = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "poll") {
+      service.PollModel();
+      std::fprintf(stderr, "poll: health=%s\n",
+                   ServeHealthName(service.health()));
+      continue;
+    }
+    if (trimmed == "stats") {
+      std::fprintf(stderr, "%s\n", service.Stats().ToString().c_str());
+      continue;
+    }
+    auto req = ParseRequestLine(trimmed);
+    if (!req.ok()) {
+      std::printf("line %zu error: %s\n", lineno,
+                  req.status().message().c_str());
+      continue;
+    }
+    if (poll_every > 0 && ++since_poll >= poll_every) {
+      service.PollModel();
+      since_poll = 0;
+    }
+    auto resp = service.TopK(req.value());
+    std::printf("user=%u time=%u tier=%s :", req.value().user,
+                req.value().time_bin, ServeTierName(resp.tier));
+    for (const auto& r : resp.recs) {
+      std::printf(" %u:%.4f", r.poi, r.score);
+    }
+    std::printf("\n");
+  }
+  std::fprintf(stderr, "%s\n", service.Stats().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,6 +419,8 @@ int main(int argc, char** argv) {
       args.new_only = true;
     } else if (flag == "resume") {
       args.resume = true;
+    } else if (flag == "lenient") {
+      args.lenient = true;
     } else if (a + 1 < argc) {
       args.flags[flag] = argv[++a];
     } else {
@@ -322,5 +432,6 @@ int main(int argc, char** argv) {
   if (args.command == "evaluate") return Evaluate(args);
   if (args.command == "stats") return Stats(args);
   if (args.command == "recommend") return Recommend(args);
+  if (args.command == "serve") return Serve(args);
   return Usage();
 }
