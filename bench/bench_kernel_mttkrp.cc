@@ -5,11 +5,16 @@
 // only ~3 nonzeros (K = 12 caps them), so plain COO wins - the library
 // therefore keeps COO in the CP-ALS hot path and CSF as an alternative
 // for long-fiber regimes (hour/week granularities, denser data).
+// The thread-scaling sweep (BM_MttkrpCooThreads) tracks the speedup of
+// the deterministic parallel path at 1/2/4/8 threads; the output is
+// bit-identical at every thread count, so this measures scheduling
+// overhead and memory bandwidth only.
 #include <benchmark/benchmark.h>
 
 #include <map>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "data/tensor_builder.h"
@@ -62,6 +67,26 @@ void BM_MttkrpCsf(benchmark::State& state) {
   state.counters["nnz"] = static_cast<double>(csf.nnz());
 }
 
+// Thread-scaling sweep over the parallel COO path: rank 32 on the
+// gowalla-like tensor, num_threads in {1, 2, 4, 8}. UseRealTime because
+// the work happens on pool workers, not the timing thread.
+void BM_MttkrpCooThreads(benchmark::State& state) {
+  const SparseTensor& x = CheckinTensor(0);
+  const size_t r = 32;
+  Rng rng(1);
+  Matrix factors[3] = {Matrix(x.dim_i(), r),
+                       Matrix::GaussianRandom(x.dim_j(), r, &rng),
+                       Matrix::GaussianRandom(x.dim_k(), r, &rng)};
+  SetGlobalThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Matrix out = Mttkrp(x, factors, 0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["nnz"] = static_cast<double>(x.nnz());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  SetGlobalThreads(1);
+}
+
 // Arg pairs: {rank, dataset} with dataset 0 = sparse gowalla-like
 // (short fibers; COO tends to win) and 1 = dense gmu5k-like (long
 // fibers; CSF's factoring pays off).
@@ -71,6 +96,8 @@ BENCHMARK(BM_MttkrpCoo)
 BENCHMARK(BM_MttkrpCsf)
     ->Args({4, 0})->Args({10, 0})->Args({32, 0})
     ->Args({4, 1})->Args({10, 1})->Args({32, 1});
+BENCHMARK(BM_MttkrpCooThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

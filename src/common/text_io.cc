@@ -17,6 +17,13 @@ std::string_view TextScanner::NextToken() {
   return text_.substr(start, pos_ - start);
 }
 
+std::string_view TextScanner::PeekToken() {
+  const size_t saved = pos_;
+  const std::string_view tok = NextToken();
+  pos_ = saved;
+  return tok;
+}
+
 bool TextScanner::AtEnd() {
   while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
   return pos_ == text_.size();

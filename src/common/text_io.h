@@ -19,6 +19,11 @@ class TextScanner {
   /// Next token, or empty view at end of input.
   std::string_view NextToken();
 
+  /// Next token without consuming it. Lets parsers accept optional fields
+  /// appended to a format (e.g. TCKPv1's "sampler") while staying strict
+  /// about the required ones.
+  std::string_view PeekToken();
+
   /// True if only whitespace remains.
   bool AtEnd();
 

@@ -1,0 +1,144 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace tcss {
+namespace {
+
+/// True while the current thread is executing a ParallelFor shard; nested
+/// regions run inline (same shard decomposition, so same results).
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 0; t + 1 < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainJob(const std::shared_ptr<Job>& job) {
+  size_t done = 0;
+  for (;;) {
+    const size_t s = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (s >= job->num_shards) break;
+    (*job->fn)(s);
+    ++done;
+  }
+  if (done == 0) return;
+  const size_t total =
+      job->completed.fetch_add(done, std::memory_order_acq_rel) + done;
+  if (total == job->num_shards) {
+    // Empty critical section: pairs with the predicate re-check in Run so
+    // the notify cannot slip between its predicate test and its sleep.
+    { std::lock_guard<std::mutex> lk(mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::shared_ptr<Job> last;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return shutdown_ ||
+               (job_ != nullptr && job_ != last &&
+                job_->next.load(std::memory_order_relaxed) < job_->num_shards);
+      });
+      if (shutdown_) return;
+      job = job_;
+    }
+    last = job;
+    tls_in_parallel_region = true;
+    DrainJob(job);
+    tls_in_parallel_region = false;
+  }
+}
+
+void ThreadPool::Run(size_t num_shards, const std::function<void(size_t)>& fn) {
+  if (num_shards == 0) return;
+  if (workers_.empty()) {
+    for (size_t s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_shards = num_shards;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+  }
+  work_cv_.notify_all();
+  tls_in_parallel_region = true;
+  DrainJob(job);
+  tls_in_parallel_region = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return job->completed.load(std::memory_order_acquire) == job->num_shards;
+  });
+  job_.reset();
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // created lazily; guarded by g_pool_mu
+
+}  // namespace
+
+ThreadPool* GlobalThreadPool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool == nullptr) g_pool = std::make_unique<ThreadPool>(1);
+  return g_pool.get();
+}
+
+void SetGlobalThreads(int num_threads) {
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool != nullptr && g_pool->num_threads() == num_threads) return;
+  g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+int GlobalThreads() { return GlobalThreadPool()->num_threads(); }
+
+size_t ParallelForShards(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t shards = (n + grain - 1) / grain;
+  auto run_shard = [&](size_t s) {
+    const size_t begin = s * grain;
+    fn(begin, std::min(n, begin + grain), s);
+  };
+  ThreadPool* pool = tls_in_parallel_region ? nullptr : GlobalThreadPool();
+  if (pool == nullptr || pool->num_threads() == 1 || shards == 1) {
+    for (size_t s = 0; s < shards; ++s) run_shard(s);
+    return;
+  }
+  pool->Run(shards, run_shard);
+}
+
+}  // namespace tcss

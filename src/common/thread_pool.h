@@ -1,0 +1,105 @@
+#ifndef TCSS_COMMON_THREAD_POOL_H_
+#define TCSS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcss {
+
+/// Fixed-size, work-stealing-free thread pool for deterministic data
+/// parallelism. One job runs at a time: Run(num_shards, fn) executes
+/// fn(shard) for every shard in [0, num_shards) across the workers plus
+/// the calling thread, claiming shards from a single shared counter (no
+/// per-thread deques, no stealing), and returns only when every shard has
+/// finished.
+///
+/// Determinism contract: the pool guarantees each shard runs exactly once,
+/// but NOT in which order or on which thread. Callers obtain bit-identical
+/// results at any thread count by (a) writing shard-disjoint outputs
+/// (row-partitioned matrices), or (b) accumulating into per-shard buffers
+/// that the caller merges in ascending shard order after Run returns —
+/// and by deriving the shard decomposition from the problem size only,
+/// never from the thread count. See DESIGN.md "Deterministic parallelism".
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller of Run is the last
+  /// execution lane). num_threads < 1 is clamped to 1 (no workers, Run
+  /// degenerates to a serial loop).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Executes fn(shard) for shard in [0, num_shards); blocks until all
+  /// shards completed. Safe to call from multiple threads (jobs are
+  /// serialized). fn must not call Run on the same pool (use ParallelFor,
+  /// which falls back to inline execution when nested).
+  void Run(size_t num_shards, const std::function<void(size_t)>& fn);
+
+ private:
+  /// One parallel region. Heap-allocated and shared with the workers so a
+  /// worker waking up late (after the job finished and a new one started)
+  /// still holds the shard counter of *its* job, which is exhausted — it
+  /// can never claim shards of a newer job with a stale function pointer.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_shards = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  void WorkerLoop();
+  /// Claims and executes shards of `job` until none remain; returns after
+  /// signalling done_cv_ if this thread finished the last shard.
+  void DrainJob(const std::shared_ptr<Job>& job);
+
+  const int num_threads_;
+  std::mutex mu_;                  ///< guards job_ / shutdown_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  bool shutdown_ = false;
+  std::mutex run_mu_;              ///< serializes concurrent Run callers
+  std::vector<std::thread> workers_;
+};
+
+/// Process-global pool used by ParallelFor. Starts at 1 thread (serial)
+/// until SetGlobalThreads is called; the trainer calls it with
+/// TcssConfig::num_threads, the CLI plumbs --num-threads.
+ThreadPool* GlobalThreadPool();
+
+/// Replaces the global pool with one of `num_threads` threads
+/// (0 = std::thread::hardware_concurrency). Not safe concurrently with an
+/// in-flight ParallelFor; call between parallel regions (e.g. before
+/// training starts). No-op when the pool already has that many threads.
+void SetGlobalThreads(int num_threads);
+
+/// Thread count of the current global pool.
+int GlobalThreads();
+
+/// Number of shards ParallelFor(n, grain, ...) will produce: ceil(n/grain)
+/// (0 for n == 0). Depends only on (n, grain) — never on the thread count
+/// — so per-shard accumulator layouts are stable across machines.
+size_t ParallelForShards(size_t n, size_t grain);
+
+/// Splits [0, n) into ceil(n/grain) contiguous shards and runs
+/// fn(begin, end, shard) for each on the global pool. The decomposition is
+/// a pure function of (n, grain); the thread count only affects which
+/// thread runs which shard. Nested calls (fn itself calling ParallelFor)
+/// execute inline serially with the same decomposition, so results do not
+/// depend on nesting depth either.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace tcss
+
+#endif  // TCSS_COMMON_THREAD_POOL_H_

@@ -70,6 +70,8 @@ std::string SerializeCheckpoint(const TrainerCheckpoint& ckpt) {
                        static_cast<long long>(ckpt.adam_t)));
   out.append(StrFormat("rotation %zu\n", ckpt.hausdorff_rotation));
   out.append(StrFormat("lr_scale %a\n", ckpt.lr_scale));
+  out.append(StrFormat("sampler %llu\n",
+                       static_cast<unsigned long long>(ckpt.sampler_state)));
   out.append(SerializeFactorModel(ckpt.model));
   AppendMoments("adam_m", ckpt.adam_m, &out);
   AppendMoments("adam_v", ckpt.adam_v, &out);
@@ -103,6 +105,16 @@ Result<TrainerCheckpoint> ParseCheckpoint(std::string_view text) {
   if (!scanner.Expect("lr_scale") || !scanner.NextDouble(&ckpt.lr_scale) ||
       !std::isfinite(ckpt.lr_scale) || ckpt.lr_scale <= 0.0) {
     return Status::IOError("bad lr_scale field");
+  }
+  // Optional field (added after the format shipped): files written before
+  // the negative-sampling state was checkpointed simply lack it.
+  if (scanner.PeekToken() == "sampler") {
+    scanner.NextToken();
+    size_t sampler = 0;
+    if (!scanner.NextSize(&sampler)) {
+      return Status::IOError("bad sampler field");
+    }
+    ckpt.sampler_state = sampler;
   }
   auto model = ParseFactorModel(&scanner);
   if (!model.ok()) return model.status();

@@ -12,8 +12,8 @@ namespace tcss {
 
 /// Everything needed to continue a TcssTrainer run bit-identically from
 /// the end of some epoch: the model, the Adam moments + step counter, the
-/// epoch number, the Hausdorff minibatch cursor, and the divergence-guard
-/// learning-rate scale.
+/// epoch number, the Hausdorff minibatch cursor, the negative-sampling
+/// call counter, and the divergence-guard learning-rate scale.
 struct TrainerCheckpoint {
   FactorModel model;
   FactorGrads adam_m;
@@ -22,6 +22,11 @@ struct TrainerCheckpoint {
   int epoch = 0;                 ///< epochs fully completed
   size_t hausdorff_rotation = 0;
   double lr_scale = 1.0;         ///< divergence-backoff multiplier
+  /// WholeDataLoss::sampler_state() — the NegativeSamplingLoss call
+  /// counter (0 for deterministic loss modes). Serialized as an optional
+  /// trailing "sampler" field so pre-existing TCKPv1 files still parse
+  /// (they default to 0).
+  uint64_t sampler_state = 0;
 };
 
 /// In-memory (de)serialization of the TCKPv1 checkpoint format: a text

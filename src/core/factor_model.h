@@ -50,6 +50,17 @@ struct FactorGrads {
     u3.Fill(0.0);
     std::fill(h.begin(), h.end(), 0.0);
   }
+
+  /// this += alpha * other (shapes must match). The ordered reduce of
+  /// per-shard gradient buffers: merging in ascending shard order makes
+  /// parallel accumulation bit-identical at any thread count (DESIGN.md,
+  /// "Deterministic parallelism").
+  void Add(const FactorGrads& other, double alpha = 1.0) {
+    u1.Add(other.u1, alpha);
+    u2.Add(other.u2, alpha);
+    u3.Add(other.u3, alpha);
+    for (size_t t = 0; t < h.size(); ++t) h[t] += alpha * other.h[t];
+  }
 };
 
 }  // namespace tcss

@@ -45,10 +45,10 @@ const char* HausdorffModeName(HausdorffMode m) {
 std::string TcssConfig::Summary() const {
   return StrFormat(
       "TCSS{r=%zu epochs=%d lr=%g w+=%g w-=%g lambda=%g alpha=%g init=%s "
-      "loss=%s hausdorff=%s pool=%zu}",
+      "loss=%s hausdorff=%s pool=%zu threads=%d}",
       rank, epochs, learning_rate, w_pos, w_neg, lambda, alpha,
       InitMethodName(init), LossModeName(loss_mode),
-      HausdorffModeName(hausdorff), hausdorff_pool);
+      HausdorffModeName(hausdorff), hausdorff_pool, num_threads);
 }
 
 std::string TcssConfig::Validate() const {
@@ -62,6 +62,9 @@ std::string TcssConfig::Validate() const {
   if (epsilon <= 0) return "epsilon must be positive";
   if (zero_out_sigma_frac <= 0 || zero_out_sigma_frac > 1) {
     return "zero_out_sigma_frac must be in (0, 1]";
+  }
+  if (num_threads < 0 || num_threads > 1024) {
+    return "num_threads must be in [0, 1024] (0 = hardware concurrency)";
   }
   return "";
 }

@@ -88,6 +88,12 @@ struct TcssConfig {
 
   uint64_t seed = 13;
 
+  /// Worker threads for the parallel hot paths (losses, MTTKRP, matmuls).
+  /// 0 = std::thread::hardware_concurrency(). Training output is
+  /// bit-identical at any thread count (see DESIGN.md, "Deterministic
+  /// parallelism").
+  int num_threads = 0;
+
   /// Human-readable one-liner for experiment logs.
   std::string Summary() const;
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/spectral_init.h"
 
 namespace tcss {
@@ -125,6 +126,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
   if (options.resume && options.checkpoints == nullptr) {
     return Status::InvalidArgument("resume requested without checkpoints");
   }
+  SetGlobalThreads(config_.num_threads);
 
   FactorModel model;
   int start_epoch = 0;        // epochs already completed
@@ -153,6 +155,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
       if (hausdorff_ != nullptr) {
         hausdorff_->set_rotation(ckpt.hausdorff_rotation);
       }
+      l2_->set_sampler_state(ckpt.sampler_state);
       resumed = true;
       TCSS_LOG(Info) << "resuming training from checkpoint at epoch "
                      << start_epoch;
@@ -181,6 +184,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
     last_good.epoch = completed_epochs;
     last_good.hausdorff_rotation =
         hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
+    last_good.sampler_state = l2_->sampler_state();
     last_good.lr_scale = lr_scale;
   };
   record_last_good(start_epoch);
@@ -196,9 +200,15 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
     stats.epoch = epoch;
     const size_t rotation_before =
         hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
+    const uint64_t sampler_before = l2_->sampler_state();
     stats.loss_l2 = l2_->ComputeWithGrads(model, *train_, &grads);
     if (hausdorff_ != nullptr) {
+      // ComputeWithGrads bakes lambda into its gradient scale but returns
+      // the raw (extrapolated) L1 value; multiply here so TotalLoss() —
+      // which drives divergence detection and plateau monitoring — sees
+      // lambda applied exactly once, matching the gradients.
       stats.loss_l1 =
+          config_.lambda *
           hausdorff_->ComputeWithGrads(model, config_.lambda, &grads);
     }
     if (config_.temporal_smoothness > 0.0) {
@@ -234,6 +244,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
       if (hausdorff_ != nullptr) {
         hausdorff_->set_rotation(last_good.hausdorff_rotation);
       }
+      l2_->set_sampler_state(last_good.sampler_state);
       epoch = last_good.epoch;  // loop increment restarts at epoch + 1
       continue;
     }
@@ -246,6 +257,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
     last_good.adam_t = adam->t;
     last_good.epoch = epoch - 1;
     last_good.hausdorff_rotation = rotation_before;
+    last_good.sampler_state = sampler_before;
     last_good.lr_scale = lr_scale;
 
     stats.lr = ScheduledLr(epoch) * lr_scale;
@@ -254,9 +266,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
     stats.seconds = sw.ElapsedSeconds();
     if (callback) callback(stats, model);
 
-    if (options.checkpoints != nullptr &&
-        (options.checkpoints->ShouldSnapshot(epoch) ||
-         epoch == config_.epochs)) {
+    auto save_checkpoint = [&]() -> Status {
       TrainerCheckpoint ckpt;
       ckpt.model = model;
       ckpt.adam_m = adam->m;
@@ -265,8 +275,16 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
       ckpt.epoch = epoch;
       ckpt.hausdorff_rotation =
           hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
+      ckpt.sampler_state = l2_->sampler_state();
       ckpt.lr_scale = lr_scale;
-      TCSS_RETURN_IF_ERROR(options.checkpoints->Save(ckpt));
+      return options.checkpoints->Save(ckpt);
+    };
+    bool checkpointed = false;
+    if (options.checkpoints != nullptr &&
+        (options.checkpoints->ShouldSnapshot(epoch) ||
+         epoch == config_.epochs)) {
+      TCSS_RETURN_IF_ERROR(save_checkpoint());
+      checkpointed = true;
     }
 
     if (options.plateau_patience > 0) {
@@ -280,6 +298,12 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
         TCSS_LOG(Info) << "early stop at epoch " << epoch
                        << ": monitored value plateaued at "
                        << best_monitored;
+        // The final-epoch snapshot below the loop never runs on this
+        // path; save here so a post-plateau --resume restarts from the
+        // stopping point instead of redoing epochs.
+        if (options.checkpoints != nullptr && !checkpointed) {
+          TCSS_RETURN_IF_ERROR(save_checkpoint());
+        }
         break;
       }
     }
@@ -290,6 +314,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
 Result<double> TcssTrainer::TimeOneLossEpoch(LossMode mode) {
   TcssConfig cfg = config_;
   cfg.loss_mode = mode;
+  SetGlobalThreads(cfg.num_threads);
   auto init = InitializeFactors(*train_, cfg);
   if (!init.ok()) return init.status();
   FactorModel model = init.MoveValue();

@@ -19,7 +19,7 @@ namespace tcss {
 struct EpochStats {
   int epoch = 0;
   double loss_l2 = 0.0;       ///< least-squares head value
-  double loss_l1 = 0.0;       ///< social Hausdorff head value (extrapolated)
+  double loss_l1 = 0.0;       ///< lambda * social Hausdorff value (extrapolated)
   double loss_ts = 0.0;       ///< temporal-smoothness penalty value
   double grad_norm = 0.0;     ///< max-abs entry over all gradients
   double lr = 0.0;            ///< effective learning rate of this epoch
@@ -46,8 +46,10 @@ struct TrainOptions {
   /// Restore model + optimizer state + epoch counter from the newest valid
   /// checkpoint and continue; a missing checkpoint falls back to a cold
   /// start. Requires `checkpoints`. A resumed run replays the exact
-  /// floating-point trajectory of an uninterrupted one (deterministic loss
-  /// modes; kNegativeSampling redraws its samples).
+  /// floating-point trajectory of an uninterrupted one in every loss mode:
+  /// kNegativeSampling's counter-based sampler state is checkpointed, so
+  /// the resumed epochs draw the same negatives the uninterrupted run
+  /// would have.
   bool resume = false;
 
   /// Divergence guard: on a non-finite loss/gradient (or grad_norm above

@@ -1,10 +1,75 @@
 #include "core/whole_data_loss.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace tcss {
+
+namespace {
+
+/// Shard grain for observed-entry loops: at most ~16 shards, at least
+/// 1024 entries each. Pure function of nnz — the per-shard accumulator
+/// layout (and hence every rounding decision) is independent of the
+/// thread count.
+size_t EntryGrain(size_t n) {
+  return std::max<size_t>(1024, (n + 15) / 16);
+}
+
+/// SplitMix64-style finalizer deriving an independent RNG stream for
+/// (seed, call, shard). Counter-based: no mutable generator state crosses
+/// calls, so the draws of call n are a pure function of these three.
+uint64_t MixStream(uint64_t seed, uint64_t call, uint64_t shard) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (call + 1) +
+               0xbf58476d1ce4e5b9ULL * (shard + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+/// Runs fn(entry, &loss, grads_or_null) over all observed entries, sharded
+/// with per-shard loss and gradient buffers that are reduced in ascending
+/// shard order — bit-identical at any thread count.
+template <typename EntryFn>
+double ShardedEntryLoop(const FactorModel& model, const SparseTensor& train,
+                        FactorGrads* grads, EntryFn&& fn) {
+  const std::vector<TensorEntry>& entries = train.entries();
+  const size_t n = entries.size();
+  if (n == 0) return 0.0;
+  const size_t grain = EntryGrain(n);
+  const size_t shards = ParallelForShards(n, grain);
+  if (shards == 1) {
+    double loss = 0.0;
+    for (const TensorEntry& e : entries) fn(e, &loss, grads);
+    return loss;
+  }
+  std::vector<double> shard_loss(shards, 0.0);
+  std::vector<FactorGrads> shard_grads;
+  if (grads != nullptr) {
+    shard_grads.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) shard_grads.emplace_back(model);
+  }
+  ParallelFor(n, grain, [&](size_t begin, size_t end, size_t s) {
+    FactorGrads* g = grads != nullptr ? &shard_grads[s] : nullptr;
+    double local = 0.0;
+    for (size_t e = begin; e < end; ++e) fn(entries[e], &local, g);
+    shard_loss[s] = local;
+  });
+  double loss = 0.0;
+  for (size_t s = 0; s < shards; ++s) loss += shard_loss[s];
+  if (grads != nullptr) {
+    for (size_t s = 0; s < shards; ++s) grads->Add(shard_grads[s]);
+  }
+  return loss;
+}
+
+}  // namespace
 
 void AccumulateEntryGrad(const FactorModel& model, uint32_t i, uint32_t j,
                          uint32_t k, double g, FactorGrads* grads) {
@@ -49,16 +114,18 @@ double RewrittenLoss::Run(const FactorModel& model, const SparseTensor& train,
 
   // --- positive part: sum over observed entries -------------------------
   // (w+ - w-) yhat^2 - 2 w+ X yhat  [+ w+ X^2 constant for exactness]
-  double loss = 0.0;
-  for (const auto& e : train.entries()) {
-    const double y = model.Predict(e.i, e.j, e.k);
-    loss += (w_pos_ - w_neg_) * y * y - 2.0 * w_pos_ * e.value * y +
-            w_pos_ * e.value * e.value;
-    if (grads != nullptr) {
-      const double g = 2.0 * (w_pos_ - w_neg_) * y - 2.0 * w_pos_ * e.value;
-      AccumulateEntryGrad(model, e.i, e.j, e.k, g, grads);
-    }
-  }
+  double loss = ShardedEntryLoop(
+      model, train, grads,
+      [&](const TensorEntry& e, double* local, FactorGrads* g) {
+        const double y = model.Predict(e.i, e.j, e.k);
+        *local += (w_pos_ - w_neg_) * y * y - 2.0 * w_pos_ * e.value * y +
+                  w_pos_ * e.value * e.value;
+        if (g != nullptr) {
+          const double gv =
+              2.0 * (w_pos_ - w_neg_) * y - 2.0 * w_pos_ * e.value;
+          AccumulateEntryGrad(model, e.i, e.j, e.k, gv, g);
+        }
+      });
 
   // --- whole-data part: w- * sum_{all cells} yhat^2 ---------------------
   // T = sum_{r1,r2} h_r1 h_r2 G1_{r1r2} G2_{r1r2} G3_{r1r2}
@@ -163,35 +230,85 @@ double NaiveLoss::Compute(const FactorModel& model,
 double NegativeSamplingLoss::Run(const FactorModel& model,
                                  const SparseTensor& train,
                                  FactorGrads* grads) {
-  double loss = 0.0;
-  for (const auto& e : train.entries()) {
-    const double y = model.Predict(e.i, e.j, e.k);
-    const double d = y - e.value;
-    loss += w_pos_ * d * d;
-    if (grads != nullptr) {
-      AccumulateEntryGrad(model, e.i, e.j, e.k, 2.0 * w_pos_ * d, grads);
-    }
-  }
+  double loss = ShardedEntryLoop(
+      model, train, grads,
+      [&](const TensorEntry& e, double* local, FactorGrads* g) {
+        const double y = model.Predict(e.i, e.j, e.k);
+        const double d = y - e.value;
+        *local += w_pos_ * d * d;
+        if (g != nullptr) {
+          AccumulateEntryGrad(model, e.i, e.j, e.k, 2.0 * w_pos_ * d, g);
+        }
+      });
   // One sampled negative per positive (He et al. ratio 1:1), uniformly
-  // over the unlabeled cells via rejection.
+  // over the unlabeled cells via rejection. Each shard draws its quota
+  // from its own counter-derived stream, so the sample set is a pure
+  // function of (seed, call counter) — same at any thread count, and
+  // reproducible after a checkpoint restore of the counter.
   const size_t I = train.dim_i();
   const size_t J = train.dim_j();
   const size_t K = train.dim_k();
   const size_t want = train.nnz();
-  size_t drawn = 0;
-  size_t guard = 0;
-  while (drawn < want && guard < want * 50 + 100) {
-    ++guard;
-    const uint32_t i = static_cast<uint32_t>(rng_.UniformInt(I));
-    const uint32_t j = static_cast<uint32_t>(rng_.UniformInt(J));
-    const uint32_t k = static_cast<uint32_t>(rng_.UniformInt(K));
-    if (train.Contains(i, j, k)) continue;
-    ++drawn;
-    const double y = model.Predict(i, j, k);
-    loss += w_neg_ * y * y;
-    if (grads != nullptr) {
-      AccumulateEntryGrad(model, i, j, k, 2.0 * w_neg_ * y, grads);
+  const uint64_t call = calls_++;
+  if (want == 0) return loss;
+  const size_t grain = std::max<size_t>(256, (want + 15) / 16);
+  const size_t shards = ParallelForShards(want, grain);
+  std::vector<double> shard_loss(shards, 0.0);
+  std::vector<size_t> shard_drawn(shards, 0);
+  std::vector<FactorGrads> shard_grads;
+  if (grads != nullptr) {
+    // Negatives always go through per-shard buffers (even when shards==1
+    // would allow direct accumulation) so an under-draw rescale can be
+    // applied uniformly at merge time.
+    shard_grads.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) shard_grads.emplace_back(model);
+  }
+  ParallelFor(want, grain, [&](size_t begin, size_t end, size_t s) {
+    Rng rng(MixStream(seed_, call, s));
+    FactorGrads* g = grads != nullptr ? &shard_grads[s] : nullptr;
+    const size_t quota = end - begin;
+    size_t drawn = 0;
+    size_t guard = 0;
+    double local = 0.0;
+    while (drawn < quota && guard < quota * 50 + 100) {
+      ++guard;
+      const uint32_t i = static_cast<uint32_t>(rng.UniformInt(I));
+      const uint32_t j = static_cast<uint32_t>(rng.UniformInt(J));
+      const uint32_t k = static_cast<uint32_t>(rng.UniformInt(K));
+      if (train.Contains(i, j, k)) continue;
+      ++drawn;
+      const double y = model.Predict(i, j, k);
+      local += w_neg_ * y * y;
+      if (g != nullptr) {
+        AccumulateEntryGrad(model, i, j, k, 2.0 * w_neg_ * y, g);
+      }
     }
+    shard_loss[s] = local;
+    shard_drawn[s] = drawn;
+  });
+  size_t drawn = 0;
+  double neg_loss = 0.0;
+  for (size_t s = 0; s < shards; ++s) {
+    drawn += shard_drawn[s];
+    neg_loss += shard_loss[s];
+  }
+  // Under-draw (rejection guard exhausted on a near-dense tensor): the
+  // drawn negatives are still uniform over unlabeled cells, so rescale by
+  // want/drawn to keep the w- term an unbiased estimate of the intended
+  // `want`-sample sum instead of silently shrinking it.
+  double scale = 1.0;
+  if (drawn < want) {
+    if (drawn > 0) {
+      scale = static_cast<double>(want) / static_cast<double>(drawn);
+    }
+    TCSS_LOG(Warning) << "negative sampling under-drew " << drawn << "/"
+                      << want << " negatives (tensor too dense for the "
+                      << "rejection guard); rescaling the w- term by "
+                      << scale;
+  }
+  loss += scale * neg_loss;
+  if (grads != nullptr) {
+    for (size_t s = 0; s < shards; ++s) grads->Add(shard_grads[s], scale);
   }
   return loss;
 }

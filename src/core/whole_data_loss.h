@@ -34,6 +34,13 @@ class WholeDataLoss {
   virtual double Compute(const FactorModel& model,
                          const SparseTensor& train) = 0;
 
+  /// Opaque sampler state for checkpointing. Deterministic losses return
+  /// 0; NegativeSamplingLoss returns its call counter, from which every
+  /// random stream is re-derivable (seed + counter), so restoring it makes
+  /// kill-and-resume bit-identical.
+  virtual uint64_t sampler_state() const { return 0; }
+  virtual void set_sampler_state(uint64_t state) { (void)state; }
+
   /// Factory for the mode selected in the config.
   static std::unique_ptr<WholeDataLoss> Create(const TcssConfig& config);
 };
@@ -70,20 +77,30 @@ class NaiveLoss : public WholeDataLoss {
 
 /// He et al.-style sampling: every positive plus an equal number of
 /// uniformly sampled unlabeled entries, re-drawn on every call.
+///
+/// Randomness is counter-based: call n draws from streams derived purely
+/// from (seed, n, shard), never from mutable generator state. That makes
+/// the draws (a) identical at any thread count — each shard owns its own
+/// stream — and (b) checkpointable as a single integer (the call counter,
+/// exposed via sampler_state()).
 class NegativeSamplingLoss : public WholeDataLoss {
  public:
   NegativeSamplingLoss(double w_pos, double w_neg, uint64_t seed)
-      : w_pos_(w_pos), w_neg_(w_neg), rng_(seed) {}
+      : w_pos_(w_pos), w_neg_(w_neg), seed_(seed) {}
   const char* name() const override { return "negative-sampling"; }
   double ComputeWithGrads(const FactorModel& model, const SparseTensor& train,
                           FactorGrads* grads) override;
   double Compute(const FactorModel& model, const SparseTensor& train) override;
 
+  uint64_t sampler_state() const override { return calls_; }
+  void set_sampler_state(uint64_t state) override { calls_ = state; }
+
  private:
   double Run(const FactorModel& model, const SparseTensor& train,
              FactorGrads* grads);
   double w_pos_, w_neg_;
-  Rng rng_;
+  uint64_t seed_;
+  uint64_t calls_ = 0;  ///< number of completed sampling passes
 };
 
 /// Accumulates g = dL/dXhat(i,j,k) into factor gradients (shared helper).

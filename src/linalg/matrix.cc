@@ -6,8 +6,23 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace tcss {
+
+namespace {
+
+/// Minimum multiply-add count before MatMul/MatTMul go parallel; below it
+/// the fork/join overhead dominates. Row-sharded outputs are disjoint and
+/// every output element is summed in the same index order as the serial
+/// loop, so the parallel path is bit-identical to the serial one and the
+/// threshold cannot change results.
+constexpr size_t kParallelFlopThreshold = 1u << 15;
+
+/// Row grain: at most 32 shards, pure function of the row count.
+size_t RowGrain(size_t rows) { return std::max<size_t>(1, (rows + 31) / 32); }
+
+}  // namespace
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -102,16 +117,25 @@ std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TCSS_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* out_row = out.row(i);
-    const double* a_row = a.row(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a_row[k];
-      if (aik == 0.0) continue;
-      const double* b_row = b.row(k);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+  // i-k-j loop order: streams through b and out rows contiguously. Output
+  // rows are independent, so sharding over i is exact.
+  auto rows = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* out_row = out.row(i);
+      const double* a_row = a.row(i);
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a_row[k];
+        if (aik == 0.0) continue;
+        const double* b_row = b.row(k);
+        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+      }
     }
+  };
+  if (a.rows() * a.cols() * b.cols() >= kParallelFlopThreshold) {
+    ParallelFor(a.rows(), RowGrain(a.rows()),
+                [&](size_t begin, size_t end, size_t) { rows(begin, end); });
+  } else {
+    rows(0, a.rows());
   }
   return out;
 }
@@ -119,15 +143,25 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatTMul(const Matrix& a, const Matrix& b) {
   TCSS_CHECK(a.rows() == b.rows()) << "MatTMul shape mismatch";
   Matrix out(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.row(k);
-    const double* b_row = b.row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a_row[i];
-      if (aki == 0.0) continue;
+  // out(i,j) = sum_k a(k,i) b(k,j): i indexes output rows, so sharding
+  // over i is exact; k runs in ascending order for every element either
+  // way, so this matches a k-outer serial loop bit for bit.
+  auto rows = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
       double* out_row = out.row(i);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+      for (size_t k = 0; k < a.rows(); ++k) {
+        const double aki = a(k, i);
+        if (aki == 0.0) continue;
+        const double* b_row = b.row(k);
+        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+      }
     }
+  };
+  if (a.rows() * a.cols() * b.cols() >= kParallelFlopThreshold) {
+    ParallelFor(a.cols(), RowGrain(a.cols()),
+                [&](size_t begin, size_t end, size_t) { rows(begin, end); });
+  } else {
+    rows(0, a.cols());
   }
   return out;
 }

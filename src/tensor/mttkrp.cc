@@ -1,22 +1,86 @@
 #include "tensor/mttkrp.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace tcss {
+
+namespace {
+
+/// Minimum nnz * rank before going parallel; the serial and parallel paths
+/// add the same values in the same order per output element, so the
+/// threshold cannot change results.
+constexpr size_t kParallelWorkThreshold = 1u << 14;
+
+/// Target shard count; the decomposition below depends only on the tensor,
+/// never on the thread count.
+constexpr size_t kTargetShards = 16;
+
+}  // namespace
 
 Matrix Mttkrp(const SparseTensor& x, const Matrix factors[3], int mode) {
   TCSS_CHECK(mode >= 0 && mode <= 2);
   const size_t r = factors[(mode + 1) % 3].cols();
   TCSS_CHECK(factors[(mode + 2) % 3].cols() == r);
   Matrix out(x.dim(mode), r);
-  for (const auto& e : x.entries()) {
+  const std::vector<TensorEntry>& entries = x.entries();
+  const size_t nnz = entries.size();
+  const Matrix& fa = factors[(mode + 1) % 3];
+  const Matrix& fb = factors[(mode + 2) % 3];
+
+  auto accumulate = [&](const TensorEntry& e) {
     const uint32_t idx[3] = {e.i, e.j, e.k};
-    const double* a = factors[(mode + 1) % 3].row(idx[(mode + 1) % 3]);
-    const double* b = factors[(mode + 2) % 3].row(idx[(mode + 2) % 3]);
+    const double* a = fa.row(idx[(mode + 1) % 3]);
+    const double* b = fb.row(idx[(mode + 2) % 3]);
     double* dst = out.row(idx[mode]);
     const double v = e.value;
     for (size_t t = 0; t < r; ++t) dst[t] += v * a[t] * b[t];
+  };
+
+  if (nnz * r < kParallelWorkThreshold || GlobalThreads() == 1) {
+    for (const TensorEntry& e : entries) accumulate(e);
+    return out;
   }
+
+  if (mode == 0 && x.finalized()) {
+    // Entries are sorted by (i, j, k), so contiguous entry ranges whose
+    // boundaries are snapped forward to the next row start write disjoint
+    // output rows. Snapping is monotone, so bounds stay ordered even when
+    // one row spans several grains (that just yields empty shards).
+    const size_t grain = std::max<size_t>(1, (nnz + kTargetShards - 1) /
+                                                 kTargetShards);
+    const size_t shards = (nnz + grain - 1) / grain;
+    std::vector<size_t> bounds(shards + 1, nnz);
+    bounds[0] = 0;
+    for (size_t s = 1; s < shards; ++s) {
+      size_t p = s * grain;
+      while (p < nnz && entries[p].i == entries[p - 1].i) ++p;
+      bounds[s] = std::max(bounds[s - 1], p);
+    }
+    ParallelFor(shards, 1, [&](size_t s, size_t, size_t) {
+      for (size_t e = bounds[s]; e < bounds[s + 1]; ++e)
+        accumulate(entries[e]);
+    });
+    return out;
+  }
+
+  // Modes 1/2 (and unfinalized mode 0): shard over output rows; every
+  // shard scans all entries and keeps only those landing in its rows, so
+  // each output row sees its contributions in original entry order.
+  const size_t rows = out.rows();
+  const size_t grain =
+      std::max<size_t>(1, (rows + kTargetShards - 1) / kTargetShards);
+  ParallelFor(rows, grain, [&](size_t begin, size_t end, size_t) {
+    for (const TensorEntry& e : entries) {
+      const uint32_t idx[3] = {e.i, e.j, e.k};
+      const uint32_t row = idx[mode];
+      if (row < begin || row >= end) continue;
+      accumulate(e);
+    }
+  });
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/env.h"
 #include "common/fault_env.h"
 #include "common/rng.h"
@@ -71,6 +72,7 @@ TrainerCheckpoint MakeCheckpoint(int epoch, uint64_t seed) {
   ckpt.adam_t = epoch;
   ckpt.epoch = epoch;
   ckpt.hausdorff_rotation = static_cast<size_t>(epoch) * 7;
+  ckpt.sampler_state = static_cast<uint64_t>(epoch) * 11 + 5;
   ckpt.lr_scale = 0.5;
   return ckpt;
 }
@@ -84,6 +86,7 @@ bool SameGrads(const FactorGrads& a, const FactorGrads& b) {
 bool SameCheckpoint(const TrainerCheckpoint& a, const TrainerCheckpoint& b) {
   return a.epoch == b.epoch && a.adam_t == b.adam_t &&
          a.hausdorff_rotation == b.hausdorff_rotation &&
+         a.sampler_state == b.sampler_state &&
          a.lr_scale == b.lr_scale && a.model.h == b.model.h &&
          MaxAbsDiff(a.model.u1, b.model.u1) == 0.0 &&
          MaxAbsDiff(a.model.u2, b.model.u2) == 0.0 &&
@@ -112,6 +115,28 @@ TEST(CheckpointFormatTest, SerializeParseRoundTripIsExact) {
   const std::string text = SerializeCheckpoint(ckpt);
   auto parsed = ParseCheckpoint(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(SameCheckpoint(ckpt, parsed.value()));
+}
+
+TEST(CheckpointFormatTest, FileWithoutSamplerFieldStillParses) {
+  // Checkpoints written before the negative-sampling state was persisted
+  // lack the "sampler" line; they must parse with sampler_state == 0.
+  TrainerCheckpoint ckpt = MakeCheckpoint(9, 4);
+  std::string text = SerializeCheckpoint(ckpt);
+  std::string_view payload;
+  ASSERT_TRUE(ValidateCrcFooter(text, &payload).ok());
+  std::string old_format(payload);
+  const size_t pos = old_format.find("sampler ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = old_format.find('\n', pos);
+  ASSERT_NE(eol, std::string::npos);
+  old_format.erase(pos, eol - pos + 1);
+  AppendCrcFooter(&old_format);
+
+  auto parsed = ParseCheckpoint(old_format);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().sampler_state, 0u);
+  ckpt.sampler_state = 0;
   EXPECT_TRUE(SameCheckpoint(ckpt, parsed.value()));
 }
 
@@ -409,6 +434,36 @@ TEST(EarlyStopTest, PlateauStopsTraining) {
       });
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(epochs_run, 3);  // 1 sets the best, 2 more plateau epochs
+}
+
+TEST(EarlyStopTest, PlateauSavesCheckpointAtTheStoppingEpoch) {
+  // Regression: the plateau `break` used to skip the end-of-training
+  // snapshot, so a post-plateau --resume silently redid the whole run.
+  // Stopping at epoch 3 with a snapshot period of 10 must still leave a
+  // checkpoint at epoch 3 on disk.
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 60;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+  CheckpointOptions copts;
+  copts.dir = ScratchDir("plateau_ckpt");
+  copts.every = 10;  // would never fire before the early stop
+  CheckpointManager mgr(copts);
+  ASSERT_TRUE(mgr.Init().ok());
+  TcssTrainer trainer(w.data, w.train, cfg);
+  TrainOptions topts;
+  topts.checkpoints = &mgr;
+  topts.plateau_patience = 2;
+  topts.plateau_min_delta = 1e18;
+  auto result = trainer.Train(topts, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(mgr.ListEpochs(), (std::vector<int>{3}));
+  auto latest = mgr.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().epoch, 3);
+  // The checkpointed model is the one Train() returned.
+  EXPECT_EQ(MaxAbsDiff(latest.value().model.u1, result.value().u1), 0.0);
 }
 
 TEST(EarlyStopTest, ValidationMetricDrivesTheStop) {

@@ -1,0 +1,416 @@
+// Determinism suite for the parallel training engine: the ThreadPool /
+// ParallelFor primitives, exact serial-vs-parallel equality of the
+// row-sharded kernels (MatMul, Gram, MTTKRP), bitwise equality of the
+// per-shard-reduced losses across thread counts, byte-identical trained
+// models at num_threads in {1, 2, 8}, and bit-identical kill-and-resume
+// in kNegativeSampling mode (the counter-based sampler state).
+//
+// tools/check.sh runs this suite under ThreadSanitizer as well.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "tensor/mttkrp.h"
+
+namespace tcss {
+namespace {
+
+struct World {
+  Dataset data;
+  SparseTensor train;
+};
+
+World MakeWorld() {
+  auto data = GenerateSyntheticLbsn(
+      PresetConfig(SyntheticPreset::kGowallaLike, 0.2));
+  EXPECT_TRUE(data.ok());
+  TrainTestSplit split = SplitCheckins(data.value(), 0.8, 3);
+  auto train = BuildCheckinTensor(data.value(), split.train,
+                                  TimeGranularity::kMonthOfYear);
+  EXPECT_TRUE(train.ok());
+  return {data.MoveValue(), train.MoveValue()};
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+bool BitIdentical(const FactorGrads& a, const FactorGrads& b) {
+  return a.h == b.h && BitIdentical(a.u1, b.u1) && BitIdentical(a.u2, b.u2) &&
+         BitIdentical(a.u3, b.u3);
+}
+
+/// RAII: restore the global pool to 1 thread when a test ends.
+struct ThreadGuard {
+  ~ThreadGuard() { SetGlobalThreads(1); }
+};
+
+// --------------------------------------------------------------------------
+// ThreadPool / ParallelFor primitives
+// --------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunExecutesEveryShardExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kShards = 257;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.Run(kShards, [&](size_t s) { hits[s].fetch_add(1); });
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.Run(50, [&](size_t s) { sum.fetch_add(s); });
+    EXPECT_EQ(sum.load(), 50u * 49u / 2u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  size_t count = 0;  // no atomics needed: everything runs on this thread
+  pool.Run(10, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnceAtAnyThreadCount) {
+  ThreadGuard guard;
+  for (int threads : {1, 2, 8}) {
+    SetGlobalThreads(threads);
+    constexpr size_t kN = 1003;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(kN, 64, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ShardDecompositionIgnoresThreadCount) {
+  ThreadGuard guard;
+  EXPECT_EQ(ParallelForShards(0, 64), 0u);
+  EXPECT_EQ(ParallelForShards(1, 64), 1u);
+  EXPECT_EQ(ParallelForShards(64, 64), 1u);
+  EXPECT_EQ(ParallelForShards(65, 64), 2u);
+  // The (begin, end, shard) triples ParallelFor produces must be the same
+  // set regardless of the thread count.
+  auto collect = [&](int threads) {
+    SetGlobalThreads(threads);
+    std::vector<std::vector<size_t>> triples(ParallelForShards(1000, 128));
+    ParallelFor(1000, 128, [&](size_t begin, size_t end, size_t s) {
+      triples[s] = {begin, end};
+    });
+    return triples;
+  };
+  EXPECT_EQ(collect(1), collect(8));
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadGuard guard;
+  SetGlobalThreads(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  ParallelFor(16, 1, [&](size_t ob, size_t, size_t) {
+    ParallelFor(16, 4, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) hits[ob * 16 + i].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Kernels: parallel result == serial result, bit for bit
+// --------------------------------------------------------------------------
+
+TEST(KernelDeterminismTest, MatMulParallelMatchesSerialExactly) {
+  ThreadGuard guard;
+  Rng rng(7);
+  const Matrix a = Matrix::GaussianRandom(150, 40, &rng);
+  const Matrix b = Matrix::GaussianRandom(40, 60, &rng);
+  SetGlobalThreads(1);
+  const Matrix serial = MatMul(a, b);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    EXPECT_TRUE(BitIdentical(serial, MatMul(a, b))) << threads << " threads";
+  }
+}
+
+TEST(KernelDeterminismTest, GramParallelMatchesSerialExactly) {
+  ThreadGuard guard;
+  Rng rng(8);
+  const Matrix a = Matrix::GaussianRandom(500, 32, &rng);
+  SetGlobalThreads(1);
+  const Matrix serial = Gram(a);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    EXPECT_TRUE(BitIdentical(serial, Gram(a))) << threads << " threads";
+  }
+}
+
+TEST(KernelDeterminismTest, MttkrpParallelMatchesSerialExactlyAllModes) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  ASSERT_GT(w.train.nnz(), 1000u);  // large enough to cross the threshold
+  const size_t r = 16;
+  Rng rng(9);
+  Matrix factors[3] = {
+      Matrix::GaussianRandom(w.train.dim_i(), r, &rng),
+      Matrix::GaussianRandom(w.train.dim_j(), r, &rng),
+      Matrix::GaussianRandom(w.train.dim_k(), r, &rng)};
+  for (int mode = 0; mode < 3; ++mode) {
+    SetGlobalThreads(1);
+    const Matrix serial = Mttkrp(w.train, factors, mode);
+    for (int threads : {2, 8}) {
+      SetGlobalThreads(threads);
+      EXPECT_TRUE(BitIdentical(serial, Mttkrp(w.train, factors, mode)))
+          << "mode " << mode << ", " << threads << " threads";
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Losses: per-shard ordered reduction is thread-count invariant
+// --------------------------------------------------------------------------
+
+TEST(LossDeterminismTest, RewrittenLossBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  RewrittenLoss loss(cfg.w_pos, cfg.w_neg);
+  Rng rng(11);
+  FactorModel model;
+  model.u1 = Matrix::GaussianRandom(w.train.dim_i(), cfg.rank, &rng, 0.1);
+  model.u2 = Matrix::GaussianRandom(w.train.dim_j(), cfg.rank, &rng, 0.1);
+  model.u3 = Matrix::GaussianRandom(w.train.dim_k(), cfg.rank, &rng, 0.1);
+  model.h.assign(cfg.rank, 1.0);
+
+  SetGlobalThreads(1);
+  FactorGrads ref(model);
+  const double ref_loss = loss.ComputeWithGrads(model, w.train, &ref);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    FactorGrads got(model);
+    const double got_loss = loss.ComputeWithGrads(model, w.train, &got);
+    EXPECT_EQ(ref_loss, got_loss) << threads << " threads";
+    EXPECT_TRUE(BitIdentical(ref, got)) << threads << " threads";
+  }
+}
+
+TEST(LossDeterminismTest, NegativeSamplingBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  Rng rng(12);
+  FactorModel model;
+  model.u1 = Matrix::GaussianRandom(w.train.dim_i(), cfg.rank, &rng, 0.1);
+  model.u2 = Matrix::GaussianRandom(w.train.dim_j(), cfg.rank, &rng, 0.1);
+  model.u3 = Matrix::GaussianRandom(w.train.dim_k(), cfg.rank, &rng, 0.1);
+  model.h.assign(cfg.rank, 1.0);
+
+  SetGlobalThreads(1);
+  NegativeSamplingLoss ref_loss(cfg.w_pos, cfg.w_neg, 99);
+  FactorGrads ref(model);
+  const double ref_val = ref_loss.ComputeWithGrads(model, w.train, &ref);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    // Fresh loss object: same seed, same call counter (0) -> the sampled
+    // negatives must be the same cells regardless of the thread count.
+    NegativeSamplingLoss loss(cfg.w_pos, cfg.w_neg, 99);
+    FactorGrads got(model);
+    const double got_val = loss.ComputeWithGrads(model, w.train, &got);
+    EXPECT_EQ(ref_val, got_val) << threads << " threads";
+    EXPECT_TRUE(BitIdentical(ref, got)) << threads << " threads";
+  }
+}
+
+TEST(LossDeterminismTest, HausdorffBatchGradsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.hausdorff_pool = 64;
+  cfg.max_friend_pois = 32;
+  cfg.hausdorff_users_per_epoch = 48;
+  SocialHausdorffLoss loss(w.data, w.train, cfg);
+  ASSERT_GT(loss.num_eligible_users(), 0u);
+  Rng rng(13);
+  FactorModel model;
+  model.u1 = Matrix::GaussianRandom(w.train.dim_i(), cfg.rank, &rng, 0.1);
+  model.u2 = Matrix::GaussianRandom(w.train.dim_j(), cfg.rank, &rng, 0.1);
+  model.u3 = Matrix::GaussianRandom(w.train.dim_k(), cfg.rank, &rng, 0.1);
+  model.h.assign(cfg.rank, 1.0);
+
+  SetGlobalThreads(1);
+  loss.set_rotation(0);
+  FactorGrads ref(model);
+  const double ref_val = loss.ComputeWithGrads(model, cfg.lambda, &ref);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    loss.set_rotation(0);  // replay the same minibatch
+    FactorGrads got(model);
+    const double got_val = loss.ComputeWithGrads(model, cfg.lambda, &got);
+    EXPECT_EQ(ref_val, got_val) << threads << " threads";
+    EXPECT_TRUE(BitIdentical(ref, got)) << threads << " threads";
+  }
+}
+
+TEST(LossDeterminismTest, UnderDrawnNegativesAreRescaled) {
+  ThreadGuard guard;
+  SetGlobalThreads(2);
+  // 8x8x8 tensor with every cell observed except (7,7,7): the rejection
+  // sampler can only ever accept that one free cell, so it exhausts its
+  // guard far short of the nnz=511 negatives it wants. The w- term must
+  // be rescaled by want/drawn, keeping the loss at what a full draw of
+  // 511 negatives would produce (every negative scores the same y here).
+  SparseTensor dense(8, 8, 8);
+  for (uint32_t i = 0; i < 8; ++i) {
+    for (uint32_t j = 0; j < 8; ++j) {
+      for (uint32_t k = 0; k < 8; ++k) {
+        if (i == 7 && j == 7 && k == 7) continue;
+        ASSERT_TRUE(dense.Add(i, j, k, 1.0).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(dense.Finalize().ok());
+  ASSERT_EQ(dense.nnz(), 511u);
+
+  // Rank-1 all-ones model with h = c: Predict == c for every cell.
+  const double c = 0.25;
+  FactorModel model;
+  model.u1.Resize(8, 1, 1.0);
+  model.u2.Resize(8, 1, 1.0);
+  model.u3.Resize(8, 1, 1.0);
+  model.h = {c};
+
+  const double w_pos = 0.95, w_neg = 0.05;
+  NegativeSamplingLoss loss(w_pos, w_neg, 99);
+  FactorGrads grads(model);
+  const double value = loss.ComputeWithGrads(model, dense, &grads);
+
+  const double pos_term =
+      511.0 * (w_pos * (c - 1.0) * (c - 1.0));
+  const double neg_term = 511.0 * w_neg * c * c;  // want * w- * y^2
+  EXPECT_NEAR(value, pos_term + neg_term, 1e-9 * (pos_term + neg_term));
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: byte-identical models at any thread count
+// --------------------------------------------------------------------------
+
+std::string TrainToBytes(const World& w, TcssConfig cfg, int threads) {
+  cfg.num_threads = threads;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto result = trainer.Train();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return "";
+  return SerializeFactorModel(result.value());
+}
+
+TEST(TrainingDeterminismTest, RewrittenModeByteIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 6;
+  cfg.hausdorff_pool = 64;
+  cfg.max_friend_pois = 32;
+  cfg.hausdorff_users_per_epoch = 32;
+  const std::string one = TrainToBytes(w, cfg, 1);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, TrainToBytes(w, cfg, 2));
+  EXPECT_EQ(one, TrainToBytes(w, cfg, 8));
+}
+
+TEST(TrainingDeterminismTest,
+     NegativeSamplingModeByteIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 6;
+  cfg.loss_mode = LossMode::kNegativeSampling;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+  const std::string one = TrainToBytes(w, cfg, 1);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, TrainToBytes(w, cfg, 2));
+  EXPECT_EQ(one, TrainToBytes(w, cfg, 8));
+}
+
+TEST(TrainingDeterminismTest, NegativeSamplingKillAndResumeIsBitIdentical) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 8;
+  cfg.loss_mode = LossMode::kNegativeSampling;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+
+  // Reference: uninterrupted run.
+  std::string reference;
+  {
+    TcssTrainer trainer(w.data, w.train, cfg);
+    auto result = trainer.Train();
+    ASSERT_TRUE(result.ok());
+    reference = SerializeFactorModel(result.value());
+  }
+
+  // Interrupted run: train the full 8 epochs with snapshots, then delete
+  // the final checkpoint to simulate a crash after epoch 4 (training to
+  // epoch 4 with cfg.epochs=4 would change the LR schedule, which scales
+  // with the total epoch count). Resuming in a fresh trainer must replay
+  // epochs 5..8 bit-exactly; without the persisted sampler call counter
+  // the resumed epochs would redraw epoch 1..4's negatives and diverge
+  // from the reference bytes.
+  const std::string dir =
+      ::testing::TempDir() + "/tcss_neg_sampling_resume";
+  std::filesystem::remove_all(dir);
+  CheckpointOptions copts;
+  copts.dir = dir;
+  copts.every = 4;
+  copts.retain = 10;
+  CheckpointManager mgr(copts);
+  ASSERT_TRUE(mgr.Init().ok());
+  {
+    TcssTrainer trainer(w.data, w.train, cfg);
+    TrainOptions topts;
+    topts.checkpoints = &mgr;
+    ASSERT_TRUE(trainer.Train(topts, nullptr).ok());
+  }
+  ASSERT_TRUE(std::filesystem::remove(dir + "/ckpt-000008.tckp"));
+  {
+    TcssTrainer trainer(w.data, w.train, cfg);
+    TrainOptions topts;
+    topts.checkpoints = &mgr;
+    topts.resume = true;
+    int first_epoch = 0;
+    auto result = trainer.Train(
+        topts, [&first_epoch](const EpochStats& s, const FactorModel&) {
+          if (first_epoch == 0) first_epoch = s.epoch;
+        });
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(first_epoch, 5);
+    EXPECT_EQ(reference, SerializeFactorModel(result.value()));
+  }
+}
+
+}  // namespace
+}  // namespace tcss

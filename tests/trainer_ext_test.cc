@@ -1,9 +1,13 @@
-// Tests of the trainer extensions: temporal smoothness regularization and
-// the learning-rate step schedule.
+// Tests of the trainer extensions: temporal smoothness regularization,
+// the learning-rate step schedule, and the lambda-scaling contract
+// between the Hausdorff loss value and its gradients.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/rng.h"
+#include "core/spectral_init.h"
 #include "core/trainer.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -146,6 +150,93 @@ TEST(TemporalSmoothnessTest, GradientMatchesNumerical) {
   // The penalty never touches the other factors.
   EXPECT_DOUBLE_EQ(g.u1.MaxAbs(), 0.0);
   EXPECT_DOUBLE_EQ(g.u2.MaxAbs(), 0.0);
+}
+
+TEST(LambdaScalingTest, AppliedExactlyOnceInTotalLoss) {
+  // Regression: ComputeWithGrads returns the raw extrapolated Hausdorff
+  // value and bakes lambda only into the gradients; the trainer must
+  // multiply the value by lambda exactly once when reporting loss_l1.
+  // (It used to report the raw value, so TotalLoss disagreed with the
+  // gradients by a factor of 1/lambda on the L1 head.)
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 1;
+  cfg.hausdorff_pool = 48;
+  cfg.max_friend_pois = 24;
+  cfg.hausdorff_users_per_epoch = 0;  // full batch: rotation-invariant
+
+  double reported = -1.0;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto result = trainer.Train(
+      [&reported](const EpochStats& s, const FactorModel&) {
+        if (s.epoch == 1) reported = s.loss_l1;
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(reported, 0.0);
+
+  // Recompute epoch 1's L1 head independently: same init model, a fresh
+  // loss object at rotation 0.
+  auto init = InitializeFactors(w.train, cfg);
+  ASSERT_TRUE(init.ok());
+  SocialHausdorffLoss loss(w.data, w.train, cfg);
+  const double raw =
+      loss.ComputeWithGrads(init.value(), cfg.lambda, nullptr);
+  EXPECT_DOUBLE_EQ(reported, cfg.lambda * raw);
+}
+
+TEST(LambdaScalingTest, HausdorffGradientMatchesNumerical) {
+  // The loss the trainer monitors is lambda * ComputeWithGrads(...); the
+  // accumulated gradients must be the derivative of exactly that — a
+  // doubled lambda (or a second lambda application anywhere) would show
+  // up as a 2x mismatch here.
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.hausdorff_pool = 32;
+  cfg.max_friend_pois = 16;
+  cfg.hausdorff_users_per_epoch = 0;  // full batch: rotation-invariant
+  SocialHausdorffLoss loss(w.data, w.train, cfg);
+  ASSERT_GT(loss.num_eligible_users(), 0u);
+
+  Rng rng(17);
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(w.train.dim_i(), 3, &rng, 0.3);
+  m.u2 = Matrix::GaussianRandom(w.train.dim_j(), 3, &rng, 0.3);
+  m.u3 = Matrix::GaussianRandom(w.train.dim_k(), 3, &rng, 0.3);
+  m.h = {1.0, 1.0, 1.0};
+
+  const double lambda = cfg.lambda;
+  FactorGrads g(m);
+  g.Zero();
+  const double raw = loss.ComputeWithGrads(m, lambda, &g);
+  ASSERT_GT(raw, 0.0);
+
+  // Doubling lambda leaves the returned value unchanged and scales the
+  // gradients exactly twofold.
+  FactorGrads g2(m);
+  g2.Zero();
+  EXPECT_DOUBLE_EQ(loss.ComputeWithGrads(m, 2.0 * lambda, &g2), raw);
+  for (size_t j = 0; j < m.u2.rows(); ++j) {
+    for (size_t t = 0; t < 3; ++t) {
+      EXPECT_DOUBLE_EQ(g2.u2(j, t), 2.0 * g.u2(j, t));
+    }
+  }
+
+  // Central differences of f(m) = lambda * ComputeWithGrads(m) over the
+  // POI factors (the head the Hausdorff distance acts on).
+  const double eps = 1e-6;
+  for (size_t j = 0; j < std::min<size_t>(6, m.u2.rows()); ++j) {
+    for (size_t t = 0; t < 3; ++t) {
+      const double orig = m.u2(j, t);
+      m.u2(j, t) = orig + eps;
+      const double up = lambda * loss.ComputeWithGrads(m, lambda, nullptr);
+      m.u2(j, t) = orig - eps;
+      const double down =
+          lambda * loss.ComputeWithGrads(m, lambda, nullptr);
+      m.u2(j, t) = orig;
+      EXPECT_NEAR(g.u2(j, t), (up - down) / (2 * eps), 1e-5)
+          << "u2(" << j << "," << t << ")";
+    }
+  }
 }
 
 TEST(LrScheduleTest, StepFactorAppliesLateInTraining) {

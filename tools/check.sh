@@ -1,26 +1,34 @@
 #!/usr/bin/env bash
-# CI check, two stages:
+# CI check, three stages:
 #
-#   1. Plain build: run the serving-layer and randomized-corruption suites
-#      (ctest labels "serve" and "fuzz") in the production configuration —
-#      the exact binaries that ship.
+#   1. Plain build: run the serving-layer, randomized-corruption, and
+#      parallel-determinism suites (ctest labels "serve", "fuzz", and
+#      "determinism") in the production configuration — the exact
+#      binaries that ship.
 #   2. Sanitizer build: configure with AddressSanitizer + UBSan and run
-#      the FULL test suite (which again includes serve + fuzz) under the
-#      instrumented binaries.
+#      the FULL test suite (which again includes the labeled suites)
+#      under the instrumented binaries.
+#   3. ThreadSanitizer build: configure with TCSS_SANITIZE=thread and run
+#      the determinism suite, which drives the thread pool, the sharded
+#      losses, and multi-threaded training end to end. Any data race in
+#      the parallel engine fails here.
 #
-#   tools/check.sh [asan-build-dir]   (default: build-asan; the plain
-#                                      stage uses/creates ./build)
+#   tools/check.sh [asan-build-dir] [tsan-build-dir]
+#                  (defaults: build-asan, build-tsan; the plain stage
+#                   uses/creates ./build)
 #
-# Any test failure or sanitizer report (heap overflow, UB, leak) fails.
+# Any test failure or sanitizer report (heap overflow, UB, leak, race)
+# fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_DIR="${2:-build-tsan}"
 
-# --- Stage 1: plain build, resilience suites -----------------------------
+# --- Stage 1: plain build, resilience + determinism suites ---------------
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -L "serve|fuzz"
+ctest --test-dir build --output-on-failure -L "serve|fuzz|determinism"
 
 # --- Stage 2: ASan/UBSan build, full suite -------------------------------
 cmake -B "$BUILD_DIR" -S . \
@@ -32,5 +40,18 @@ cmake --build "$BUILD_DIR" -j
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+# --- Stage 3: TSan build, determinism suite ------------------------------
+# TSan is mutually exclusive with ASan, hence the separate tree. Only the
+# determinism label runs here: it is the suite that exercises concurrency
+# (ThreadPool, sharded losses, multi-threaded training); the rest of the
+# suite is single-threaded and already covered by stage 2.
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTCSS_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism"
 
 echo "sanitizer check passed"

@@ -3,7 +3,8 @@
 //   tcss generate  --preset gowalla|yelp|foursquare|gmu5k [--scale S]
 //                  [--seed N] --out DIR
 //   tcss train     --data DIR --model FILE [--epochs N] [--rank R]
-//                  [--lambda L] [--granularity month|week|hour]
+//                  [--lambda L] [--num-threads N]
+//                  [--granularity month|week|hour]
 //                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //                  [--checkpoint-retain N] [--resume]
 //   tcss evaluate  --data DIR --model FILE [--granularity G]
@@ -77,7 +78,7 @@ int Usage() {
       "  tcss generate  --preset gowalla|yelp|foursquare|gmu5k "
       "[--scale S] [--seed N] --out DIR\n"
       "  tcss train     --data DIR --model FILE [--epochs N] [--rank R] "
-      "[--lambda L] [--granularity month|week|hour] "
+      "[--lambda L] [--num-threads N] [--granularity month|week|hour] "
       "[--checkpoint-dir DIR] [--checkpoint-every N] "
       "[--checkpoint-retain N] [--resume]\n"
       "  tcss evaluate  --data DIR --model FILE [--granularity G]\n"
@@ -170,6 +171,8 @@ int Train(const Args& args) {
   cfg.epochs = static_cast<int>(args.GetI("epochs", cfg.epochs));
   cfg.rank = static_cast<size_t>(args.GetI("rank", cfg.rank));
   cfg.lambda = args.GetD("lambda", cfg.lambda);
+  cfg.num_threads =
+      static_cast<int>(args.GetI("num-threads", cfg.num_threads));
 
   const char* ckpt_dir = args.Get("checkpoint-dir");
   if (args.resume && ckpt_dir == nullptr) {
