@@ -105,4 +105,64 @@ std::vector<SyntheticPreset> AllPresets() {
           SyntheticPreset::kFoursquareLike, SyntheticPreset::kGmu5kLike};
 }
 
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void AppendBenchJson(const std::string& bench, const std::string& dataset,
+                     const std::string& metric, double value) {
+  const char* path = std::getenv("TCSS_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  // Append-open per record: several bench binaries run in sequence can
+  // share one results file, and a crash loses at most one line.
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot append bench JSON to %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\"bench\": %s, \"dataset\": %s, \"metric\": %s, "
+                  "\"value\": %.17g}\n",
+               JsonQuote(bench).c_str(), JsonQuote(dataset).c_str(),
+               JsonQuote(metric).c_str(), value);
+  std::fclose(f);
+}
+
+void AppendEvalRowJson(const std::string& bench, const EvalRow& row) {
+  AppendBenchJson(bench, row.dataset, row.model + ".hit_at_10",
+                  row.hit_at_10);
+  AppendBenchJson(bench, row.dataset, row.model + ".mrr", row.mrr);
+  AppendBenchJson(bench, row.dataset, row.model + ".fit_seconds",
+                  row.fit_seconds);
+}
+
 }  // namespace tcss::bench

@@ -72,6 +72,19 @@ void PrintResultsTable(const std::string& title,
 /// All four preset datasets in Table I order.
 std::vector<SyntheticPreset> AllPresets();
 
+/// Appends one machine-readable result record to the file named by the
+/// TCSS_BENCH_JSON environment variable, as a JSON Lines row:
+///
+///   {"bench": "...", "dataset": "...", "metric": "...", "value": 1.5}
+///
+/// No-op when the variable is unset, so human-readable tables stay the
+/// default; append-mode, so one file can collect a whole bench suite.
+void AppendBenchJson(const std::string& bench, const std::string& dataset,
+                     const std::string& metric, double value);
+
+/// Emits the standard Hit@10 / MRR / fit-seconds records for one EvalRow.
+void AppendEvalRowJson(const std::string& bench, const EvalRow& row);
+
 }  // namespace tcss::bench
 
 #endif  // TCSS_BENCH_BENCH_COMMON_H_

@@ -12,8 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <string>
 
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -24,6 +27,19 @@
 namespace {
 
 using namespace tcss;
+
+const char* TensorName(int which) {
+  return which == 0 ? "gowalla-like" : "gmu5k-like";
+}
+
+// Emits one TCSS_BENCH_JSON record with mean seconds/iteration; the
+// google-benchmark tables stay the human-readable output.
+void EmitKernelJson(const std::string& metric, int which, double total_s,
+                    size_t iters) {
+  if (iters == 0) return;
+  tcss::bench::AppendBenchJson("kernel_mttkrp", TensorName(which), metric,
+                               total_s / static_cast<double>(iters));
+}
 
 const SparseTensor& CheckinTensor(int which) {
   static std::map<int, SparseTensor>* tensors = new std::map<int, SparseTensor>();
@@ -45,11 +61,17 @@ void BM_MttkrpCoo(benchmark::State& state) {
   Matrix factors[3] = {Matrix(x.dim_i(), r),
                        Matrix::GaussianRandom(x.dim_j(), r, &rng),
                        Matrix::GaussianRandom(x.dim_k(), r, &rng)};
+  Stopwatch sw;
+  size_t iters = 0;
   for (auto _ : state) {
     Matrix out = Mttkrp(x, factors, 0);
     benchmark::DoNotOptimize(out.data());
+    ++iters;
   }
   state.counters["nnz"] = static_cast<double>(x.nnz());
+  EmitKernelJson("coo_r" + std::to_string(r) + "_s",
+                 static_cast<int>(state.range(1)), sw.ElapsedSeconds(),
+                 iters);
 }
 
 void BM_MttkrpCsf(benchmark::State& state) {
@@ -59,12 +81,18 @@ void BM_MttkrpCsf(benchmark::State& state) {
   Rng rng(1);
   Matrix u2 = Matrix::GaussianRandom(x.dim_j(), r, &rng);
   Matrix u3 = Matrix::GaussianRandom(x.dim_k(), r, &rng);
+  Stopwatch sw;
+  size_t iters = 0;
   for (auto _ : state) {
     Matrix out = csf.MttkrpMode0(u2, u3);
     benchmark::DoNotOptimize(out.data());
+    ++iters;
   }
   state.counters["fibers"] = static_cast<double>(csf.num_fibers());
   state.counters["nnz"] = static_cast<double>(csf.nnz());
+  EmitKernelJson("csf_r" + std::to_string(r) + "_s",
+                 static_cast<int>(state.range(1)), sw.ElapsedSeconds(),
+                 iters);
 }
 
 // Thread-scaling sweep over the parallel COO path: rank 32 on the
@@ -78,13 +106,18 @@ void BM_MttkrpCooThreads(benchmark::State& state) {
                        Matrix::GaussianRandom(x.dim_j(), r, &rng),
                        Matrix::GaussianRandom(x.dim_k(), r, &rng)};
   SetGlobalThreads(static_cast<int>(state.range(0)));
+  Stopwatch sw;
+  size_t iters = 0;
   for (auto _ : state) {
     Matrix out = Mttkrp(x, factors, 0);
     benchmark::DoNotOptimize(out.data());
+    ++iters;
   }
   state.counters["nnz"] = static_cast<double>(x.nnz());
   state.counters["threads"] = static_cast<double>(state.range(0));
   SetGlobalThreads(1);
+  EmitKernelJson("coo_r32_t" + std::to_string(state.range(0)) + "_s",
+                 /*which=*/0, sw.ElapsedSeconds(), iters);
 }
 
 // Arg pairs: {rank, dataset} with dataset 0 = sparse gowalla-like

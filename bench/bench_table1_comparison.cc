@@ -11,6 +11,7 @@
 namespace {
 
 using tcss::bench::AllPresets;
+using tcss::bench::AppendEvalRowJson;
 using tcss::bench::EvalRow;
 using tcss::bench::FitAndEvaluate;
 using tcss::bench::GetWorld;
@@ -67,5 +68,8 @@ int main(int argc, char** argv) {
   }
   PrintResultsTable("Table I: results comparison (Hit@10 / MRR)", datasets,
                     ordered, g_results);
+  for (const auto& [key, row] : g_results) {
+    AppendEvalRowJson("table1_comparison", row);
+  }
   return 0;
 }

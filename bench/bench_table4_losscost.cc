@@ -103,6 +103,16 @@ int main(int argc, char** argv) {
     std::printf("%-24s %-18.6f %-20.6f %-18.6f %-12.0fx\n",
                 tcss::PresetName(preset), naive, sampling, rewritten,
                 rewritten > 0 ? naive / rewritten : 0.0);
+    const std::string dataset = tcss::PresetName(preset);
+    tcss::bench::AppendBenchJson("table4_losscost", dataset, "naive_epoch_s",
+                                 naive);
+    tcss::bench::AppendBenchJson("table4_losscost", dataset,
+                                 "negative_sampling_epoch_s", sampling);
+    tcss::bench::AppendBenchJson("table4_losscost", dataset,
+                                 "rewritten_epoch_s", rewritten);
+    tcss::bench::AppendBenchJson("table4_losscost", dataset,
+                                 "rewritten_speedup",
+                                 rewritten > 0 ? naive / rewritten : 0.0);
   }
   return 0;
 }

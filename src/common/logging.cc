@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -23,7 +24,54 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Applies TCSS_LOG_LEVEL before main() in every binary linking
+/// tcss_common, so `TCSS_LOG_LEVEL=debug tcss train ...` needs no code
+/// support in the front end.
+[[maybe_unused]] const bool g_log_level_env_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
+
 }  // namespace
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  auto equals_ci = [&name](const char* want) {
+    size_t i = 0;
+    for (; want[i] != '\0'; ++i) {
+      if (i >= name.size() ||
+          std::tolower(static_cast<unsigned char>(name[i])) != want[i]) {
+        return false;
+      }
+    }
+    return i == name.size();
+  };
+  if (equals_ci("debug")) {
+    *out = LogLevel::kDebug;
+  } else if (equals_ci("info")) {
+    *out = LogLevel::kInfo;
+  } else if (equals_ci("warning") || equals_ci("warn")) {
+    *out = LogLevel::kWarning;
+  } else if (equals_ci("error")) {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("TCSS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    SetLogLevel(level);
+  } else {
+    std::fprintf(stderr,
+                 "[WARN logging] unknown TCSS_LOG_LEVEL '%s' "
+                 "(expected debug|info|warning|error); keeping default\n",
+                 env);
+  }
+}
 
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);

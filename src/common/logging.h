@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tcss {
 
@@ -11,6 +12,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug", "info", "warning"/"warn" or "error" (case-insensitive)
+/// into a level. Returns false (and leaves *out untouched) on anything
+/// else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// Applies the TCSS_LOG_LEVEL environment variable, if set. Runs once
+/// automatically at process start (static initializer in logging.cc); an
+/// unknown value warns on stderr and keeps the current level. Exposed so
+/// tests and binaries that mutate the environment can re-apply it.
+void InitLogLevelFromEnv();
 
 namespace internal_logging {
 

@@ -2,12 +2,43 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace tcss {
 namespace {
 
 /// True while the current thread is executing a ParallelFor shard; nested
 /// regions run inline (same shard decomposition, so same results).
 thread_local bool tls_in_parallel_region = false;
+
+// Registry handles are resolved once (thread-safe magic statics) and then
+// cost one relaxed atomic add per job — never per shard, so the hot loop
+// is untouched. Metrics only observe the pool; they cannot change which
+// shard runs where (determinism contract, DESIGN.md §8).
+obs::Counter* PoolJobsCounter() {
+  static obs::Counter* const c =
+      obs::MetricRegistry::Global()->GetCounter("threadpool.jobs");
+  return c;
+}
+
+obs::Counter* PoolShardsCounter() {
+  static obs::Counter* const c =
+      obs::MetricRegistry::Global()->GetCounter("threadpool.shards");
+  return c;
+}
+
+obs::Counter* PoolInlineRunsCounter() {
+  static obs::Counter* const c =
+      obs::MetricRegistry::Global()->GetCounter("threadpool.inline_runs");
+  return c;
+}
+
+obs::Histogram* PoolQueueWaitHist() {
+  static obs::Histogram* const h =
+      obs::MetricRegistry::Global()->GetHistogram("threadpool.queue_wait_ms");
+  return h;
+}
 
 }  // namespace
 
@@ -70,11 +101,22 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Run(size_t num_shards, const std::function<void(size_t)>& fn) {
   if (num_shards == 0) return;
+  const bool record = obs::MetricsEnabled();
   if (workers_.empty()) {
     for (size_t s = 0; s < num_shards; ++s) fn(s);
+    if (record) {
+      PoolJobsCounter()->Add(1);
+      PoolShardsCounter()->Add(num_shards);
+    }
     return;
   }
+  Stopwatch queue_wait;  // time spent behind an in-flight job
   std::lock_guard<std::mutex> serialize(run_mu_);
+  if (record) {
+    PoolQueueWaitHist()->Record(queue_wait.ElapsedMillis());
+    PoolJobsCounter()->Add(1);
+    PoolShardsCounter()->Add(num_shards);
+  }
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->num_shards = num_shards;
@@ -136,6 +178,11 @@ void ParallelFor(size_t n, size_t grain,
   ThreadPool* pool = tls_in_parallel_region ? nullptr : GlobalThreadPool();
   if (pool == nullptr || pool->num_threads() == 1 || shards == 1) {
     for (size_t s = 0; s < shards; ++s) run_shard(s);
+    // Nested regions skip the counter: they run inside a worker's shard
+    // and per-call accounting there would double-count the work.
+    if (!tls_in_parallel_region && obs::MetricsEnabled()) {
+      PoolInlineRunsCounter()->Add(1);
+    }
     return;
   }
   pool->Run(shards, run_shard);

@@ -8,9 +8,43 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/spectral_init.h"
+#include "obs/metrics.h"
 
 namespace tcss {
 namespace {
+
+/// Per-stage telemetry of the training loop, resolved once per Train()
+/// call. Every member only *observes* the loop (clock samples, event
+/// counts); none of them feeds a value back into the math — the trained
+/// bytes are identical with metrics on or off (determinism suite).
+struct TrainMetrics {
+  obs::Counter* epochs;
+  obs::Counter* rollbacks;
+  obs::Counter* plateau_stops;
+  obs::Counter* checkpoints;
+  obs::Histogram* epoch_ms;
+  obs::Histogram* loss_ms;
+  obs::Histogram* hausdorff_ms;
+  obs::Histogram* apply_ms;
+  obs::Histogram* checkpoint_ms;
+  obs::Gauge* loss_total;
+  obs::Gauge* lr;
+
+  static TrainMetrics Resolve() {
+    obs::MetricRegistry* reg = obs::MetricRegistry::Global();
+    return {reg->GetCounter("train.epochs"),
+            reg->GetCounter("train.rollbacks"),
+            reg->GetCounter("train.plateau_stops"),
+            reg->GetCounter("train.checkpoints_written"),
+            reg->GetHistogram("train.epoch_ms"),
+            reg->GetHistogram("train.stage.loss_ms"),
+            reg->GetHistogram("train.stage.hausdorff_ms"),
+            reg->GetHistogram("train.stage.apply_ms"),
+            reg->GetHistogram("train.stage.checkpoint_ms"),
+            reg->GetGauge("train.loss_total"),
+            reg->GetGauge("train.lr")};
+  }
+};
 
 /// Max-abs entry over all gradient blocks; +inf if any entry is NaN/Inf,
 /// so a single comparison catches both explosion and corruption.
@@ -192,9 +226,11 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
   int rollbacks = 0;
   double best_monitored = std::numeric_limits<double>::infinity();
   int plateau_streak = 0;
+  const TrainMetrics metrics = TrainMetrics::Resolve();
 
   for (int epoch = start_epoch + 1; epoch <= config_.epochs; ++epoch) {
     Stopwatch sw;
+    Stopwatch stage;
     grads.Zero();
     EpochStats stats;
     stats.epoch = epoch;
@@ -202,14 +238,19 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
         hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
     const uint64_t sampler_before = l2_->sampler_state();
     stats.loss_l2 = l2_->ComputeWithGrads(model, *train_, &grads);
+    stats.seconds_loss = stage.ElapsedSeconds();
+    metrics.loss_ms->Record(stats.seconds_loss * 1e3);
     if (hausdorff_ != nullptr) {
       // ComputeWithGrads bakes lambda into its gradient scale but returns
       // the raw (extrapolated) L1 value; multiply here so TotalLoss() —
       // which drives divergence detection and plateau monitoring — sees
       // lambda applied exactly once, matching the gradients.
+      stage.Restart();
       stats.loss_l1 =
           config_.lambda *
           hausdorff_->ComputeWithGrads(model, config_.lambda, &grads);
+      stats.seconds_hausdorff = stage.ElapsedSeconds();
+      metrics.hausdorff_ms->Record(stats.seconds_hausdorff * 1e3);
     }
     if (config_.temporal_smoothness > 0.0) {
       stats.loss_ts =
@@ -231,6 +272,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
             options.lr_backoff));
       }
       ++rollbacks;
+      metrics.rollbacks->Add(1);
       lr_scale *= options.lr_backoff;  // compounds across retries
       TCSS_LOG(Warning) << "divergence at epoch " << epoch
                         << " (loss=" << stats.TotalLoss()
@@ -262,11 +304,13 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
 
     stats.lr = ScheduledLr(epoch) * lr_scale;
     stats.rollbacks = rollbacks;
+    stage.Restart();
     AdamStep(&model, grads, adam.get(), stats.lr);
-    stats.seconds = sw.ElapsedSeconds();
-    if (callback) callback(stats, model);
+    stats.seconds_apply = stage.ElapsedSeconds();
+    metrics.apply_ms->Record(stats.seconds_apply * 1e3);
 
     auto save_checkpoint = [&]() -> Status {
+      Stopwatch ckpt_sw;
       TrainerCheckpoint ckpt;
       ckpt.model = model;
       ckpt.adam_m = adam->m;
@@ -277,7 +321,11 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
           hausdorff_ != nullptr ? hausdorff_->rotation() : 0;
       ckpt.sampler_state = l2_->sampler_state();
       ckpt.lr_scale = lr_scale;
-      return options.checkpoints->Save(ckpt);
+      Status saved = options.checkpoints->Save(ckpt);
+      stats.seconds_checkpoint = ckpt_sw.ElapsedSeconds();
+      metrics.checkpoint_ms->Record(stats.seconds_checkpoint * 1e3);
+      metrics.checkpoints->Add(1);
+      return saved;
     };
     bool checkpointed = false;
     if (options.checkpoints != nullptr &&
@@ -287,6 +335,13 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
       checkpointed = true;
     }
 
+    stats.seconds = sw.ElapsedSeconds();
+    metrics.epoch_ms->Record(stats.seconds * 1e3);
+    metrics.epochs->Add(1);
+    metrics.loss_total->Set(stats.TotalLoss());
+    metrics.lr->Set(stats.lr);
+    if (callback) callback(stats, model);
+
     if (options.plateau_patience > 0) {
       const double monitored = options.validation_metric
                                    ? options.validation_metric(model)
@@ -295,6 +350,7 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
         best_monitored = monitored;
         plateau_streak = 0;
       } else if (++plateau_streak >= options.plateau_patience) {
+        metrics.plateau_stops->Add(1);
         TCSS_LOG(Info) << "early stop at epoch " << epoch
                        << ": monitored value plateaued at "
                        << best_monitored;

@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace tcss {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Stable per-thread shard index; hashing the thread id spreads the pool
+/// workers across the shards without any registration protocol.
+size_t ThisThreadShard() {
+  thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      kMetricShards;
+  return shard;
+}
+
+/// Minimal JSON string escaping for metric names (which are internal
+/// identifiers, but a stray quote must not corrupt the document).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// %.17g keeps doubles round-trippable; trims to a short form when exact.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no Inf/NaN
+  std::string s = StrFormat("%.17g", v);
+  const std::string shorter = StrFormat("%g", v);
+  double back = 0.0;
+  if (ParseDouble(shorter, &back) && back == v) return shorter;
+  return s;
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// --- Counter --------------------------------------------------------------
+
+void Counter::Add(uint64_t n) {
+  if (!MetricsEnabled()) return;
+  shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Gauge ----------------------------------------------------------------
+
+void Gauge::Set(double value) {
+  if (!MetricsEnabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return value_.load(std::memory_order_relaxed);
+}
+
+// --- Histogram ------------------------------------------------------------
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // NaN and <= kMinValue
+  const double octaves = std::log2(value / kMinValue);
+  const size_t idx =
+      1 + static_cast<size_t>(octaves * kSubBucketsPerOctave);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return kMinValue;
+  return kMinValue *
+         std::exp2(static_cast<double>(index) /
+                   static_cast<double>(kSubBucketsPerOctave));
+}
+
+void Histogram::Record(double value) {
+  if (!MetricsEnabled()) return;
+  const size_t idx = BucketIndex(value);
+  Shard& shard = shards_[ThisThreadShard()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!std::isnan(value)) {
+    if (shard.count == 0 || value < shard.min) shard.min = value;
+    if (shard.count == 0 || value > shard.max) shard.max = value;
+    shard.sum += value;
+  }
+  ++shard.count;
+  ++shard.buckets[idx];
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0) continue;
+    if (snap.count == 0 || shard.min < snap.min) snap.min = shard.min;
+    if (snap.count == 0 || shard.max > snap.max) snap.max = shard.max;
+    snap.count += shard.count;
+    snap.sum += shard.sum;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b];
+    }
+  }
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<uint64_t>(rank, 1, count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // The overflow bucket has no meaningful upper bound — its samples
+      // lie anywhere in (last covered bound, max], so report the exact
+      // max. Every other bucket's bound is clamped into [min, max].
+      if (b + 1 == buckets.size()) return max;
+      return std::clamp(Histogram::BucketUpperBound(b), min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.empty()) buckets.assign(Histogram::kNumBuckets, 0);
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  const size_t n = std::min(buckets.size(), other.buckets.size());
+  for (size_t b = 0; b < n; ++b) buckets[b] += other.buckets[b];
+}
+
+// --- MetricsSnapshot ------------------------------------------------------
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"schema\": \"tcss.metrics.v1\",\n";
+  out += "  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                     JsonEscape(counters[i].name).c_str(),
+                     static_cast<unsigned long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                     JsonEscape(gauges[i].name).c_str(),
+                     JsonNumber(gauges[i].value).c_str());
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"p50\": %s, \"p90\": %s, \"p95\": %s, \"p99\": %s, "
+        "\"buckets\": [",
+        i == 0 ? "" : ",", JsonEscape(h.name).c_str(),
+        static_cast<unsigned long long>(h.count), JsonNumber(h.sum).c_str(),
+        JsonNumber(h.min).c_str(), JsonNumber(h.max).c_str(),
+        JsonNumber(h.Quantile(0.50)).c_str(),
+        JsonNumber(h.Quantile(0.90)).c_str(),
+        JsonNumber(h.Quantile(0.95)).c_str(),
+        JsonNumber(h.Quantile(0.99)).c_str());
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      out += StrFormat(
+          "%s{\"le\": %s, \"n\": %llu}", first ? "" : ", ",
+          JsonNumber(Histogram::BucketUpperBound(b)).c_str(),
+          static_cast<unsigned long long>(h.buckets[b]));
+      first = false;
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// --- MetricRegistry -------------------------------------------------------
+
+MetricRegistry* MetricRegistry::Global() {
+  // Leaked on purpose: the thread pool and serving layer may record from
+  // worker threads during static destruction of other objects.
+  static MetricRegistry* const registry = new MetricRegistry();
+  return registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::GetOrCreate(const std::string& name,
+                                                   Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  TCSS_CHECK(it->second.kind == kind)
+      << "metric '" << name << "' already registered with a different kind";
+  return &it->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.counter->Value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.gauge->Value()});
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h = entry.histogram->Snapshot();
+        h.name = name;
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+Status MetricRegistry::DumpJson(Env* env, const std::string& path) const {
+  if (env == nullptr) return Status::InvalidArgument("DumpJson: null env");
+  return AtomicWriteFile(env, path, Snapshot().ToJson());
+}
+
+Status DumpMetricsJson(Env* env, const std::string& path) {
+  return MetricRegistry::Global()->DumpJson(env, path);
+}
+
+}  // namespace obs
+}  // namespace tcss

@@ -1,0 +1,196 @@
+#ifndef TCSS_OBS_METRICS_H_
+#define TCSS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcss {
+
+class Env;
+
+namespace obs {
+
+/// Number of per-thread shards inside every Counter/Histogram. Threads hash
+/// to a shard, so hot-path increments from the pool workers land on
+/// different cache lines and never contend on a single atomic.
+inline constexpr size_t kMetricShards = 16;
+
+/// Process-wide kill switch. When disabled, Add/Set/Record are no-ops (one
+/// relaxed atomic load); reads (Value/Snapshot) still work. Metrics never
+/// feed back into computation, so flipping this must not change any
+/// trained bytes — tests/determinism_test.cc proves it.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Monotonically increasing event count. Increments go to a per-thread
+/// shard (relaxed atomic, cache-line padded); Value() sums the shards, so
+/// a concurrent read sees some valid partial ordering of the increments.
+class Counter {
+ public:
+  void Add(uint64_t n = 1);
+  void Increment() { Add(1); }
+
+  /// Sum over all shards.
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-written instantaneous value (loss, LR, queue depth).
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot;
+
+/// Log-bucketed value distribution with exact count/sum/min/max.
+///
+/// Buckets grow geometrically by 2^(1/4) (~19% resolution) from kMinValue;
+/// bucket 0 catches everything at or below kMinValue and the last bucket
+/// catches everything beyond the covered range. Quantiles are read from the
+/// bucket boundaries and clamped to the exact observed [min, max], so a
+/// single-sample histogram reports that sample exactly and p100 == max
+/// always.
+///
+/// Thread safety: Record() locks one of kMetricShards per-thread shards
+/// (uncontended unless two threads hash alike); Snapshot() locks each shard
+/// in turn and merges them in ascending shard order.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 160;
+  static constexpr size_t kSubBucketsPerOctave = 4;
+  static constexpr double kMinValue = 1e-6;
+
+  /// Records one sample. NaN and values <= kMinValue land in bucket 0
+  /// (count/sum/min/max still see the raw value for non-NaN input).
+  void Record(double value);
+
+  /// Merged view over all shards; `name` is left empty (the registry fills
+  /// it in for registered histograms).
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index for a value; depends only on the value.
+  static size_t BucketIndex(double value);
+
+  /// Inclusive upper bound of bucket `index` (kMinValue for bucket 0).
+  static double BucketUpperBound(size_t index);
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+  std::vector<uint64_t> buckets;  ///< size Histogram::kNumBuckets
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th sample, clamped to the exact [min, max].
+  /// Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Folds `other` into this snapshot (same fixed bucket layout).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Point-in-time copy of every registered metric, name-sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Machine-readable form: counters/gauges as name->value objects,
+  /// histograms with count/sum/min/max, p50/p90/p95/p99, and the non-empty
+  /// buckets as {"le": upper_bound, "n": count} pairs.
+  std::string ToJson() const;
+};
+
+/// Named metric directory. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime, so hot paths look
+/// a metric up once and then increment lock-free. Re-requesting a name
+/// with a different kind is a programming error (TCSS_CHECK).
+///
+/// The process-global registry (Global()) is what the trainer, thread pool
+/// and serving layer record into; tests that need isolation construct
+/// their own instance.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Process-wide registry; never destroyed (safe from static dtors).
+  static MetricRegistry* Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Crash-safe JSON export of Snapshot() through the Env layer
+  /// (AtomicWriteFile, so a reader never sees a torn snapshot and
+  /// FaultInjectionEnv covers the write path).
+  Status DumpJson(Env* env, const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;  ///< guards metrics_ (map shape only)
+  std::map<std::string, Entry> metrics_;
+};
+
+/// DumpJson on the global registry — the `--metrics-out` implementation.
+Status DumpMetricsJson(Env* env, const std::string& path);
+
+}  // namespace obs
+}  // namespace tcss
+
+#endif  // TCSS_OBS_METRICS_H_

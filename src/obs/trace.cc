@@ -1,0 +1,19 @@
+#include "obs/trace.h"
+
+namespace tcss {
+namespace obs {
+
+double ScopedTimer::StopAndRecordMs() {
+  if (done_) return elapsed_ms_;
+  done_ = true;
+  elapsed_ms_ = sw_.ElapsedMillis();
+  if (hist_ != nullptr) hist_->Record(elapsed_ms_);
+  return elapsed_ms_;
+}
+
+Histogram* StageHistogram(const std::string& name) {
+  return MetricRegistry::Global()->GetHistogram(name);
+}
+
+}  // namespace obs
+}  // namespace tcss

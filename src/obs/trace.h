@@ -1,0 +1,51 @@
+#ifndef TCSS_OBS_TRACE_H_
+#define TCSS_OBS_TRACE_H_
+
+#include <string>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace tcss {
+namespace obs {
+
+/// RAII stage timer: samples elapsed milliseconds into a Histogram when it
+/// leaves scope (or at the explicit StopAndRecordMs). A null histogram
+/// makes it inert, so call sites can pass a conditionally-resolved metric.
+///
+///   {
+///     ScopedTimer t(registry->GetHistogram("train.stage.loss_ms"));
+///     loss = ComputeLoss(...);
+///   }  // records here
+///
+/// The timer only *reads* the clock and writes a metric — it never feeds
+/// anything back into the computation it wraps (determinism contract,
+/// DESIGN.md §8).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+  ~ScopedTimer() { StopAndRecordMs(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records the sample now and returns the elapsed milliseconds; the
+  /// destructor then records nothing. Idempotent (later calls return the
+  /// first reading without re-recording).
+  double StopAndRecordMs();
+
+ private:
+  Histogram* hist_;
+  Stopwatch sw_;
+  bool done_ = false;
+  double elapsed_ms_ = 0.0;
+};
+
+/// Shorthand span handle: one lookup in the global registry per call.
+/// Prefer caching the Histogram* at the call site in hot loops.
+Histogram* StageHistogram(const std::string& name);
+
+}  // namespace obs
+}  // namespace tcss
+
+#endif  // TCSS_OBS_TRACE_H_

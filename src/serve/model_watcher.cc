@@ -12,7 +12,14 @@ ModelWatcher::ModelWatcher(std::string path, const Options& opts)
       env_(opts.env != nullptr ? opts.env : Env::Default()),
       num_users_(opts.num_users),
       num_pois_(opts.num_pois),
-      num_bins_(opts.num_bins) {}
+      num_bins_(opts.num_bins) {
+  obs::MetricRegistry* reg =
+      opts.metrics != nullptr ? opts.metrics : obs::MetricRegistry::Global();
+  reload_success_counter_ = reg->GetCounter("serve.reload.successes");
+  reload_reject_counter_ = reg->GetCounter("serve.reload.rejects");
+  reload_unchanged_counter_ = reg->GetCounter("serve.reload.unchanged");
+  reload_missing_counter_ = reg->GetCounter("serve.reload.missing");
+}
 
 std::shared_ptr<const FactorModel> ModelWatcher::current() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -22,6 +29,7 @@ std::shared_ptr<const FactorModel> ModelWatcher::current() const {
 ModelWatcher::PollResult ModelWatcher::Reject(uint32_t crc, size_t size,
                                               Status why) {
   ++rejects_;
+  reload_reject_counter_->Add(1);
   has_rejected_ = true;
   rejected_crc_ = crc;
   rejected_size_ = size;
@@ -42,6 +50,7 @@ ModelWatcher::PollResult ModelWatcher::Poll() {
     has_rejected_ = false;
     stale_ = false;
     last_error_ = Status::NotFound("model file missing: " + path_);
+    reload_missing_counter_->Add(1);
     return PollResult::kMissing;
   }
 
@@ -49,6 +58,7 @@ ModelWatcher::PollResult ModelWatcher::Poll() {
   if (!read.ok()) {
     // A failed read has no bytes to fingerprint; count it every time.
     ++rejects_;
+    reload_reject_counter_->Add(1);
     stale_ = true;
     last_error_ = read.status();
     return PollResult::kRejected;
@@ -58,6 +68,7 @@ ModelWatcher::PollResult ModelWatcher::Poll() {
 
   if (has_live_ && crc == live_crc_ && bytes.size() == live_size_) {
     stale_ = false;
+    reload_unchanged_counter_->Add(1);
     return PollResult::kUnchanged;
   }
   if (has_rejected_ && crc == rejected_crc_ &&
@@ -86,6 +97,7 @@ ModelWatcher::PollResult ModelWatcher::Poll() {
   has_rejected_ = false;
   stale_ = false;
   ++successes_;
+  reload_success_counter_->Add(1);
   ++generation_;
   last_error_ = Status::OK();
   return PollResult::kReloaded;

@@ -8,6 +8,7 @@
 
 #include "common/env.h"
 #include "core/factor_model.h"
+#include "obs/metrics.h"
 
 namespace tcss {
 
@@ -38,6 +39,9 @@ class ModelWatcher {
     size_t num_users = 0;  ///< serving dataset shape, for validation
     size_t num_pois = 0;
     size_t num_bins = 0;
+    /// Registry for the serve.reload.* counters; null means the
+    /// process-global registry.
+    obs::MetricRegistry* metrics = nullptr;
   };
 
   ModelWatcher(std::string path, const Options& opts);
@@ -92,6 +96,15 @@ class ModelWatcher {
   bool has_rejected_ = false;
   uint32_t rejected_crc_ = 0;
   size_t rejected_size_ = 0;
+
+  // Registry mirrors of the per-watcher stats (a repeated poll over the
+  // same outcome counts once, like the fields above — except kMissing and
+  // kUnchanged, which count every poll: they describe poll traffic, not
+  // distinct reload attempts).
+  obs::Counter* reload_success_counter_;
+  obs::Counter* reload_reject_counter_;
+  obs::Counter* reload_unchanged_counter_;
+  obs::Counter* reload_missing_counter_;
 };
 
 }  // namespace tcss

@@ -48,10 +48,10 @@ class FoldInTier : public Recommender {
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  return StrFormat(
+  std::string s = StrFormat(
       "health=%s reloads=%llu rejects=%llu q_model=%llu q_fold_in=%llu "
       "q_popularity=%llu deadline_degrades=%llu invalid=%llu total=%llu "
-      "p50_ms=%.3f p99_ms=%.3f",
+      "cache_hit=%llu cache_miss=%llu p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f",
       ServeHealthName(health),
       static_cast<unsigned long long>(reload_successes),
       static_cast<unsigned long long>(reload_rejects),
@@ -60,14 +60,37 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(queries_by_tier[2]),
       static_cast<unsigned long long>(deadline_degrades),
       static_cast<unsigned long long>(invalid_requests),
-      static_cast<unsigned long long>(total_queries), p50_ms, p99_ms);
+      static_cast<unsigned long long>(total_queries),
+      static_cast<unsigned long long>(fold_in_cache_hits),
+      static_cast<unsigned long long>(fold_in_cache_misses), p50_ms, p95_ms,
+      p99_ms);
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    if (queries_by_tier[t] == 0) continue;
+    s += StrFormat(" %s[p50=%.3f p95=%.3f p99=%.3f]",
+                   ServeTierName(static_cast<ServeTier>(t)), tier_p50_ms[t],
+                   tier_p95_ms[t], tier_p99_ms[t]);
+  }
+  return s;
 }
 
 RecommendService::RecommendService(const Dataset* data,
                                    TimeGranularity granularity,
                                    ModelWatcher* watcher, const Options& opts)
     : data_(data), granularity_(granularity), watcher_(watcher),
-      opts_(opts) {}
+      opts_(opts),
+      metrics_(opts.metrics != nullptr ? opts.metrics
+                                       : obs::MetricRegistry::Global()) {
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    tier_latency_[t] = metrics_->GetHistogram(
+        std::string("serve.latency_ms.") +
+        ServeTierName(static_cast<ServeTier>(t)));
+  }
+  requests_counter_ = metrics_->GetCounter("serve.requests");
+  invalid_counter_ = metrics_->GetCounter("serve.invalid_requests");
+  degrade_counter_ = metrics_->GetCounter("serve.deadline_degrades");
+  cache_hit_counter_ = metrics_->GetCounter("serve.fold_in.cache_hits");
+  cache_miss_counter_ = metrics_->GetCounter("serve.fold_in.cache_misses");
+}
 
 Status RecommendService::Init() {
   if (data_ == nullptr) {
@@ -94,8 +117,6 @@ Status RecommendService::Init() {
     }
   }
 
-  latency_ring_.clear();
-  latency_ring_.reserve(std::max<size_t>(1, opts_.latency_window));
   initialized_ = true;
   if (watcher_ != nullptr) watcher_->Poll();
   return Status::OK();
@@ -124,6 +145,7 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
     // An out-of-range time bin would index past every tier's tables; an
     // empty answer is the only safe response to that input.
     ++invalid_requests_;
+    invalid_counter_->Add(1);
     return resp;
   }
   Stopwatch sw;
@@ -140,6 +162,7 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
       tier_ewma_ms_[static_cast<int>(tier)] > req.deadline_ms) {
     tier = ServeTier::kPopularity;
     ++deadline_degrades_;
+    degrade_counter_->Add(1);
   }
 
   TopKOptions topts;
@@ -156,10 +179,15 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
     }
     auto it = fold_in_cache_.find(req.user);
     if (it == fold_in_cache_.end()) {
+      ++fold_in_cache_misses_;
+      cache_miss_counter_->Add(1);
       auto emb = FoldInUser(*model, user_cells_[req.user], opts_.fold_in);
       if (emb.ok()) {
         it = fold_in_cache_.emplace(req.user, emb.MoveValue()).first;
       }
+    } else {
+      ++fold_in_cache_hits_;
+      cache_hit_counter_->Add(1);
     }
     if (it != fold_in_cache_.end()) {
       FoldInTier scorer(model, &it->second);
@@ -190,6 +218,8 @@ void RecommendService::RecordLatency(ServeTier tier, double ms) {
   const int t = static_cast<int>(tier);
   ++queries_by_tier_[t];
   ++total_queries_;
+  // The EWMA stays the deadline-budget predictor (recency-weighted); the
+  // histogram is the quantile source for Stats() and the JSON snapshot.
   if (tier_ewma_valid_[t]) {
     tier_ewma_ms_[t] = (1.0 - opts_.latency_ewma_alpha) * tier_ewma_ms_[t] +
                        opts_.latency_ewma_alpha * ms;
@@ -197,13 +227,8 @@ void RecommendService::RecordLatency(ServeTier tier, double ms) {
     tier_ewma_ms_[t] = ms;
     tier_ewma_valid_[t] = true;
   }
-  const size_t window = std::max<size_t>(1, opts_.latency_window);
-  if (latency_ring_.size() < window) {
-    latency_ring_.push_back(ms);
-  } else {
-    latency_ring_[latency_next_ % window] = ms;
-  }
-  ++latency_next_;
+  tier_latency_[t]->Record(ms);
+  requests_counter_->Add(1);
 }
 
 ServeHealth RecommendService::health() const {
@@ -226,15 +251,22 @@ ServiceStats RecommendService::Stats() const {
   s.deadline_degrades = deadline_degrades_;
   s.invalid_requests = invalid_requests_;
   s.total_queries = total_queries_;
-  if (!latency_ring_.empty()) {
-    std::vector<double> sorted = latency_ring_;
-    std::sort(sorted.begin(), sorted.end());
-    auto pct = [&sorted](double p) {
-      const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
-      return sorted[std::min(idx, sorted.size() - 1)];
-    };
-    s.p50_ms = pct(0.50);
-    s.p99_ms = pct(0.99);
+  s.fold_in_cache_hits = fold_in_cache_hits_;
+  s.fold_in_cache_misses = fold_in_cache_misses_;
+  obs::HistogramSnapshot all;
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    const obs::HistogramSnapshot snap = tier_latency_[t]->Snapshot();
+    if (snap.count > 0) {
+      s.tier_p50_ms[t] = snap.Quantile(0.50);
+      s.tier_p95_ms[t] = snap.Quantile(0.95);
+      s.tier_p99_ms[t] = snap.Quantile(0.99);
+    }
+    all.Merge(snap);
+  }
+  if (all.count > 0) {
+    s.p50_ms = all.Quantile(0.50);
+    s.p95_ms = all.Quantile(0.95);
+    s.p99_ms = all.Quantile(0.99);
   }
   return s;
 }

@@ -12,6 +12,7 @@
 #include "core/recommend.h"
 #include "data/dataset.h"
 #include "data/time_binning.h"
+#include "obs/metrics.h"
 #include "serve/model_watcher.h"
 #include "serve/request.h"
 #include "tensor/sparse_tensor.h"
@@ -20,6 +21,12 @@ namespace tcss {
 
 /// Aggregate serving statistics, exposed for health endpoints and dumped
 /// to stderr by `tcss serve`.
+///
+/// Latency quantiles are read from the per-tier obs::Histogram metrics
+/// (serve.latency_ms.<tier>); the overall p50/p95/p99 come from the merged
+/// tier histograms. With the default process-global registry the
+/// histograms aggregate across every service instance in the process —
+/// pass Options::metrics for per-service isolation.
 struct ServiceStats {
   ServeHealth health = ServeHealth::kFallback;
   uint64_t reload_successes = 0;
@@ -28,8 +35,14 @@ struct ServiceStats {
   uint64_t deadline_degrades = 0;  ///< budget forced the popularity tier
   uint64_t invalid_requests = 0;   ///< e.g. time bin outside the granularity
   uint64_t total_queries = 0;
-  double p50_ms = 0.0;
+  uint64_t fold_in_cache_hits = 0;
+  uint64_t fold_in_cache_misses = 0;
+  double p50_ms = 0.0;  ///< across all tiers
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double tier_p50_ms[kNumServeTiers] = {0.0, 0.0, 0.0};
+  double tier_p95_ms[kNumServeTiers] = {0.0, 0.0, 0.0};
+  double tier_p99_ms[kNumServeTiers] = {0.0, 0.0, 0.0};
 
   /// One-line "health=... reloads=... p99_ms=..." summary.
   std::string ToString() const;
@@ -54,10 +67,15 @@ class RecommendService {
  public:
   struct Options {
     FoldInOptions fold_in;
-    /// Ring-buffer size for the latency percentiles.
-    size_t latency_window = 4096;
-    /// EWMA smoothing for per-tier latency estimates (0 < a <= 1).
+    /// EWMA smoothing for per-tier latency estimates (0 < a <= 1). The
+    /// EWMA is the deadline-budget predictor: it tracks *recent* latency,
+    /// which the cumulative histograms cannot, so degradation reacts to a
+    /// latency regression instead of averaging it away.
     double latency_ewma_alpha = 0.2;
+    /// Metric registry for latency histograms and serve counters; null
+    /// means the process-global registry (metrics then aggregate across
+    /// all services in the process).
+    obs::MetricRegistry* metrics = nullptr;
   };
 
   /// `data` must outlive the service. `watcher` may be null (pure
@@ -116,10 +134,21 @@ class RecommendService {
   uint64_t deadline_degrades_ = 0;
   uint64_t invalid_requests_ = 0;
   uint64_t total_queries_ = 0;
+  uint64_t fold_in_cache_hits_ = 0;
+  uint64_t fold_in_cache_misses_ = 0;
   double tier_ewma_ms_[kNumServeTiers] = {0.0, 0.0, 0.0};
   bool tier_ewma_valid_[kNumServeTiers] = {false, false, false};
-  std::vector<double> latency_ring_;
-  size_t latency_next_ = 0;
+
+  /// Telemetry handles, resolved once in the constructor. Histograms are
+  /// the source of the Stats() quantiles (they replaced the raw latency
+  /// ring); counters mirror the per-service fields into the registry.
+  obs::MetricRegistry* metrics_;
+  obs::Histogram* tier_latency_[kNumServeTiers] = {nullptr, nullptr, nullptr};
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* invalid_counter_ = nullptr;
+  obs::Counter* degrade_counter_ = nullptr;
+  obs::Counter* cache_hit_counter_ = nullptr;
+  obs::Counter* cache_miss_counter_ = nullptr;
 };
 
 }  // namespace tcss

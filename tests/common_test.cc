@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 
 #include "common/crc32.h"
 #include "common/env.h"
 #include "common/fault_env.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -438,6 +440,42 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   double t1 = sw.ElapsedSeconds();
   sw.Restart();
   EXPECT_LE(sw.ElapsedSeconds(), t1 + 1.0);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("ERROR", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("warned", &level));   // prefix + extra
+  EXPECT_FALSE(ParseLogLevel("deb", &level));      // strict prefix
+  EXPECT_EQ(level, LogLevel::kInfo);               // output untouched
+}
+
+TEST(LoggingTest, InitLogLevelFromEnvAppliesAndKeepsDefaultOnUnknown) {
+  const LogLevel original = GetLogLevel();
+  setenv("TCSS_LOG_LEVEL", "error", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Unknown values warn on stderr and keep the current level.
+  setenv("TCSS_LOG_LEVEL", "shout", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  unsetenv("TCSS_LOG_LEVEL");
+  SetLogLevel(original);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
 #include "core/model_io.h"
 #include "core/trainer.h"
 #include "data/split.h"
@@ -353,6 +354,28 @@ TEST(TrainingDeterminismTest,
   ASSERT_FALSE(one.empty());
   EXPECT_EQ(one, TrainToBytes(w, cfg, 2));
   EXPECT_EQ(one, TrainToBytes(w, cfg, 8));
+}
+
+// The observability contract: metrics only observe, they never feed back
+// into computation. A run with telemetry fully disabled must produce the
+// same model bytes as instrumented runs at every thread count.
+TEST(TrainingDeterminismTest, MetricsDoNotPerturbTrainedBytes) {
+  ThreadGuard guard;
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 6;
+  cfg.hausdorff_pool = 64;
+  cfg.max_friend_pois = 32;
+  cfg.hausdorff_users_per_epoch = 32;
+
+  obs::SetMetricsEnabled(false);
+  const std::string metrics_off = TrainToBytes(w, cfg, 1);
+  obs::SetMetricsEnabled(true);
+  ASSERT_FALSE(metrics_off.empty());
+
+  EXPECT_EQ(metrics_off, TrainToBytes(w, cfg, 1));
+  EXPECT_EQ(metrics_off, TrainToBytes(w, cfg, 2));
+  EXPECT_EQ(metrics_off, TrainToBytes(w, cfg, 8));
 }
 
 TEST(TrainingDeterminismTest, NegativeSamplingKillAndResumeIsBitIdentical) {

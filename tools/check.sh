@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # CI check, three stages:
 #
-#   1. Plain build: run the serving-layer, randomized-corruption, and
-#      parallel-determinism suites (ctest labels "serve", "fuzz", and
-#      "determinism") in the production configuration — the exact
-#      binaries that ship.
+#   1. Plain build: run the serving-layer, randomized-corruption,
+#      parallel-determinism, and observability suites (ctest labels
+#      "serve", "fuzz", "determinism", and "obs") in the production
+#      configuration — the exact binaries that ship.
 #   2. Sanitizer build: configure with AddressSanitizer + UBSan and run
 #      the FULL test suite (which again includes the labeled suites)
 #      under the instrumented binaries.
 #   3. ThreadSanitizer build: configure with TCSS_SANITIZE=thread and run
-#      the determinism suite, which drives the thread pool, the sharded
-#      losses, and multi-threaded training end to end. Any data race in
-#      the parallel engine fails here.
+#      the determinism + obs suites: determinism drives the thread pool,
+#      the sharded losses, and multi-threaded training end to end; obs
+#      hammers the sharded metric registry from many threads. Any data
+#      race in the parallel engine or the telemetry fails here.
 #
 #   tools/check.sh [asan-build-dir] [tsan-build-dir]
 #                  (defaults: build-asan, build-tsan; the plain stage
@@ -28,7 +29,7 @@ TSAN_DIR="${2:-build-tsan}"
 # --- Stage 1: plain build, resilience + determinism suites ---------------
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -L "serve|fuzz|determinism"
+ctest --test-dir build --output-on-failure -L "serve|fuzz|determinism|obs"
 
 # --- Stage 2: ASan/UBSan build, full suite -------------------------------
 cmake -B "$BUILD_DIR" -S . \
@@ -41,17 +42,18 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-# --- Stage 3: TSan build, determinism suite ------------------------------
+# --- Stage 3: TSan build, determinism + obs suites -----------------------
 # TSan is mutually exclusive with ASan, hence the separate tree. Only the
-# determinism label runs here: it is the suite that exercises concurrency
-# (ThreadPool, sharded losses, multi-threaded training); the rest of the
-# suite is single-threaded and already covered by stage 2.
+# determinism and obs labels run here: they are the suites that exercise
+# concurrency (ThreadPool, sharded losses, multi-threaded training, and
+# concurrent metric recording); the rest of the suite is single-threaded
+# and already covered by stage 2.
 cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTCSS_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs"
 
 echo "sanitizer check passed"

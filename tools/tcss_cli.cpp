@@ -7,11 +7,12 @@
 //                  [--granularity month|week|hour]
 //                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //                  [--checkpoint-retain N] [--resume]
+//                  [--metrics-out FILE] [--metrics-every N]
 //   tcss evaluate  --data DIR --model FILE [--granularity G]
 //   tcss recommend --data DIR --model FILE --user U [--time K] [--k N]
 //                  [--new-only] [--granularity G]
 //   tcss serve     --data DIR --model FILE --requests FILE
-//                  [--granularity G] [--poll-every N]
+//                  [--granularity G] [--poll-every N] [--metrics-out FILE]
 //
 // `generate` writes an LBSN as CSV (pois.csv / checkins.csv / friends.csv);
 // `train` fits TCSS on an 80/20 split of the check-ins and saves the
@@ -23,6 +24,11 @@
 //
 // All data-loading commands accept `--lenient` (quarantine malformed CSV
 // rows instead of failing the load) and `--max-bad-rows N`.
+//
+// `--metrics-out FILE` dumps the process metric registry (stage timings,
+// counters, latency histograms) as JSON — periodically while running
+// (atomic replace, so the file is always whole) and once on exit. Set
+// TCSS_LOG_LEVEL=debug|info|warning|error to change log verbosity.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/strings.h"
 #include "core/checkpoint.h"
 #include "core/model_io.h"
@@ -42,6 +49,7 @@
 #include "data/synthetic.h"
 #include "data/tensor_builder.h"
 #include "eval/ranking_protocol.h"
+#include "obs/metrics.h"
 #include "serve/model_watcher.h"
 #include "serve/recommend_service.h"
 #include "serve/request.h"
@@ -80,15 +88,28 @@ int Usage() {
       "  tcss train     --data DIR --model FILE [--epochs N] [--rank R] "
       "[--lambda L] [--num-threads N] [--granularity month|week|hour] "
       "[--checkpoint-dir DIR] [--checkpoint-every N] "
-      "[--checkpoint-retain N] [--resume]\n"
+      "[--checkpoint-retain N] [--resume] "
+      "[--metrics-out FILE] [--metrics-every N]\n"
       "  tcss evaluate  --data DIR --model FILE [--granularity G]\n"
       "  tcss stats     --data DIR\n"
       "  tcss recommend --data DIR --model FILE --user U [--time K] "
       "[--k N] [--new-only] [--granularity G]\n"
       "  tcss serve     --data DIR --model FILE --requests FILE "
-      "[--granularity G] [--poll-every N]\n"
-      "common flags: [--lenient] [--max-bad-rows N]\n");
+      "[--granularity G] [--poll-every N] [--metrics-out FILE]\n"
+      "common flags: [--lenient] [--max-bad-rows N]\n"
+      "env: TCSS_LOG_LEVEL=debug|info|warning|error\n");
   return 2;
+}
+
+// Dumps the global metric registry to `path` (no-op on null). A failed
+// dump only warns: telemetry must never fail the command it observes.
+void DumpMetrics(const char* path) {
+  if (path == nullptr) return;
+  Status st = obs::DumpMetricsJson(Env::Default(), path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: metrics dump to %s failed: %s\n", path,
+                 st.ToString().c_str());
+  }
 }
 
 TimeGranularity ParseGranularity(const char* s) {
@@ -196,27 +217,38 @@ int Train(const Args& args) {
   topts.checkpoints = checkpoints.get();
   topts.resume = args.resume;
 
+  const char* metrics_out = args.Get("metrics-out");
+  const long metrics_every = std::max(1L, args.GetI("metrics-every", 25));
+
   TcssModel model(cfg);
   std::printf("training %s on %s ...\n", cfg.Summary().c_str(),
               data.value().Summary().c_str());
   Status st = model.FitWithOptions(
       {&data.value(), &train.value(), g, 13}, topts,
-      [&cfg](const EpochStats& s, const FactorModel&) {
+      [&](const EpochStats& s, const FactorModel&) {
         if (s.epoch % std::max(1, cfg.epochs / 5) == 0) {
           std::printf("  epoch %4d  L2=%.2f  L1=%.2f\n", s.epoch, s.loss_l2,
                       s.loss_l1);
         }
+        // Periodic flush so a killed run still leaves telemetry behind;
+        // the write is atomic-replace, never a torn file.
+        if (metrics_out != nullptr && s.epoch % metrics_every == 0) {
+          DumpMetrics(metrics_out);
+        }
       });
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    DumpMetrics(metrics_out);
     return 1;
   }
   st = SaveFactorModel(model.factors(), model_path);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    DumpMetrics(metrics_out);
     return 1;
   }
   std::printf("saved model to %s\n", model_path);
+  DumpMetrics(metrics_out);
   return 0;
 }
 
@@ -346,6 +378,7 @@ int Serve(const Args& args) {
   }
   const TimeGranularity g = ParseGranularity(args.Get("granularity"));
   const long poll_every = args.GetI("poll-every", 0);
+  const char* metrics_out = args.Get("metrics-out");
 
   ModelWatcher::Options wopts;
   wopts.num_users = data.value().num_users();
@@ -403,8 +436,12 @@ int Serve(const Args& args) {
       std::printf(" %u:%.4f", r.poi, r.score);
     }
     std::printf("\n");
+    if (metrics_out != nullptr && lineno % 256 == 0) {
+      DumpMetrics(metrics_out);
+    }
   }
   std::fprintf(stderr, "%s\n", service.Stats().ToString().c_str());
+  DumpMetrics(metrics_out);
   return 0;
 }
 
