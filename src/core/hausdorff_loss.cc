@@ -12,12 +12,9 @@
 namespace tcss {
 namespace {
 
-// Predictions are treated as probabilities: clamp to [0, 1-kCap) so the
-// product prod(1-y) stays positive. Gradients are gated to the interior.
-constexpr double kCapMargin = 1e-9;
-// Lower bound on the soft-min inputs f_j (a POI exactly at a friend's POI
-// with p=1 would otherwise yield f=0 and blow up f^(alpha-1)).
-constexpr double kFloorF = 1e-6;
+// Shorthands for the shared clamp constants declared in the header.
+constexpr double kCapMargin = kHausdorffCapMargin;
+constexpr double kFloorF = kHausdorffSoftMinFloor;
 
 }  // namespace
 

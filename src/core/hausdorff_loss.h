@@ -12,6 +12,16 @@
 
 namespace tcss {
 
+/// Prediction clamp of the Hausdorff head: Xhat is treated as a
+/// probability and clamped to [0, 1 - kHausdorffCapMargin) so the product
+/// prod_k (1 - Xhat) stays positive. Gradients are gated to the interior.
+/// Shared with the brute-force oracle (src/proptest/oracles.cc), which
+/// must clamp identically.
+inline constexpr double kHausdorffCapMargin = 1e-9;
+/// Lower bound on the soft-min inputs f_j (a POI exactly at a friend's
+/// POI with p = 1 would otherwise yield f = 0 and blow up f^(alpha-1)).
+inline constexpr double kHausdorffSoftMinFloor = 1e-6;
+
 /// The paper's social Hausdorff distance head L1 (Eq 10-13), with
 /// location-entropy weighting (Eq 11-12) and the generalized-mean soft
 /// minimum M_alpha enabling backpropagation.
@@ -55,6 +65,7 @@ class SocialHausdorffLoss {
   double ComputeFull(const FactorModel& model) const;
 
   // --- Introspection (tests, benches) -----------------------------------
+  const TcssConfig& config() const { return config_; }
   size_t num_eligible_users() const { return eligible_.size(); }
   double d_max() const { return d_max_; }
   const std::vector<double>& entropy_weights() const { return e_; }

@@ -19,37 +19,47 @@ std::vector<Recommendation> TopKRecommendations(
     }
   }
   const size_t k = std::min(opts.k, num_pois);
+  if (k == 0) return {};
 
-  std::vector<Recommendation> heap;  // min-heap of size <= k on score
-  auto cmp = [](const Recommendation& a, const Recommendation& b) {
-    return a.score > b.score;
+  // Canonical ranking order: higher score first, score ties broken by
+  // ascending POI id. Using it for the heap's eviction decision (not just
+  // the final sort) makes the returned *set* deterministic too — without
+  // it, which of several boundary-tied POIs survives would depend on heap
+  // internals and candidate order.
+  auto better = [](const Recommendation& a, const Recommendation& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.poi < b.poi;
   };
+
+  std::vector<Recommendation> heap;  // heap.front() = worst kept item
   auto consider = [&](uint32_t j) {
     if (!visited.empty() && visited[j]) return;
-    const double s = model.Score(user, j, time_bin);
+    const Recommendation rec{j, model.Score(user, j, time_bin)};
     if (heap.size() < k) {
-      heap.push_back({j, s});
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (!heap.empty() && s > heap.front().score) {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = {j, s};
-      std::push_heap(heap.begin(), heap.end(), cmp);
+      heap.push_back(rec);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(rec, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = rec;
+      std::push_heap(heap.begin(), heap.end(), better);
     }
   };
 
   if (opts.candidates.empty()) {
     for (uint32_t j = 0; j < num_pois; ++j) consider(j);
   } else {
-    for (uint32_t j : opts.candidates) {
+    // Dedup: a POI listed twice in an (untrusted) candidate list must not
+    // be recommended twice.
+    std::vector<uint32_t> candidates = opts.candidates;
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (uint32_t j : candidates) {
       if (j < num_pois) consider(j);
     }
   }
 
-  std::sort(heap.begin(), heap.end(),
-            [](const Recommendation& a, const Recommendation& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.poi < b.poi;
-            });
+  std::sort(heap.begin(), heap.end(), better);
   return heap;
 }
 

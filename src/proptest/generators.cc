@@ -1,0 +1,157 @@
+#include "proptest/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tcss {
+namespace proptest {
+
+namespace {
+
+/// One mode extent under the budget: 0 (if allowed), 1, or uniform in
+/// [1, size]. Degenerate extents are drawn with boosted probability — most
+/// historical kernel bugs live at empty and singleton modes.
+size_t GenDim(Rng* rng, uint32_t size, bool allow_empty) {
+  const double roll = rng->Uniform();
+  if (allow_empty && roll < 0.08) return 0;
+  if (roll < 0.22) return 1;
+  return 1 + static_cast<size_t>(rng->UniformInt(size));
+}
+
+double GenRealValue(Rng* rng) {
+  // Nonzero magnitude in [0.1, 2] with random sign: keeps coalesced sums
+  // representable and avoids accidental exact zeros.
+  const double magnitude = rng->Uniform(0.1, 2.0);
+  return rng->Bernoulli(0.5) ? magnitude : -magnitude;
+}
+
+}  // namespace
+
+SparseTensor GenSparseTensor(Rng* rng, uint32_t size,
+                             const GenTensorOptions& opts) {
+  const size_t dim_i = GenDim(rng, size, opts.allow_empty_modes);
+  const size_t dim_j = GenDim(rng, size, opts.allow_empty_modes);
+  const uint32_t k_budget =
+      opts.max_time_bins > 0 ? std::min(opts.max_time_bins, size) : size;
+  const size_t dim_k = GenDim(rng, k_budget, opts.allow_empty_modes);
+  SparseTensor x(dim_i, dim_j, dim_k);
+  if (dim_i > 0 && dim_j > 0 && dim_k > 0) {
+    const size_t target = rng->UniformInt(4 * size + 1);
+    std::vector<TensorEntry> added;
+    for (size_t n = 0; n < target; ++n) {
+      uint32_t i, j, k;
+      if (!added.empty() && rng->Bernoulli(0.25)) {
+        // Duplicate-prone: re-add an earlier coordinate so Finalize's
+        // coalescing (sum / binary clamp) is on the tested path.
+        const TensorEntry& prev =
+            added[rng->UniformInt(added.size())];
+        i = prev.i;
+        j = prev.j;
+        k = prev.k;
+      } else {
+        i = static_cast<uint32_t>(rng->UniformInt(dim_i));
+        j = static_cast<uint32_t>(rng->UniformInt(dim_j));
+        k = static_cast<uint32_t>(rng->UniformInt(dim_k));
+      }
+      const double value = opts.binary ? 1.0 : GenRealValue(rng);
+      TCSS_CHECK(x.Add(i, j, k, value).ok());
+      added.push_back({i, j, k, value});
+    }
+  }
+  TCSS_CHECK(x.Finalize(opts.binary).ok());
+  return x;
+}
+
+FactorModel GenFactorModel(Rng* rng, size_t dim_i, size_t dim_j,
+                           size_t dim_k, size_t rank) {
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(dim_i, rank, rng, 0.5);
+  m.u2 = Matrix::GaussianRandom(dim_j, rank, rng, 0.5);
+  m.u3 = Matrix::GaussianRandom(dim_k, rank, rng, 0.5);
+  m.h.resize(rank);
+  for (double& h : m.h) h = rng->Uniform(-1.0, 1.0);
+  return m;
+}
+
+FactorModel GenInteriorFactorModel(Rng* rng, size_t dim_i, size_t dim_j,
+                                   size_t dim_k, size_t rank) {
+  TCSS_CHECK(rank > 0);
+  FactorModel m;
+  auto fill = [&](Matrix* f, size_t rows) {
+    f->Resize(rows, rank);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t t = 0; t < rank; ++t) (*f)(i, t) = rng->Uniform(0.2, 0.8);
+    }
+  };
+  fill(&m.u1, dim_i);
+  fill(&m.u2, dim_j);
+  fill(&m.u3, dim_k);
+  // Predict sums rank terms h * a * b * c with a,b,c in [0.2, 0.8]; this h
+  // range bounds the sum to [0.004, 0.86] — strictly inside the
+  // probability clamp of the Hausdorff head.
+  m.h.resize(rank);
+  const double scale = 1.0 / (0.6 * static_cast<double>(rank));
+  for (double& h : m.h) h = rng->Uniform(0.3, 1.0) * scale;
+  return m;
+}
+
+LbsnCase GenLbsnCase(Rng* rng, uint32_t size) {
+  const size_t num_users = 1 + rng->UniformInt(size);
+  const size_t num_pois = 1 + rng->UniformInt(size);
+  const size_t num_bins = 1 + rng->UniformInt(std::min<uint32_t>(size, 6));
+
+  std::vector<Poi> pois(num_pois);
+  for (Poi& poi : pois) {
+    poi.location.lat = rng->Uniform(-60.0, 60.0);
+    poi.location.lon = rng->Uniform(-170.0, 170.0);
+    poi.category = static_cast<PoiCategory>(rng->UniformInt(kNumCategories));
+    // Occasionally co-locate POIs exactly: zero pairwise distance is the
+    // soft-min floor's adversarial corner.
+    if (poi.location.lat > 55.0 && !pois.empty()) {
+      poi.location = pois.front().location;
+    }
+  }
+
+  SocialGraph social(num_users);
+  if (num_users > 1) {
+    const size_t edges = rng->UniformInt(2 * num_users);
+    for (size_t e = 0; e < edges; ++e) {
+      const uint32_t u = static_cast<uint32_t>(rng->UniformInt(num_users));
+      const uint32_t v = static_cast<uint32_t>(rng->UniformInt(num_users));
+      if (u == v) continue;  // AddEdge rejects self-loops by contract
+      TCSS_CHECK(social.AddEdge(u, v).ok());
+    }
+  }
+  TCSS_CHECK(social.Finalize().ok());
+
+  LbsnCase out;
+  out.data = Dataset(num_users, std::move(pois), std::move(social));
+
+  SparseTensor train(num_users, num_pois, num_bins);
+  const size_t checkins = rng->UniformInt(4 * size + 1);
+  for (size_t n = 0; n < checkins; ++n) {
+    const uint32_t i = static_cast<uint32_t>(rng->UniformInt(num_users));
+    const uint32_t j = static_cast<uint32_t>(rng->UniformInt(num_pois));
+    const uint32_t k = static_cast<uint32_t>(rng->UniformInt(num_bins));
+    TCSS_CHECK(train.Add(i, j, k).ok());
+    // Mirror the tensor cell as a dataset check-in (arbitrary timestamp
+    // inside the bin is irrelevant to the loss; keeps the two views of the
+    // data consistent for code that reads either).
+    TCSS_CHECK(out.data
+                   .AddCheckIn(i, j,
+                               1300000000 + static_cast<int64_t>(n) * 3600)
+                   .ok());
+  }
+  TCSS_CHECK(train.Finalize(/*binary=*/true).ok());
+  out.train = std::move(train);
+  return out;
+}
+
+size_t GenRank(Rng* rng, uint32_t size) {
+  return 1 + rng->UniformInt(1 + size / 4);
+}
+
+}  // namespace proptest
+}  // namespace tcss

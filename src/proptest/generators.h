@@ -1,0 +1,70 @@
+#ifndef TCSS_PROPTEST_GENERATORS_H_
+#define TCSS_PROPTEST_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/factor_model.h"
+#include "data/dataset.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+namespace proptest {
+
+/// Composable random-input generators for the property harness. All are
+/// deterministic given the Rng state and the size budget, and biased
+/// toward adversarial shapes: empty modes, singleton dimensions,
+/// duplicate-prone coordinates, empty tensors, isolated social-graph
+/// nodes.
+
+struct GenTensorOptions {
+  bool binary = true;
+  /// Allow a dimension of 0 (a mode with no indices — the tensor then has
+  /// no cells at all). Disable for generators that must index into every
+  /// mode (e.g. a user for fold-in).
+  bool allow_empty_modes = true;
+  /// Upper bound on dim_k, 0 = same budget as the other modes (the time
+  /// mode is usually much smaller than users/POIs).
+  uint32_t max_time_bins = 0;
+};
+
+/// Random finalized COO tensor. Dimensions are <= size (possibly 0 or 1),
+/// nnz up to ~4*size with intentionally duplicate coordinates before
+/// Finalize so coalescing paths are exercised. Binary tensors hold 1.0 in
+/// every cell; real tensors hold values in [-2, 2] \ {0}.
+SparseTensor GenSparseTensor(Rng* rng, uint32_t size,
+                             const GenTensorOptions& opts = {});
+
+/// Random dense factor model of the given shape: Gaussian factors
+/// (stddev 0.5) and h in [-1, 1]. Predictions are unconstrained.
+FactorModel GenFactorModel(Rng* rng, size_t dim_i, size_t dim_j,
+                           size_t dim_k, size_t rank);
+
+/// Factor model whose predictions are strictly inside (0, 1): factor
+/// entries in [0.2, 0.8] and h in [0.5/r, 1.67/r]. Needed by losses that
+/// clamp predictions to a probability range (SocialHausdorffLoss), where
+/// central-difference gradient checks require the clamp to stay inactive.
+FactorModel GenInteriorFactorModel(Rng* rng, size_t dim_i, size_t dim_j,
+                                   size_t dim_k, size_t rank);
+
+/// A dataset (POIs with geo coordinates and categories, social graph)
+/// together with a matching binary train tensor: the full input of the
+/// social-spatial loss head.
+struct LbsnCase {
+  Dataset data;
+  SparseTensor train;  ///< num_users x num_pois x K, finalized binary
+};
+
+/// Random LBSN case with >= 1 user/POI/time bin; the social graph mixes
+/// connected users and isolated ones, POIs are scattered globally so
+/// haversine distances span orders of magnitude.
+LbsnCase GenLbsnCase(Rng* rng, uint32_t size);
+
+/// Random rank in [1, 1 + size/4] (kept small: oracle costs scale with
+/// I*J*K*r).
+size_t GenRank(Rng* rng, uint32_t size);
+
+}  // namespace proptest
+}  // namespace tcss
+
+#endif  // TCSS_PROPTEST_GENERATORS_H_

@@ -158,6 +158,102 @@ TEST(NegativeSamplingLossTest, PositivePartMatchesNaivePositivePart) {
               1e-12);
 }
 
+// --- Under-draw rescaling regressions (PR 5) -----------------------------
+//
+// A near-dense tensor exhausts the rejection guard before the sampler
+// collects its full quota of negatives; the implementation then rescales
+// the w- term by want/drawn to keep it an unbiased estimate. Pin that
+// behavior with a tensor holding exactly ONE unobserved cell: every drawn
+// negative is that cell, so the rescaled term must equal
+// want * w_neg * y*^2 no matter how many draws actually landed.
+TEST(NegativeSamplingLossTest, UnderDrawRescalesToFullQuota) {
+  const size_t I = 5, J = 5, K = 4;
+  SparseTensor x(I, J, K);
+  for (uint32_t i = 0; i < I; ++i) {
+    for (uint32_t j = 0; j < J; ++j) {
+      for (uint32_t k = 0; k < K; ++k) {
+        if (i == 2 && j == 3 && k == 1) continue;  // the one unobserved cell
+        ASSERT_TRUE(x.Add(i, j, k).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(x.Finalize().ok());
+  FactorModel m = RandomModel(I, J, K, 2, 42);
+  const double w_neg = 0.25;
+  const double y_star = m.Predict(2, 3, 1);
+  const size_t want = x.nnz();  // 99 positives -> 99-negative quota
+
+  // w_pos = 0 isolates the w- term.
+  NegativeSamplingLoss loss(/*w_pos=*/0.0, w_neg, /*seed=*/9);
+  ::testing::internal::CaptureStderr();
+  FactorGrads grads(m);
+  const double value = loss.ComputeWithGrads(m, x, &grads);
+  const std::string log = ::testing::internal::GetCapturedStderr();
+
+  // The guard must actually have been exhausted (1 unobserved cell in 100
+  // vs a 50x-quota guard), otherwise this test is not exercising the
+  // rescale path at all.
+  ASSERT_NE(log.find("under-drew"), std::string::npos) << log;
+  const double want_loss =
+      static_cast<double>(want) * w_neg * y_star * y_star;
+  EXPECT_NEAR(value, want_loss, 1e-12 * std::abs(want_loss));
+
+  // Gradient of the isolated w- term wrt h_t at the single negative cell:
+  // want * 2 * w_neg * y* * (u1 u2 u3)_t.
+  for (size_t t = 0; t < m.rank(); ++t) {
+    const double expect = static_cast<double>(want) * 2.0 * w_neg * y_star *
+                          m.u1(2, t) * m.u2(3, t) * m.u3(1, t);
+    EXPECT_NEAR(grads.h[t], expect, 1e-12 * std::abs(expect));
+  }
+}
+
+TEST(NegativeSamplingLossTest, FullyObservedTensorTerminatesWithZeroDraws) {
+  // Zero unobserved cells: the rejection loop cannot draw anything; it
+  // must hit the guard, leave the w- term at zero (no 0/0 rescale), and
+  // return just the positive part.
+  SparseTensor x(2, 2, 2);
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < 2; ++j) {
+      for (uint32_t k = 0; k < 2; ++k) ASSERT_TRUE(x.Add(i, j, k).ok());
+    }
+  }
+  ASSERT_TRUE(x.Finalize().ok());
+  FactorModel m = RandomModel(2, 2, 2, 2, 7);
+  NegativeSamplingLoss sampled(0.5, 0.25, /*seed=*/3);
+  NaiveLoss positives_only(0.5, /*w_neg=*/0.0);
+  ::testing::internal::CaptureStderr();
+  const double value = sampled.Compute(m, x);
+  ::testing::internal::GetCapturedStderr();  // swallow the warning
+  EXPECT_DOUBLE_EQ(value, positives_only.Compute(m, x));
+}
+
+TEST(NegativeSamplingLossTest, SamplerStateReplayIsExact) {
+  // Pinning sampler_state replays the identical negative set: same loss
+  // and same gradients, bit for bit — across calls and across instances.
+  SparseTensor x = RandomTensor(6, 7, 5, 30, 17);
+  FactorModel m = RandomModel(6, 7, 5, 3, 18);
+  NegativeSamplingLoss a(0.9, 0.1, /*seed=*/5);
+  a.set_sampler_state(11);
+  FactorGrads ga(m);
+  const double va = a.ComputeWithGrads(m, x, &ga);
+  EXPECT_EQ(a.sampler_state(), 12u);  // the call advanced the counter
+
+  NegativeSamplingLoss b(0.9, 0.1, /*seed=*/5);
+  b.set_sampler_state(11);
+  FactorGrads gb(m);
+  const double vb = b.ComputeWithGrads(m, x, &gb);
+  EXPECT_EQ(va, vb);
+  EXPECT_EQ(MaxAbsDiff(ga.u1, gb.u1), 0.0);
+  EXPECT_EQ(MaxAbsDiff(ga.u2, gb.u2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(ga.u3, gb.u3), 0.0);
+  for (size_t t = 0; t < m.rank(); ++t) EXPECT_EQ(ga.h[t], gb.h[t]);
+
+  // A different state draws a different set.
+  NegativeSamplingLoss c(0.9, 0.1, /*seed=*/5);
+  c.set_sampler_state(12);
+  EXPECT_NE(c.Compute(m, x), va);
+}
+
 TEST(WholeDataLossTest, FactoryRespectsConfig) {
   TcssConfig cfg;
   cfg.loss_mode = LossMode::kRewritten;

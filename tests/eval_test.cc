@@ -141,5 +141,93 @@ TEST(RankingProtocolTest, TopKControlsHitThreshold) {
   EXPECT_NEAR(h50, 50.0 / 101.0, 0.06);
 }
 
+// --- Edge cases of the protocol (PR 5) -----------------------------------
+
+TEST(RankingProtocolTest, TieHeavyScorerIsDeterministicAcrossRuns) {
+  // A scorer with ties everywhere (three distinct score levels) must give
+  // bitwise-identical metrics on repeat runs: ties are handled by MidRank
+  // arithmetic, not by any ordering of equal keys.
+  auto cells = MakeCells(300, 15, 200, 11);
+  auto score = [](uint32_t, uint32_t j, uint32_t) {
+    return static_cast<double>(j % 3);
+  };
+  RankingProtocolOptions opts;
+  RankingMetrics a = EvaluateRanking(score, 200, cells, opts);
+  RankingMetrics b = EvaluateRanking(score, 200, cells, opts);
+  EXPECT_EQ(a.mrr, b.mrr);
+  EXPECT_EQ(a.hit_at_k, b.hit_at_k);
+  EXPECT_EQ(a.ndcg_at_k, b.ndcg_at_k);
+  EXPECT_EQ(a.precision_at_k, b.precision_at_k);
+}
+
+TEST(RankingProtocolTest, UsersWithoutTestCellsDoNotDiluteMrr) {
+  // Only users 2 and 9 have test cells; MRR averages over exactly those
+  // two, not over the full user range.
+  std::vector<TensorCell> cells = {{2, 5, 0}, {2, 6, 1}, {9, 7, 0}};
+  auto score = [](uint32_t, uint32_t, uint32_t) { return 1.0; };
+  RankingProtocolOptions opts;
+  opts.num_negatives = 4;
+  RankingMetrics m = EvaluateRanking(score, 50, cells, opts);
+  EXPECT_EQ(m.num_users, 2u);
+  // Constant scores: every rank is the mid-rank 1 + 4/2 = 3.
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0 / 3.0);
+}
+
+TEST(RankingProtocolTest, TopKBeyondCatalogStillWellDefined) {
+  // top_k far larger than both the POI catalogue and the candidate list:
+  // every target ranks within k, so Hit@K saturates at 1 and the metrics
+  // stay in range.
+  auto cells = MakeCells(50, 5, 8, 21);
+  Rng rng(3);
+  auto score = [&rng](uint32_t, uint32_t, uint32_t) {
+    return rng.Uniform();
+  };
+  RankingProtocolOptions opts;
+  opts.top_k = 1000;
+  opts.num_negatives = 6;
+  RankingMetrics m = EvaluateRanking(score, 8, cells, opts);
+  EXPECT_DOUBLE_EQ(m.hit_at_k, 1.0);
+  EXPECT_GT(m.ndcg_at_k, 0.0);
+  EXPECT_LE(m.ndcg_at_k, 1.0);
+}
+
+TEST(RankingProtocolTest, SinglePoiCatalogRanksTargetFirst) {
+  // With one POI there are no negatives to draw (j == target is always
+  // rejected); the attempts guard must terminate and the target gets
+  // rank 1 against an empty field.
+  std::vector<TensorCell> cells = {{0, 0, 0}, {1, 0, 3}};
+  auto score = [](uint32_t, uint32_t, uint32_t) { return 0.5; };
+  RankingProtocolOptions opts;
+  RankingMetrics m = EvaluateRanking(score, 1, cells, opts);
+  EXPECT_EQ(m.num_entries, 2u);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_at_k, 1.0);
+}
+
+TEST(RankingProtocolTest, AllCandidatesExcludedByTrainObservations) {
+  // exclude_observed with a train tensor covering EVERY (user, poi, time)
+  // cell: all negative draws are rejected, the attempts guard terminates,
+  // and the target ranks 1 against an empty field (metrics still sane).
+  const size_t num_pois = 6;
+  SparseTensor train(2, num_pois, 2);
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < num_pois; ++j) {
+      for (uint32_t k = 0; k < 2; ++k) ASSERT_TRUE(train.Add(i, j, k).ok());
+    }
+  }
+  ASSERT_TRUE(train.Finalize().ok());
+  std::vector<TensorCell> cells = {{0, 2, 0}, {1, 4, 1}};
+  auto score = [](uint32_t, uint32_t j, uint32_t) {
+    return static_cast<double>(j);
+  };
+  RankingProtocolOptions opts;
+  opts.exclude_observed = true;
+  RankingMetrics m = EvaluateRanking(score, num_pois, cells, opts, &train);
+  EXPECT_EQ(m.num_entries, 2u);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision_at_k, 1.0 / static_cast<double>(opts.top_k));
+}
+
 }  // namespace
 }  // namespace tcss

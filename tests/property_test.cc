@@ -1,0 +1,889 @@
+// Property-based differential-oracle suite (ctest label `proptest`,
+// DESIGN.md §9): every optimized kernel and loss is checked against the
+// naive reference implementations in src/proptest/oracles.* over seeded
+// random inputs, plus metamorphic laws (permutation equivariance, scaling
+// homogeneity, fold-in reproduction) and central-difference gradient
+// checks. tools/check.sh runs this suite plain, under ASan/UBSan, and
+// under TSan (the multi-threaded kernel-equality properties).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/fold_in.h"
+#include "core/hausdorff_loss.h"
+#include "core/recommend.h"
+#include "core/whole_data_loss.h"
+#include "linalg/matrix.h"
+#include "proptest/generators.h"
+#include "proptest/oracles.h"
+#include "proptest/prop.h"
+#include "tensor/mttkrp.h"
+
+namespace tcss {
+namespace {
+
+using proptest::CentralDifferenceGrads;
+using proptest::GenFactorModel;
+using proptest::GenInteriorFactorModel;
+using proptest::GenLbsnCase;
+using proptest::GenRank;
+using proptest::GenSparseTensor;
+using proptest::GenTensorOptions;
+using proptest::LbsnCase;
+using proptest::OracleDenseLoss;
+using proptest::OracleFoldIn;
+using proptest::OracleGram;
+using proptest::OracleHausdorffUser;
+using proptest::OracleMatMul;
+using proptest::OracleMatTMul;
+using proptest::OracleMttkrp;
+using proptest::OracleTopK;
+using proptest::Prop;
+using proptest::PropOptions;
+using proptest::PropReport;
+using proptest::RelDiff;
+using proptest::RelMaxDiff;
+
+/// Restores the single-threaded global pool however a predicate exits.
+struct ThreadGuard {
+  ~ThreadGuard() { SetGlobalThreads(1); }
+};
+
+// ---------------------------------------------------------------------------
+// Framework self-tests
+// ---------------------------------------------------------------------------
+
+TEST(PropFramework, PassingPropertyRunsAllCases) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    return rng.UniformInt(size + 1);
+  };
+  auto pred = [](const uint64_t& v, std::string*) { return v <= 1u << 20; };
+  PropReport report = Prop::Check<uint64_t>("always-true", 64, gen, pred);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.cases_run, 64);
+}
+
+TEST(PropFramework, CaseSeedsAndSizesAreDeterministic) {
+  const uint64_t s0 = proptest::DeriveCaseSeed(123, 0);
+  EXPECT_EQ(s0, proptest::DeriveCaseSeed(123, 0));
+  EXPECT_NE(s0, proptest::DeriveCaseSeed(123, 1));
+  EXPECT_NE(s0, proptest::DeriveCaseSeed(124, 0));
+  for (uint32_t max : {1u, 2u, 7u, 64u}) {
+    const uint32_t size = proptest::SizeForSeed(s0, max);
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, max);
+    EXPECT_EQ(size, proptest::SizeForSeed(s0, max));
+  }
+}
+
+// Acceptance property: a forced failure prints a TCSS_PROPTEST_SEED line
+// that deterministically reproduces the same shrunk counterexample.
+TEST(PropFramework, ForcedFailurePrintsSeedThatReplaysShrunkCase) {
+  using Case = std::vector<uint64_t>;
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    Case v(size);
+    for (uint64_t& x : v) x = rng.UniformInt(1000);
+    return v;
+  };
+  // Always-false predicate with an input-dependent message, so "the same
+  // counterexample" is observable through the report.
+  auto pred = [](const Case& v, std::string* msg) {
+    *msg = StrFormat("len=%zu head=%llu", v.size(),
+                     static_cast<unsigned long long>(v.empty() ? 0 : v[0]));
+    return false;
+  };
+
+  ::testing::internal::CaptureStderr();
+  PropReport report = Prop::Check<Case>("forced-failure", 50, gen, pred);
+  const std::string log = ::testing::internal::GetCapturedStderr();
+
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.shrunk_size, 1u);  // halving all the way down
+  EXPECT_NE(log.find("FALSIFIED forced-failure"), std::string::npos) << log;
+  const std::string repro_line =
+      "TCSS_PROPTEST_SEED=" + std::to_string(report.fail_seed);
+  EXPECT_NE(log.find(repro_line), std::string::npos) << log;
+
+  // Replay through the environment variable: one case, same seed, same
+  // initial size, identical shrunk counterexample.
+  ASSERT_EQ(setenv("TCSS_PROPTEST_SEED",
+                   std::to_string(report.fail_seed).c_str(), 1),
+            0);
+  ::testing::internal::CaptureStderr();
+  PropReport replay = Prop::Check<Case>("forced-failure", 50, gen, pred);
+  ::testing::internal::GetCapturedStderr();
+  unsetenv("TCSS_PROPTEST_SEED");
+
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.fail_seed, report.fail_seed);
+  EXPECT_EQ(replay.fail_size, report.fail_size);
+  EXPECT_EQ(replay.shrunk_size, report.shrunk_size);
+  EXPECT_EQ(replay.message, report.message);
+}
+
+TEST(PropFramework, ShrinkingStopsAtSmallestFailingSize) {
+  auto gen = [](uint64_t, uint32_t size) { return size; };
+  // Fails for size >= 3: shrinking should land exactly on 3 (not below).
+  auto pred = [](const uint32_t& size, std::string* msg) {
+    if (size < 3) return true;
+    *msg = StrFormat("size=%u", size);
+    return false;
+  };
+  ::testing::internal::CaptureStderr();
+  PropOptions opts;
+  opts.max_size = 64;
+  PropReport report = Prop::Check<uint32_t>("shrink-floor", 200, gen, pred,
+                                            opts);
+  ::testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(report.ok);
+  EXPECT_GE(report.shrunk_size, 3u);
+  EXPECT_LT(report.shrunk_size, 6u);  // halving cannot overshoot 2x
+}
+
+// ---------------------------------------------------------------------------
+// Whole-data loss vs the dense Eq 14 oracle
+// ---------------------------------------------------------------------------
+
+struct LossCase {
+  SparseTensor x;
+  FactorModel model;
+  double w_pos = 0.0, w_neg = 0.0;
+  bool binary = true;
+};
+
+LossCase MakeLossCase(uint64_t seed, uint32_t size, bool force_real = false) {
+  Rng rng(seed);
+  LossCase c;
+  c.binary = force_real ? false : rng.Bernoulli(0.6);
+  GenTensorOptions topts;
+  topts.binary = c.binary;
+  c.x = GenSparseTensor(&rng, size, topts);
+  const size_t rank = GenRank(&rng, size);
+  c.model =
+      GenFactorModel(&rng, c.x.dim_i(), c.x.dim_j(), c.x.dim_k(), rank);
+  c.w_pos = rng.Uniform(0.5, 1.0);
+  c.w_neg = rng.Uniform(0.001, 0.5);
+  return c;
+}
+
+// Acceptance property: RewrittenLoss (Eq 15, Gram-rewritten whole-data
+// term) equals the literal dense Eq 14 enumeration — value and every
+// gradient entry — to <= 1e-10 relative error over >= 100 random configs.
+TEST(DifferentialLoss, RewrittenMatchesDenseOracle) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeLossCase(seed, size);
+  };
+  auto pred = [](const LossCase& c, std::string* msg) {
+    RewrittenLoss loss(c.w_pos, c.w_neg);
+    FactorGrads got(c.model), want(c.model);
+    const double got_loss = loss.ComputeWithGrads(c.model, c.x, &got);
+    const double want_loss =
+        OracleDenseLoss(c.model, c.x, c.w_pos, c.w_neg, &want);
+    const double value_err = RelDiff(got_loss, want_loss);
+    const double grad_err = RelMaxDiff(got, want);
+    if (value_err > 1e-10 || grad_err > 1e-10) {
+      *msg = StrFormat(
+          "dims %zux%zux%zu r=%zu nnz=%zu: value err %.3e (rewritten "
+          "%.17g vs dense %.17g), grad err %.3e",
+          c.x.dim_i(), c.x.dim_j(), c.x.dim_k(), c.model.rank(), c.x.nnz(),
+          value_err, got_loss, want_loss, grad_err);
+      return false;
+    }
+    // The value-only entry point must agree with the gradient path.
+    if (loss.Compute(c.model, c.x) != got_loss) {
+      *msg = "Compute() != ComputeWithGrads() value";
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 10;
+  PropReport report =
+      Prop::Check<LossCase>("rewritten-vs-dense-oracle", 120, gen, pred,
+                            opts);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_GE(report.cases_run, 100);
+}
+
+// NaiveLoss walks the same cells as the oracle in the same order, just
+// with a sorted-cursor membership test instead of per-cell binary search —
+// the two must agree bit for bit.
+TEST(DifferentialLoss, NaiveMatchesDenseOracleExactly) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeLossCase(seed, size);
+  };
+  auto pred = [](const LossCase& c, std::string* msg) {
+    NaiveLoss loss(c.w_pos, c.w_neg);
+    FactorGrads got(c.model), want(c.model);
+    const double got_loss = loss.ComputeWithGrads(c.model, c.x, &got);
+    const double want_loss =
+        OracleDenseLoss(c.model, c.x, c.w_pos, c.w_neg, &want);
+    if (got_loss != want_loss || RelMaxDiff(got, want) != 0.0) {
+      *msg = StrFormat("naive %.17g vs dense %.17g, grad err %.3e",
+                       got_loss, want_loss, RelMaxDiff(got, want));
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 8;
+  PropReport report = Prop::Check<LossCase>("naive-vs-dense-oracle", 60,
+                                            gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// ---------------------------------------------------------------------------
+// Dense kernels vs triple-loop oracles, at 1 / 2 / 8 threads
+// ---------------------------------------------------------------------------
+
+struct KernelCase {
+  Matrix a, b;  // gemm inputs: a (m x p), b (p x n)
+  Matrix c;     // MatTMul partner of a: (m x q), so a^T c is (p x q)
+  SparseTensor x;
+  Matrix factors[3];
+};
+
+KernelCase MakeKernelCase(uint64_t seed, uint32_t size) {
+  Rng rng(seed);
+  KernelCase c;
+  const size_t m = 1 + rng.UniformInt(size);
+  const size_t p = 1 + rng.UniformInt(size);
+  const size_t n = 1 + rng.UniformInt(size);
+  c.a = Matrix::GaussianRandom(m, p, &rng);
+  c.b = Matrix::GaussianRandom(p, n, &rng);
+  c.c = Matrix::GaussianRandom(m, 1 + rng.UniformInt(size), &rng);
+  // Dense-ish tensor so nnz * r crosses the parallel-MTTKRP threshold at
+  // full budget while small budgets still exercise the serial path.
+  const size_t dim_i = 1 + rng.UniformInt(size);
+  const size_t dim_j = 1 + rng.UniformInt(size);
+  const size_t dim_k = 1 + rng.UniformInt(std::min<uint32_t>(size, 8));
+  SparseTensor x(dim_i, dim_j, dim_k);
+  const size_t target = rng.UniformInt(32 * size + 1);
+  for (size_t e = 0; e < target; ++e) {
+    (void)x.Add(static_cast<uint32_t>(rng.UniformInt(dim_i)),
+                static_cast<uint32_t>(rng.UniformInt(dim_j)),
+                static_cast<uint32_t>(rng.UniformInt(dim_k)),
+                rng.Uniform(0.1, 2.0));
+  }
+  (void)x.Finalize(rng.Bernoulli(0.5));
+  c.x = std::move(x);
+  const size_t rank = 1 + rng.UniformInt(8);
+  c.factors[0] = Matrix::GaussianRandom(dim_i, rank, &rng);
+  c.factors[1] = Matrix::GaussianRandom(dim_j, rank, &rng);
+  c.factors[2] = Matrix::GaussianRandom(dim_k, rank, &rng);
+  return c;
+}
+
+// gemm / Gram accumulate every output element in ascending-k order on both
+// the optimized (i-k-j, zero-skipping, row-sharded) and the oracle
+// (i-j-k dot product) path, so they must match exactly — at any thread
+// count. MTTKRP contracts in a different order (sparse entry loop vs dense
+// grid), so it gets a tight tolerance against the oracle plus exact
+// equality across thread counts.
+TEST(DifferentialKernels, GemmGramMttkrpMatchOraclesAtManyThreads) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeKernelCase(seed, size);
+  };
+  auto pred = [](const KernelCase& c, std::string* msg) {
+    ThreadGuard guard;
+    const Matrix want_mm = OracleMatMul(c.a, c.b);
+    const Matrix want_mtm = OracleMatTMul(c.a, c.c);
+    const Matrix want_gram = OracleGram(c.a);
+    Matrix want_mttkrp[3];
+    for (int mode = 0; mode < 3; ++mode) {
+      want_mttkrp[mode] = OracleMttkrp(c.x, c.factors, mode);
+    }
+    Matrix serial_mttkrp[3];
+    for (int threads : {1, 2, 8}) {
+      SetGlobalThreads(threads);
+      if (MaxAbsDiff(MatMul(c.a, c.b), want_mm) != 0.0) {
+        *msg = StrFormat("MatMul != oracle at %d threads", threads);
+        return false;
+      }
+      if (MaxAbsDiff(MatTMul(c.a, c.c), want_mtm) != 0.0) {
+        *msg = StrFormat("MatTMul != oracle at %d threads", threads);
+        return false;
+      }
+      if (MaxAbsDiff(Gram(c.a), want_gram) != 0.0) {
+        *msg = StrFormat("Gram != oracle at %d threads", threads);
+        return false;
+      }
+      for (int mode = 0; mode < 3; ++mode) {
+        const Matrix got = Mttkrp(c.x, c.factors, mode);
+        const double err = RelMaxDiff(got, want_mttkrp[mode]);
+        if (err > 1e-12) {
+          *msg = StrFormat("Mttkrp mode %d vs oracle err %.3e at %d "
+                           "threads (nnz=%zu)",
+                           mode, err, threads, c.x.nnz());
+          return false;
+        }
+        if (threads == 1) {
+          serial_mttkrp[mode] = got;
+        } else if (MaxAbsDiff(got, serial_mttkrp[mode]) != 0.0) {
+          *msg = StrFormat(
+              "Mttkrp mode %d not thread-count invariant at %d threads",
+              mode, threads);
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 64;
+  PropReport report = Prop::Check<KernelCase>(
+      "kernels-vs-triple-loop", 24, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// ---------------------------------------------------------------------------
+// Central-difference gradient checks for every registered loss term
+// ---------------------------------------------------------------------------
+
+double GradCheckTolerance() { return 2e-5; }
+
+TEST(GradientCheck, RewrittenLoss) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeLossCase(seed, size);
+  };
+  auto pred = [](const LossCase& c, std::string* msg) {
+    RewrittenLoss loss(c.w_pos, c.w_neg);
+    FactorGrads analytic(c.model);
+    loss.ComputeWithGrads(c.model, c.x, &analytic);
+    FactorGrads fd = CentralDifferenceGrads(
+        [&](const FactorModel& m) {
+          RewrittenLoss f(c.w_pos, c.w_neg);
+          return f.Compute(m, c.x);
+        },
+        c.model, 1e-5);
+    const double err = RelMaxDiff(analytic, fd);
+    if (err > GradCheckTolerance()) {
+      *msg = StrFormat("rewritten grad vs FD err %.3e", err);
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 6;
+  PropReport report =
+      Prop::Check<LossCase>("rewritten-grad-fd", 30, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(GradientCheck, NaiveLoss) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeLossCase(seed, size);
+  };
+  auto pred = [](const LossCase& c, std::string* msg) {
+    NaiveLoss loss(c.w_pos, c.w_neg);
+    FactorGrads analytic(c.model);
+    loss.ComputeWithGrads(c.model, c.x, &analytic);
+    FactorGrads fd = CentralDifferenceGrads(
+        [&](const FactorModel& m) {
+          NaiveLoss f(c.w_pos, c.w_neg);
+          return f.Compute(m, c.x);
+        },
+        c.model, 1e-5);
+    const double err = RelMaxDiff(analytic, fd);
+    if (err > GradCheckTolerance()) {
+      *msg = StrFormat("naive grad vs FD err %.3e", err);
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 5;
+  PropReport report =
+      Prop::Check<LossCase>("naive-grad-fd", 20, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// The sampled loss is only differentiable with the sampler frozen:
+// pinning sampler_state before every evaluation makes each call draw the
+// identical negative set, so central differences see a smooth function.
+TEST(GradientCheck, NegativeSamplingLossWithPinnedSampler) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeLossCase(seed, size);
+  };
+  auto pred = [](const LossCase& c, std::string* msg) {
+    NegativeSamplingLoss loss(c.w_pos, c.w_neg, /*seed=*/0x5eed);
+    FactorGrads analytic(c.model);
+    loss.set_sampler_state(7);
+    loss.ComputeWithGrads(c.model, c.x, &analytic);
+    FactorGrads fd = CentralDifferenceGrads(
+        [&loss, &c](const FactorModel& m) {
+          loss.set_sampler_state(7);
+          return loss.Compute(m, c.x);
+        },
+        c.model, 1e-5);
+    const double err = RelMaxDiff(analytic, fd);
+    if (err > GradCheckTolerance()) {
+      *msg = StrFormat("negative-sampling grad vs FD err %.3e", err);
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 6;
+  PropReport report = Prop::Check<LossCase>("negative-sampling-grad-fd", 20,
+                                            gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+struct HausdorffCase {
+  LbsnCase lbsn;
+  FactorModel model;
+  TcssConfig config;
+};
+
+HausdorffCase MakeHausdorffCase(uint64_t seed, uint32_t size) {
+  Rng rng(seed);
+  HausdorffCase c;
+  c.lbsn = GenLbsnCase(&rng, size);
+  const size_t rank = GenRank(&rng, size);
+  c.model = GenInteriorFactorModel(&rng, c.lbsn.train.dim_i(),
+                                   c.lbsn.train.dim_j(),
+                                   c.lbsn.train.dim_k(), rank);
+  c.config.seed = seed ^ 0x4a05dull;
+  c.config.use_location_entropy = true;
+  c.config.alpha = rng.Bernoulli(0.5) ? -1.0 : -2.0;
+  // Mix the paper-exact full pool with capped subsampled pools.
+  c.config.hausdorff_pool = rng.Bernoulli(0.5) ? 0 : 1 + rng.UniformInt(8);
+  c.config.max_friend_pois = rng.Bernoulli(0.5) ? 0 : 1 + rng.UniformInt(8);
+  return c;
+}
+
+std::vector<uint32_t> EligibleUsers(const SocialHausdorffLoss& loss,
+                                    size_t num_users) {
+  std::vector<uint32_t> out;
+  for (uint32_t u = 0; u < num_users; ++u) {
+    if (!loss.candidate_pool(u).empty() && !loss.friend_pois(u).empty()) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+TEST(GradientCheck, SocialHausdorffLossWithEntropyWeights) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeHausdorffCase(seed, size);
+  };
+  size_t nonvacuous = 0;
+  auto pred = [&nonvacuous](const HausdorffCase& c, std::string* msg) {
+    SocialHausdorffLoss loss(c.lbsn.data, c.lbsn.train, c.config);
+    const std::vector<uint32_t> eligible =
+        EligibleUsers(loss, c.lbsn.data.num_users());
+    if (eligible.empty()) return true;  // vacuous case
+    ++nonvacuous;
+    // Check up to two eligible users (FD costs #params evaluations each).
+    for (size_t n = 0; n < std::min<size_t>(2, eligible.size()); ++n) {
+      const uint32_t user = eligible[n];
+      FactorGrads analytic(c.model);
+      loss.ComputeForUser(c.model, user, &analytic, /*grad_scale=*/1.0);
+      FactorGrads fd = CentralDifferenceGrads(
+          [&loss, user](const FactorModel& m) {
+            return loss.ComputeForUser(m, user, nullptr, 0.0);
+          },
+          c.model, 1e-5);
+      const double err = RelMaxDiff(analytic, fd);
+      if (err > 5e-4) {
+        *msg = StrFormat("hausdorff grad vs FD err %.3e for user %u", err,
+                         user);
+        return false;
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 7;
+  PropReport report = Prop::Check<HausdorffCase>("hausdorff-grad-fd", 20,
+                                                 gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+  // Guard against a vacuous pass: the generator must produce users with
+  // both a candidate pool and friend POIs in a healthy share of cases.
+  EXPECT_GE(nonvacuous, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Social Hausdorff value vs brute force
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialHausdorff, MatchesBruteForcePerUserAndInFull) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeHausdorffCase(seed, size);
+  };
+  size_t checked_users = 0;
+  auto pred = [&checked_users](const HausdorffCase& c, std::string* msg) {
+    SocialHausdorffLoss loss(c.lbsn.data, c.lbsn.train, c.config);
+    const std::vector<uint32_t> eligible =
+        EligibleUsers(loss, c.lbsn.data.num_users());
+    checked_users += eligible.size();
+    double sum = 0.0;
+    for (uint32_t user : eligible) {
+      const double got = loss.ComputeForUser(c.model, user, nullptr, 0.0);
+      const double want = OracleHausdorffUser(loss, c.lbsn.data, c.model,
+                                              user);
+      // The optimized path caches distances as floats; the oracle uses
+      // double haversine throughout, hence the loose tolerance.
+      const double err = RelDiff(got, want);
+      if (err > 1e-4) {
+        *msg = StrFormat("user %u: impl %.12g vs brute force %.12g "
+                         "(err %.3e, alpha=%g)",
+                         user, got, want, err, c.config.alpha);
+        return false;
+      }
+      sum += got;
+    }
+    if (RelDiff(loss.ComputeFull(c.model), sum) > 1e-12) {
+      *msg = "ComputeFull != sum of ComputeForUser";
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 10;
+  PropReport report = Prop::Check<HausdorffCase>("hausdorff-vs-brute-force",
+                                                 40, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_GE(checked_users, 20u);  // vacuity guard
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic laws
+// ---------------------------------------------------------------------------
+
+// Relabeling users/POIs/time bins (and permuting the matching factor rows)
+// must not change the loss, and must permute the gradient rows the same
+// way. Catches any hidden dependence on index order (cursors, shard
+// boundaries, coalescing).
+TEST(Metamorphic, LossPermutationEquivariance) {
+  struct Case {
+    LossCase base;
+    int mode = 0;
+    std::vector<uint32_t> perm;  // perm[old] = new
+  };
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    Case c;
+    c.base = MakeLossCase(rng.Next(), size);
+    c.mode = static_cast<int>(rng.UniformInt(3));
+    const size_t n = c.base.x.dim(c.mode);
+    c.perm.resize(n);
+    for (size_t i = 0; i < n; ++i) c.perm[i] = static_cast<uint32_t>(i);
+    rng.Shuffle(&c.perm);
+    return c;
+  };
+  auto pred = [](const Case& c, std::string* msg) {
+    const LossCase& b = c.base;
+    // Permuted tensor: coordinates of the chosen mode are relabeled.
+    SparseTensor px(b.x.dim_i(), b.x.dim_j(), b.x.dim_k());
+    for (const TensorEntry& e : b.x.entries()) {
+      uint32_t idx[3] = {e.i, e.j, e.k};
+      idx[c.mode] = c.perm[idx[c.mode]];
+      (void)px.Add(idx[0], idx[1], idx[2], e.value);
+    }
+    // Entries are already coalesced, so re-finalizing only re-sorts; keep
+    // real values intact by finalizing non-binary.
+    (void)px.Finalize(/*binary=*/false);
+    // Permuted model: row perm[i] of the permuted factor = row i.
+    FactorModel pm = b.model;
+    const Matrix* sources[3] = {&b.model.u1, &b.model.u2, &b.model.u3};
+    Matrix* targets[3] = {&pm.u1, &pm.u2, &pm.u3};
+    for (size_t i = 0; i < c.perm.size(); ++i) {
+      for (size_t t = 0; t < b.model.rank(); ++t) {
+        (*targets[c.mode])(c.perm[i], t) = (*sources[c.mode])(i, t);
+      }
+    }
+
+    RewrittenLoss loss(b.w_pos, b.w_neg);
+    FactorGrads g(b.model), pg(pm);
+    const double v = loss.ComputeWithGrads(b.model, b.x, &g);
+    const double pv = loss.ComputeWithGrads(pm, px, &pg);
+    if (RelDiff(v, pv) > 1e-11) {
+      *msg = StrFormat("mode %d permutation changed the loss: %.17g vs "
+                       "%.17g",
+                       c.mode, v, pv);
+      return false;
+    }
+    // Gradient rows of the permuted mode are relabeled; others unchanged.
+    const Matrix* got[3] = {&pg.u1, &pg.u2, &pg.u3};
+    const Matrix* want[3] = {&g.u1, &g.u2, &g.u3};
+    for (int m = 0; m < 3; ++m) {
+      for (size_t i = 0; i < want[m]->rows(); ++i) {
+        const size_t pi = (m == c.mode) ? c.perm[i] : i;
+        for (size_t t = 0; t < b.model.rank(); ++t) {
+          if (RelDiff((*got[m])(pi, t), (*want[m])(i, t)) > 1e-11) {
+            *msg = StrFormat("grad mode %d row %zu not equivariant", m, i);
+            return false;
+          }
+        }
+      }
+    }
+    for (size_t t = 0; t < b.model.rank(); ++t) {
+      if (RelDiff(pg.h[t], g.h[t]) > 1e-11) {
+        *msg = "h gradient not permutation invariant";
+        return false;
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 9;
+  PropReport report =
+      Prop::Check<Case>("loss-permutation-equivariance", 60, gen, pred,
+                        opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// Scaling every tensor value and h by the same power of two scales the
+// loss by c^2 (factor gradients by c^2, h gradients by c) — exactly, since
+// power-of-two scaling is lossless in floating point.
+TEST(Metamorphic, LossValueScalingHomogeneity) {
+  struct Case {
+    LossCase base;
+    double c = 2.0;
+  };
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    Case c;
+    c.base = MakeLossCase(rng.Next(), size, /*force_real=*/true);
+    const double choices[3] = {0.5, 2.0, 4.0};
+    c.c = choices[rng.UniformInt(3)];
+    return c;
+  };
+  auto pred = [](const Case& cse, std::string* msg) {
+    const LossCase& b = cse.base;
+    const double c = cse.c;
+    SparseTensor sx(b.x.dim_i(), b.x.dim_j(), b.x.dim_k());
+    for (const TensorEntry& e : b.x.entries()) {
+      (void)sx.Add(e.i, e.j, e.k, e.value * c);
+    }
+    (void)sx.Finalize(/*binary=*/false);
+    FactorModel sm = b.model;
+    for (double& h : sm.h) h *= c;
+
+    for (const bool rewritten : {true, false}) {
+      std::unique_ptr<WholeDataLoss> loss, sloss;
+      if (rewritten) {
+        loss = std::make_unique<RewrittenLoss>(b.w_pos, b.w_neg);
+        sloss = std::make_unique<RewrittenLoss>(b.w_pos, b.w_neg);
+      } else {
+        loss = std::make_unique<NaiveLoss>(b.w_pos, b.w_neg);
+        sloss = std::make_unique<NaiveLoss>(b.w_pos, b.w_neg);
+      }
+      FactorGrads g(b.model), sg(sm);
+      const double v = loss->ComputeWithGrads(b.model, b.x, &g);
+      const double sv = sloss->ComputeWithGrads(sm, sx, &sg);
+      if (sv != c * c * v) {
+        *msg = StrFormat("%s: loss(c*X, c*h) = %.17g != c^2 * %.17g",
+                         rewritten ? "rewritten" : "naive", sv, v);
+        return false;
+      }
+      FactorGrads expect(b.model);
+      expect.Add(g, 1.0);
+      expect.u1.Scale(c * c);
+      expect.u2.Scale(c * c);
+      expect.u3.Scale(c * c);
+      for (double& h : expect.h) h *= c;
+      if (RelMaxDiff(sg, expect) != 0.0) {
+        *msg = StrFormat("%s: gradients not exactly homogeneous",
+                         rewritten ? "rewritten" : "naive");
+        return false;
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 8;
+  PropReport report = Prop::Check<Case>("loss-scaling-homogeneity", 40, gen,
+                                        pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// ---------------------------------------------------------------------------
+// Fold-in vs dense-grid oracle, and the reproduction law
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialFoldIn, MatchesDenseGridOracleAndReproducesItsRow) {
+  struct Case {
+    FactorModel model;
+    std::vector<TensorCell> obs;
+    FoldInOptions opts;
+    uint32_t user = 0;
+  };
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    Case c;
+    const size_t dim_i = 1 + rng.UniformInt(size);
+    const size_t dim_j = 1 + rng.UniformInt(size);
+    const size_t dim_k = 1 + rng.UniformInt(std::min<uint32_t>(size, 6));
+    const size_t rank = GenRank(&rng, size);
+    c.model = GenFactorModel(&rng, dim_i, dim_j, dim_k, rank);
+    c.user = static_cast<uint32_t>(rng.UniformInt(dim_i));
+    c.opts.w_pos = rng.Uniform(0.5, 1.0);
+    c.opts.w_neg = rng.Uniform(0.01, 0.5);
+    // A solid ridge keeps the normal equations well-conditioned, so the
+    // two solvers (Gram-rewritten vs dense-grid LHS) agree tightly.
+    c.opts.ridge = 1e-2;
+    // Distinct observed (j, k) cells (the serving path dedupes cells too).
+    const size_t grid = dim_j * dim_k;
+    const size_t num_obs = rng.UniformInt(std::min<size_t>(grid, 8) + 1);
+    for (size_t flat : rng.SampleWithoutReplacement(grid, num_obs)) {
+      c.obs.push_back({c.user, static_cast<uint32_t>(flat / dim_k),
+                       static_cast<uint32_t>(flat % dim_k)});
+    }
+    return c;
+  };
+  auto pred = [](const Case& c, std::string* msg) {
+    Result<std::vector<double>> got = FoldInUser(c.model, c.obs, c.opts);
+    Result<std::vector<double>> want = OracleFoldIn(c.model, c.obs, c.opts);
+    if (got.ok() != want.ok()) {
+      *msg = "FoldInUser and oracle disagree on solvability";
+      return false;
+    }
+    if (!got.ok()) return true;
+    for (size_t t = 0; t < c.model.rank(); ++t) {
+      const double err = RelDiff(got.value()[t], want.value()[t]);
+      if (err > 1e-7) {
+        *msg = StrFormat("fold-in embedding[%zu]: %.12g vs oracle %.12g "
+                         "(err %.3e)",
+                         t, got.value()[t], want.value()[t], err);
+        return false;
+      }
+    }
+    // Reproduction law: a user whose factor row already is the ridge
+    // solution for its observations is reproduced — fold-in is a pure
+    // function of (U2, U3, h, obs), and scoring through the embedding
+    // equals the model's own prediction.
+    FactorModel trained = c.model;
+    for (size_t t = 0; t < trained.rank(); ++t) {
+      trained.u1(c.user, t) = got.value()[t];
+    }
+    Result<std::vector<double>> again =
+        FoldInUser(trained, c.obs, c.opts);
+    if (!again.ok() || again.value() != got.value()) {
+      *msg = "re-fold-in of the trained row did not reproduce it";
+      return false;
+    }
+    for (uint32_t j = 0; j < trained.u2.rows(); ++j) {
+      for (uint32_t k = 0; k < trained.u3.rows(); ++k) {
+        if (trained.Predict(c.user, j, k) !=
+            FoldInScore(trained, got.value(), j, k)) {
+          *msg = StrFormat("Predict != FoldInScore at (%u, %u)", j, k);
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 10;
+  PropReport report =
+      Prop::Check<Case>("fold-in-vs-dense-grid", 60, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// ---------------------------------------------------------------------------
+// Top-k recommendation vs full-sort oracle
+// ---------------------------------------------------------------------------
+
+/// Scores quantized to quarters so ties are everywhere — the interesting
+/// part of top-k selection.
+class QuantizedRecommender : public Recommender {
+ public:
+  explicit QuantizedRecommender(const FactorModel* model) : model_(model) {}
+  std::string name() const override { return "quantized"; }
+  Status Fit(const TrainContext&) override { return Status::OK(); }
+  double Score(uint32_t i, uint32_t j, uint32_t k) const override {
+    return std::floor(model_->Predict(i, j, k) * 4.0) / 4.0;
+  }
+
+ private:
+  const FactorModel* model_;
+};
+
+TEST(DifferentialTopK, MatchesFullSortOracle) {
+  struct Case {
+    SparseTensor train;
+    FactorModel model;
+    TopKOptions opts;
+    uint32_t user = 0, time_bin = 0;
+    bool null_train = false;
+  };
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    Case c;
+    GenTensorOptions topts;
+    topts.allow_empty_modes = false;  // need a valid user/time index
+    c.train = GenSparseTensor(&rng, size, topts);
+    const size_t rank = GenRank(&rng, size);
+    c.model = GenFactorModel(&rng, c.train.dim_i(), c.train.dim_j(),
+                             c.train.dim_k(), rank);
+    c.user = static_cast<uint32_t>(rng.UniformInt(c.train.dim_i()));
+    c.time_bin = static_cast<uint32_t>(rng.UniformInt(c.train.dim_k()));
+    const size_t num_pois = c.train.dim_j();
+    c.opts.k = rng.UniformInt(num_pois + 3);
+    c.opts.exclude_visited = rng.Bernoulli(0.4);
+    c.null_train = c.opts.exclude_visited && rng.Bernoulli(0.25);
+    if (rng.Bernoulli(0.5)) {
+      // Candidate lists with duplicates and out-of-range ids; sometimes
+      // every candidate is out of range (the all-excluded case).
+      const bool all_invalid = rng.Bernoulli(0.2);
+      const size_t len = rng.UniformInt(2 * num_pois + 2);
+      for (size_t n = 0; n < len; ++n) {
+        const uint32_t j = static_cast<uint32_t>(
+            all_invalid ? num_pois + rng.UniformInt(5)
+                        : rng.UniformInt(num_pois + 3));
+        c.opts.candidates.push_back(j);
+      }
+      if (c.opts.candidates.empty()) {
+        // An empty list means "all POIs"; force at least one entry so
+        // this branch really tests candidate filtering.
+        c.opts.candidates.push_back(
+            static_cast<uint32_t>(rng.UniformInt(num_pois)));
+      }
+    }
+    return c;
+  };
+  auto pred = [](const Case& c, std::string* msg) {
+    QuantizedRecommender rec(&c.model);
+    const SparseTensor* train = c.null_train ? nullptr : &c.train;
+    const std::vector<Recommendation> got = TopKRecommendations(
+        rec, c.user, c.time_bin, c.train.dim_j(), c.opts, train);
+    const std::vector<Recommendation> want = OracleTopK(
+        rec, c.user, c.time_bin, c.train.dim_j(), c.opts, train);
+    if (got.size() != want.size()) {
+      *msg = StrFormat("top-k size %zu vs oracle %zu (k=%zu, J=%zu)",
+                       got.size(), want.size(), c.opts.k, c.train.dim_j());
+      return false;
+    }
+    for (size_t n = 0; n < got.size(); ++n) {
+      if (got[n].poi != want[n].poi || got[n].score != want[n].score) {
+        *msg = StrFormat("top-k[%zu] = (%u, %.12g) vs oracle (%u, %.12g)",
+                         n, got[n].poi, got[n].score, want[n].poi,
+                         want[n].score);
+        return false;
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 16;
+  PropReport report =
+      Prop::Check<Case>("top-k-vs-full-sort", 80, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+}  // namespace
+}  // namespace tcss

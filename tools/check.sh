@@ -2,17 +2,20 @@
 # CI check, three stages:
 #
 #   1. Plain build: run the serving-layer, randomized-corruption,
-#      parallel-determinism, and observability suites (ctest labels
-#      "serve", "fuzz", "determinism", and "obs") in the production
+#      parallel-determinism, observability, and property-based
+#      differential-oracle suites (ctest labels "serve", "fuzz",
+#      "determinism", "obs", and "proptest") in the production
 #      configuration — the exact binaries that ship.
 #   2. Sanitizer build: configure with AddressSanitizer + UBSan and run
 #      the FULL test suite (which again includes the labeled suites)
 #      under the instrumented binaries.
 #   3. ThreadSanitizer build: configure with TCSS_SANITIZE=thread and run
-#      the determinism + obs suites: determinism drives the thread pool,
-#      the sharded losses, and multi-threaded training end to end; obs
-#      hammers the sharded metric registry from many threads. Any data
-#      race in the parallel engine or the telemetry fails here.
+#      the determinism + obs + proptest suites: determinism drives the
+#      thread pool, the sharded losses, and multi-threaded training end to
+#      end; obs hammers the sharded metric registry from many threads; and
+#      proptest re-runs the differential-oracle properties, whose kernel
+#      equalities execute at 1/2/8 threads. Any data race in the parallel
+#      engine or the telemetry fails here.
 #
 #   tools/check.sh [asan-build-dir] [tsan-build-dir]
 #                  (defaults: build-asan, build-tsan; the plain stage
@@ -29,7 +32,7 @@ TSAN_DIR="${2:-build-tsan}"
 # --- Stage 1: plain build, resilience + determinism suites ---------------
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -L "serve|fuzz|determinism|obs"
+ctest --test-dir build --output-on-failure -L "serve|fuzz|determinism|obs|proptest"
 
 # --- Stage 2: ASan/UBSan build, full suite -------------------------------
 cmake -B "$BUILD_DIR" -S . \
@@ -44,9 +47,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
 # --- Stage 3: TSan build, determinism + obs suites -----------------------
 # TSan is mutually exclusive with ASan, hence the separate tree. Only the
-# determinism and obs labels run here: they are the suites that exercise
-# concurrency (ThreadPool, sharded losses, multi-threaded training, and
-# concurrent metric recording); the rest of the suite is single-threaded
+# determinism, obs, and proptest labels run here: they are the suites that
+# exercise concurrency (ThreadPool, sharded losses, multi-threaded
+# training, concurrent metric recording, and the multi-threaded
+# kernel-equality properties); the rest of the suite is single-threaded
 # and already covered by stage 2.
 cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -54,6 +58,6 @@ cmake -B "$TSAN_DIR" -S . \
 cmake --build "$TSAN_DIR" -j
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs|proptest"
 
 echo "sanitizer check passed"
