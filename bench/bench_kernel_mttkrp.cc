@@ -8,7 +8,9 @@
 // The thread-scaling sweep (BM_MttkrpCooThreads) tracks the speedup of
 // the deterministic parallel path at 1/2/4/8 threads; the output is
 // bit-identical at every thread count, so this measures scheduling
-// overhead and memory bandwidth only.
+// overhead and memory bandwidth only. BM_Gemm/BM_Gram sweep the dense
+// products behind the ALS solves (square references plus the tall-skinny
+// rows x rank shapes CP-ALS actually forms).
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -120,6 +122,59 @@ void BM_MttkrpCooThreads(benchmark::State& state) {
                  /*which=*/0, sw.ElapsedSeconds(), iters);
 }
 
+// Dense gemm sweep over the shapes the CP-ALS solve path actually hits:
+// square reference points plus the tall-skinny (rows x rank) products
+// behind Gram matrices and fold-in. Args: {m, k, n} for (m x k)(k x n).
+void BM_Gemm(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Rng rng(7);
+  const Matrix a = Matrix::GaussianRandom(m, k, &rng);
+  const Matrix b = Matrix::GaussianRandom(k, n, &rng);
+  Stopwatch sw;
+  size_t iters = 0;
+  for (auto _ : state) {
+    Matrix out = MatMul(a, b);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(k) * static_cast<double>(n);
+  state.counters["gflops"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  if (iters > 0) {
+    tcss::bench::AppendBenchJson(
+        "kernel_gemm", "dense",
+        "m" + std::to_string(m) + "_k" + std::to_string(k) + "_n" +
+            std::to_string(n) + "_s",
+        sw.ElapsedSeconds() / static_cast<double>(iters));
+  }
+}
+
+// Tall-skinny Gram sweep (a^T a for rows x rank factors): the per-mode
+// normal-equation matrix CP-ALS forms every sweep.
+void BM_Gram(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t r = static_cast<size_t>(state.range(1));
+  Rng rng(7);
+  const Matrix a = Matrix::GaussianRandom(rows, r, &rng);
+  Stopwatch sw;
+  size_t iters = 0;
+  for (auto _ : state) {
+    Matrix out = Gram(a);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  if (iters > 0) {
+    tcss::bench::AppendBenchJson(
+        "kernel_gemm", "dense",
+        "gram_rows" + std::to_string(rows) + "_r" + std::to_string(r) +
+            "_s",
+        sw.ElapsedSeconds() / static_cast<double>(iters));
+  }
+}
+
 // Arg pairs: {rank, dataset} with dataset 0 = sparse gowalla-like
 // (short fibers; COO tends to win) and 1 = dense gmu5k-like (long
 // fibers; CSF's factoring pays off).
@@ -131,6 +186,16 @@ BENCHMARK(BM_MttkrpCsf)
     ->Args({4, 1})->Args({10, 1})->Args({32, 1});
 BENCHMARK(BM_MttkrpCooThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(BM_Gemm)
+    ->Args({128, 128, 128})
+    ->Args({256, 256, 256})
+    ->Args({512, 512, 512})
+    ->Args({4096, 32, 32})
+    ->Args({4096, 32, 512});
+BENCHMARK(BM_Gram)
+    ->Args({2000, 10})
+    ->Args({2000, 32})
+    ->Args({20000, 32});
 
 }  // namespace
 

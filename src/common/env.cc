@@ -1,7 +1,14 @@
 #include "common/env.h"
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "common/strings.h"
@@ -10,6 +17,135 @@ namespace tcss {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Waits for `events` (POLLIN/POLLOUT) on `fd`. Returns kData when ready,
+/// kTimeout on expiry, or an error status. EINTR restarts the wait with
+/// the same timeout (coarse, but signals here only happen during
+/// shutdown, where the caller re-checks its stop flag anyway).
+Result<IoEvent> PollFd(int fd, short events, int timeout_ms) {
+  for (;;) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return IoEvent::kData;
+    if (rc == 0) return IoEvent::kTimeout;
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("poll: ") + std::strerror(errno));
+  }
+}
+
+class PosixConn : public Conn {
+ public:
+  explicit PosixConn(int fd) : fd_(fd) {}
+  ~PosixConn() override { Close(); }
+
+  Result<IoEvent> Read(char* buf, size_t cap, size_t* n,
+                       int timeout_ms) override {
+    *n = 0;
+    if (fd_ < 0) return Status::FailedPrecondition("connection is closed");
+    if (cap == 0) return IoEvent::kData;
+    auto ready = PollFd(fd_, POLLIN, timeout_ms);
+    if (!ready.ok()) return ready.status();
+    if (ready.value() == IoEvent::kTimeout) return IoEvent::kTimeout;
+    for (;;) {
+      const ssize_t rc = ::recv(fd_, buf, cap, 0);
+      if (rc > 0) {
+        *n = static_cast<size_t>(rc);
+        return IoEvent::kData;
+      }
+      if (rc == 0) return IoEvent::kEof;
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+  }
+
+  Status Write(std::string_view data, int timeout_ms) override {
+    if (fd_ < 0) return Status::FailedPrecondition("connection is closed");
+    size_t off = 0;
+    while (off < data.size()) {
+      auto ready = PollFd(fd_, POLLOUT, timeout_ms);
+      if (!ready.ok()) return ready.status();
+      if (ready.value() == IoEvent::kTimeout) {
+        return Status::IOError("write timeout (slow client)");
+      }
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      const ssize_t rc = ::send(fd_, data.data() + off, data.size() - off,
+                                MSG_NOSIGNAL);
+      if (rc >= 0) {
+        off += static_cast<size_t>(rc);
+        continue;
+      }
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (fd_ < 0) return;
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixListener : public Listener {
+ public:
+  PosixListener(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixListener() override { Close(); }
+
+  Result<std::unique_ptr<Conn>> Accept(int timeout_ms) override {
+    if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+    auto ready = PollFd(fd_, POLLIN, timeout_ms);
+    if (!ready.ok()) return ready.status();
+    if (ready.value() == IoEvent::kTimeout) {
+      return std::unique_ptr<Conn>(nullptr);
+    }
+    for (;;) {
+      const int cfd = ::accept(fd_, nullptr, nullptr);
+      if (cfd >= 0) return std::unique_ptr<Conn>(new PosixConn(cfd));
+      if (errno == EINTR) continue;
+      // The connection may have been reset between poll and accept; treat
+      // transient errors as "nothing accepted this tick".
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        return std::unique_ptr<Conn>(nullptr);
+      }
+      return Status::IOError(std::string("accept: ") + std::strerror(errno));
+    }
+  }
+
+  void Close() override {
+    if (fd_ < 0) return;
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+
+  const std::string& address() const override { return path_; }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+/// Fills a sockaddr_un; sun_path is only 108 bytes, so long paths fail
+/// loudly instead of silently truncating to someone else's socket.
+Status FillUnixAddr(const std::string& path, struct sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: " +
+                                   path);
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
 
 class PosixWritableFile : public WritableFile {
  public:
@@ -100,6 +236,47 @@ class PosixEnv : public Env {
     return names;
   }
 
+  Result<std::unique_ptr<Listener>> NewListener(
+      const std::string& path) override {
+    struct sockaddr_un addr;
+    TCSS_RETURN_IF_ERROR(FillUnixAddr(path, &addr));
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    // Replace a stale socket file from a previous run (bind refuses to).
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("bind " + path + ": " + why);
+    }
+    if (::listen(fd, 128) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      ::unlink(path.c_str());
+      return Status::IOError("listen " + path + ": " + why);
+    }
+    return std::unique_ptr<Listener>(new PosixListener(fd, path));
+  }
+
+  Result<std::unique_ptr<Conn>> Connect(const std::string& path) override {
+    struct sockaddr_un addr;
+    TCSS_RETURN_IF_ERROR(FillUnixAddr(path, &addr));
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("connect " + path + ": " + why);
+    }
+    return std::unique_ptr<Conn>(new PosixConn(fd));
+  }
+
   Result<std::string> ReadFileToString(
       const std::string& path) const override {
     std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -122,6 +299,18 @@ class PosixEnv : public Env {
 Env* Env::Default() {
   static PosixEnv env;
   return &env;
+}
+
+// Filesystem-only Envs (the base-class default) simply do not speak the
+// stream transport; the serving front-end reports this at startup.
+Result<std::unique_ptr<Listener>> Env::NewListener(const std::string& path) {
+  return Status::IOError("this Env has no stream transport (listen " + path +
+                         ")");
+}
+
+Result<std::unique_ptr<Conn>> Env::Connect(const std::string& path) {
+  return Status::IOError("this Env has no stream transport (connect " + path +
+                         ")");
 }
 
 Status AtomicWriteFile(Env* env, const std::string& path,

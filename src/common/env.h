@@ -29,6 +29,55 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+/// Outcome of a byte-stream read that did not hard-fail: data arrived,
+/// the peer closed cleanly, or the wait timed out.
+enum class IoEvent { kData, kEof, kTimeout };
+
+/// Bidirectional byte stream (one accepted connection, or one client side
+/// of a connection). Obtained from Env::NewListener / Env::Connect; the
+/// serving front-end talks to clients exclusively through this interface
+/// so FaultInjectionEnv can fail, tear or garble the wire in tests.
+///
+/// Thread safety: one thread may Read while another Writes (the two
+/// directions are independent), but each direction has a single caller at
+/// a time. Close() must only be called once no other thread is inside a
+/// Read/Write.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  /// Waits up to `timeout_ms` for bytes (negative = block forever), then
+  /// reads at most `cap` into `buf`. On kData, `*n` > 0 bytes were read;
+  /// on kEof the peer closed; on kTimeout nothing arrived in time. A
+  /// non-OK status is a real transport error (connection reset, bad fd).
+  virtual Result<IoEvent> Read(char* buf, size_t cap, size_t* n,
+                               int timeout_ms) = 0;
+
+  /// Writes all of `data`, waiting at most `timeout_ms` per progress step
+  /// (negative = block forever). A slow or dead client surfaces as IOError
+  /// — the caller drops the connection rather than blocking the server.
+  virtual Status Write(std::string_view data, int timeout_ms) = 0;
+
+  /// Shuts down both directions and releases the descriptor.
+  virtual void Close() = 0;
+};
+
+/// Accepting side of a stream transport (a bound Unix-domain socket).
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Waits up to `timeout_ms` for a connection (negative = forever).
+  /// Returns a null Conn on timeout — the server loop's idle tick, so it
+  /// can check its stop flag — and a non-OK status on real failure.
+  virtual Result<std::unique_ptr<Conn>> Accept(int timeout_ms) = 0;
+
+  /// Stops accepting and releases the socket (and its filesystem name).
+  virtual void Close() = 0;
+
+  virtual const std::string& address() const = 0;
+};
+
 /// Minimal filesystem abstraction. Production code uses Env::Default()
 /// (POSIX/std::filesystem); tests swap in FaultInjectionEnv to simulate
 /// crashes, full disks and torn writes at any point of a save.
@@ -42,6 +91,17 @@ class Env {
   /// Creates (truncating) a file for sequential writing.
   virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) = 0;
+
+  /// Binds a Unix-domain stream socket at `path` (an existing socket file
+  /// is replaced, mirroring rename-over semantics). The base class returns
+  /// IOError so filesystem-only Envs stay valid; PosixEnv and
+  /// FaultInjectionEnv override.
+  virtual Result<std::unique_ptr<Listener>> NewListener(
+      const std::string& path);
+
+  /// Connects to a listening Unix-domain socket (the client side; tests
+  /// and the closed-loop bench drive the server through this).
+  virtual Result<std::unique_ptr<Conn>> Connect(const std::string& path);
 
   /// Atomically replaces `to` with `from` (POSIX rename semantics).
   virtual Status RenameFile(const std::string& from,

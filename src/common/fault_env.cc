@@ -89,6 +89,88 @@ Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
   return base_->ListDir(dir);
 }
 
+/// Wraps an accepted/connected stream and routes each direction through
+/// the env's shared wire countdowns.
+class FaultInjectionConn : public Conn {
+ public:
+  FaultInjectionConn(std::unique_ptr<Conn> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Result<IoEvent> Read(char* buf, size_t cap, size_t* n,
+                       int timeout_ms) override {
+    if (env_->NextConnOpFails(&env_->fail_conn_reads_after_,
+                              &env_->conn_reads_attempted_)) {
+      *n = 0;
+      return Crashed("Conn::Read");
+    }
+    return base_->Read(buf, cap, n, timeout_ms);
+  }
+
+  Status Write(std::string_view data, int timeout_ms) override {
+    if (env_->NextConnOpFails(&env_->fail_conn_writes_after_,
+                              &env_->conn_writes_attempted_)) {
+      if (env_->truncate_conn_writes_.load() && !data.empty()) {
+        // Torn frame: half the bytes reach the peer, then the wire dies.
+        (void)base_->Write(data.substr(0, data.size() / 2), timeout_ms);
+      }
+      return Crashed("Conn::Write");
+    }
+    return base_->Write(data, timeout_ms);
+  }
+
+  void Close() override { base_->Close(); }
+
+ private:
+  std::unique_ptr<Conn> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultInjectionListener : public Listener {
+ public:
+  FaultInjectionListener(std::unique_ptr<Listener> base,
+                         FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Result<std::unique_ptr<Conn>> Accept(int timeout_ms) override {
+    auto conn = base_->Accept(timeout_ms);
+    if (!conn.ok() || conn.value() == nullptr) return conn;
+    return std::unique_ptr<Conn>(
+        std::make_unique<FaultInjectionConn>(conn.MoveValue(), env_));
+  }
+
+  void Close() override { base_->Close(); }
+  const std::string& address() const override { return base_->address(); }
+
+ private:
+  std::unique_ptr<Listener> base_;
+  FaultInjectionEnv* env_;
+};
+
+bool FaultInjectionEnv::NextConnOpFails(std::atomic<int>* counter,
+                                        std::atomic<int>* attempts) {
+  const int op = attempts->fetch_add(1);
+  const int k = counter->load();
+  const bool fails = k >= 0 && op >= k;
+  if (fails) conn_faults_injected_.fetch_add(1);
+  return fails;
+}
+
+Result<std::unique_ptr<Listener>> FaultInjectionEnv::NewListener(
+    const std::string& path) {
+  auto base = base_->NewListener(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<Listener>(
+      std::make_unique<FaultInjectionListener>(base.MoveValue(), this));
+}
+
+Result<std::unique_ptr<Conn>> FaultInjectionEnv::Connect(
+    const std::string& path) {
+  auto base = base_->Connect(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<Conn>(
+      std::make_unique<FaultInjectionConn>(base.MoveValue(), this));
+}
+
 Result<std::string> FaultInjectionEnv::ReadFileToString(
     const std::string& path) const {
   const int op = reads_attempted_++;

@@ -1,6 +1,7 @@
 #ifndef TCSS_COMMON_FAULT_ENV_H_
 #define TCSS_COMMON_FAULT_ENV_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,30 @@ class FaultInjectionEnv : public Env {
   /// ReadFileToString calls attempted so far (injected or not).
   int reads_attempted() const { return reads_attempted_; }
 
+  // Wire faults ---------------------------------------------------------
+  //
+  // The stream transport (NewListener/Connect) is wrapped too, so the
+  // serving front-end's wire can be faulted deterministically: a shared
+  // countdown across every wrapped connection fails the (k+1)-th Conn
+  // operation of the given direction and all later ones. Unlike the file
+  // countdowns these are atomics — server and client threads hit them
+  // concurrently.
+
+  /// Fails the (k+1)-th Conn::Read across all wrapped connections and all
+  /// later ones with IOError (a reset mid-request). Negative disables.
+  void set_fail_conn_reads_after(int k) { fail_conn_reads_after_.store(k); }
+
+  /// Fails the (k+1)-th Conn::Write and all later ones. With
+  /// set_truncate_conn_writes(true), the failing write first delivers
+  /// the first half of its payload — a torn frame on the wire that the
+  /// peer's CRC check must catch. Negative disables.
+  void set_fail_conn_writes_after(int k) { fail_conn_writes_after_.store(k); }
+  void set_truncate_conn_writes(bool v) { truncate_conn_writes_.store(v); }
+
+  int conn_reads_attempted() const { return conn_reads_attempted_.load(); }
+  int conn_writes_attempted() const { return conn_writes_attempted_.load(); }
+  int conn_faults_injected() const { return conn_faults_injected_.load(); }
+
   // Env interface -------------------------------------------------------
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -77,12 +102,20 @@ class FaultInjectionEnv : public Env {
       const std::string& dir) const override;
   Result<std::string> ReadFileToString(
       const std::string& path) const override;
+  Result<std::unique_ptr<Listener>> NewListener(
+      const std::string& path) override;
+  Result<std::unique_ptr<Conn>> Connect(const std::string& path) override;
 
  private:
   friend class FaultInjectionWritableFile;
+  friend class FaultInjectionConn;
+  friend class FaultInjectionListener;
 
   /// Consumes one tick; returns true if this operation must fail.
   bool NextOpFails();
+
+  /// Consumes one tick of a wire countdown; true = this op must fail.
+  bool NextConnOpFails(std::atomic<int>* counter, std::atomic<int>* attempts);
 
   Env* base_;
   int fail_after_ = -1;
@@ -92,6 +125,13 @@ class FaultInjectionEnv : public Env {
   int fail_reads_after_ = -1;
   bool truncate_reads_ = false;
   mutable int reads_attempted_ = 0;  ///< ReadFileToString is const
+
+  std::atomic<int> fail_conn_reads_after_{-1};
+  std::atomic<int> fail_conn_writes_after_{-1};
+  std::atomic<bool> truncate_conn_writes_{false};
+  std::atomic<int> conn_reads_attempted_{0};
+  std::atomic<int> conn_writes_attempted_{0};
+  std::atomic<int> conn_faults_injected_{0};
 };
 
 }  // namespace tcss

@@ -342,6 +342,19 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
     metrics.lr->Set(stats.lr);
     if (callback) callback(stats, model);
 
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      TCSS_LOG(Info) << "stop requested; ending training after epoch "
+                     << epoch;
+      // Same reasoning as the plateau break below: the final-epoch
+      // snapshot never runs on this path, so persist the stopping point
+      // for --resume before leaving.
+      if (options.checkpoints != nullptr && !checkpointed) {
+        TCSS_RETURN_IF_ERROR(save_checkpoint());
+      }
+      break;
+    }
+
     if (options.plateau_patience > 0) {
       const double monitored = options.validation_metric
                                    ? options.validation_metric(model)

@@ -1,6 +1,7 @@
 #ifndef TCSS_CORE_TRAINER_H_
 #define TCSS_CORE_TRAINER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -79,6 +80,15 @@ struct TrainOptions {
   int plateau_patience = 0;
   double plateau_min_delta = 1e-4;
   std::function<double(const FactorModel&)> validation_metric;
+
+  /// Cooperative cancellation, checked once per epoch after the step and
+  /// callback. When it reads true the trainer writes a final checkpoint
+  /// (through the existing atomic path, when `checkpoints` is set) and
+  /// returns the model trained so far with Status::OK — a SIGINT'd run is
+  /// indistinguishable from a shorter one and `--resume` continues from
+  /// the interruption point. A signal handler may store to this flag
+  /// (std::atomic<bool> stores are async-signal-safe).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Joint trainer of L = lambda * L1 + L2 (Eq 20) with Adam, entirely on

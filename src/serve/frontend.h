@@ -1,0 +1,125 @@
+#ifndef TCSS_SERVE_FRONTEND_H_
+#define TCSS_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "core/recommend.h"
+#include "serve/request.h"
+
+namespace tcss {
+
+/// Wire protocol of the serving front-end (`tcss serve --listen`).
+///
+/// Every message is one length-prefixed, CRC-checked frame:
+///
+///   magic      4 bytes   "TQRQ" (request) / "TQRS" (response)
+///   id         8 bytes   little-endian u64, chosen by the client and
+///                        echoed verbatim in the response; lets pipelined
+///                        clients correlate out-of-order completions
+///   len        4 bytes   little-endian u32 payload length
+///   payload    len bytes
+///   crc        4 bytes   little-endian CRC-32 over id||payload
+///
+/// The payload is text: requests use the ParseRequestLine grammar
+/// ("topk <user> <time_bin> ..."), responses the WireResponse grammar
+/// below. The CRC covers the id too, so a bit flip anywhere past the
+/// magic is detected; a flipped magic or an absurd length is rejected
+/// before any allocation. A byte stream that produced a malformed frame
+/// cannot be resynchronized, so the server answers once with an error
+/// frame and closes the connection.
+inline constexpr uint32_t kRequestMagic = 0x51525154u;   // "TQRQ" LE
+inline constexpr uint32_t kResponseMagic = 0x53525154u;  // "TQRS" LE
+inline constexpr size_t kFrameHeaderSize = 16;           // magic+id+len
+inline constexpr size_t kFrameTrailerSize = 4;           // crc
+inline constexpr size_t kMaxFramePayload = 1u << 20;
+
+/// One decoded frame (either direction).
+struct Frame {
+  uint64_t id = 0;
+  std::string payload;
+};
+
+/// Serializes a frame under the given magic.
+std::string EncodeFrame(uint32_t magic, const Frame& frame);
+
+inline std::string EncodeRequestFrame(const Frame& f) {
+  return EncodeFrame(kRequestMagic, f);
+}
+inline std::string EncodeResponseFrame(const Frame& f) {
+  return EncodeFrame(kResponseMagic, f);
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///   ok(true)   — a full frame was decoded; `*consumed` bytes were used
+///                (any remainder is the start of the next frame).
+///   ok(false)  — `buf` is a consistent prefix; read more bytes.
+///   error      — malformed: wrong magic, length beyond `max_payload`,
+///                or CRC mismatch. The stream cannot be resynchronized.
+Result<bool> DecodeFrame(uint32_t magic, std::string_view buf, Frame* out,
+                         size_t* consumed,
+                         size_t max_payload = kMaxFramePayload);
+
+/// Incremental frame reader over a Conn. Buffers partial frames across
+/// reads, so pipelined clients (many frames per segment) and slow clients
+/// (one frame over many segments) both decode correctly.
+class FrameReader {
+ public:
+  enum class Event { kFrame, kEof, kStopped };
+
+  /// Blocks until one full frame arrives (ok(kFrame)), the peer closes
+  /// cleanly between frames (kEof), or `*stop` becomes true (kStopped,
+  /// checked every `tick_ms`). Errors: malformed frame, EOF inside a
+  /// frame (truncated), or a transport failure.
+  Result<Event> Next(Conn* conn, uint32_t magic, Frame* out,
+                     const std::atomic<bool>* stop, int tick_ms);
+
+  /// Bytes buffered beyond the last returned frame.
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Why the server refused to answer a request with a result.
+enum class ShedReason {
+  kQueueFull = 0,   ///< bounded queue at capacity (backpressure)
+  kDeadline = 1,    ///< admission control: predicted time > budget
+  kExpired = 2,     ///< deadline passed while queued
+  kDraining = 3,    ///< graceful shutdown in progress
+  kOverloaded = 4,  ///< connection limit reached
+};
+inline constexpr int kNumShedReasons = 5;
+
+/// "queue_full" / "deadline" / "expired" / "draining" / "overloaded".
+const char* ShedReasonName(ShedReason r);
+
+/// Typed response payload. Exactly one of these three shapes goes back
+/// for every accepted request:
+///   ok     — `ok tier=<t> latency_ms=<ms> recs=<j:score,...>`
+///   shed   — `shed reason=<r>`
+///   error  — `error <message>`
+struct WireResponse {
+  enum class Kind { kOk, kShed, kError };
+  Kind kind = Kind::kError;
+  ServeTier tier = ServeTier::kPopularity;  ///< kOk only
+  double latency_ms = 0.0;                  ///< kOk only
+  ShedReason shed = ShedReason::kQueueFull; ///< kShed only
+  std::string message;                      ///< kError only
+  std::vector<Recommendation> recs;         ///< kOk only
+};
+
+std::string EncodeResponsePayload(const WireResponse& resp);
+
+/// Strict parse of the response grammar; rejects anything else so tests
+/// and clients can assert "well-formed response" mechanically.
+Result<WireResponse> ParseResponsePayload(std::string_view payload);
+
+}  // namespace tcss
+
+#endif  // TCSS_SERVE_FRONTEND_H_

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "data/tensor_builder.h"
 
 namespace tcss {
@@ -43,6 +44,24 @@ class FoldInTier : public Recommender {
  private:
   std::shared_ptr<const FactorModel> model_;
   const std::vector<double>* user_;
+};
+
+/// Batch adapter: reads one column of the precomputed J x B score matrix
+/// (one gemm scored the whole batch), so the top-k selection never
+/// re-touches the factors.
+class ColumnScorer : public Recommender {
+ public:
+  ColumnScorer(const Matrix* scores, size_t col)
+      : scores_(scores), col_(col) {}
+  std::string name() const override { return "serve-batch"; }
+  Status Fit(const TrainContext&) override { return Status::OK(); }
+  double Score(uint32_t, uint32_t j, uint32_t) const override {
+    return (*scores_)(j, col_);
+  }
+
+ private:
+  const Matrix* scores_;
+  size_t col_;
 };
 
 }  // namespace
@@ -128,7 +147,7 @@ void RecommendService::PollModel() {
 
 ServeTier RecommendService::ChooseTier(
     const ServeRequest& req,
-    const std::shared_ptr<const FactorModel>& model) {
+    const std::shared_ptr<const FactorModel>& model) const {
   if (model != nullptr && req.user < model->u1.rows()) {
     return ServeTier::kModel;
   }
@@ -137,6 +156,53 @@ ServeTier RecommendService::ChooseTier(
     return ServeTier::kFoldIn;
   }
   return ServeTier::kPopularity;
+}
+
+ServeTier RecommendService::PlanTier(const ServeRequest& req) const {
+  if (!initialized_) return ServeTier::kPopularity;
+  return ChooseTier(req,
+                    watcher_ != nullptr ? watcher_->current() : nullptr);
+}
+
+double RecommendService::TierLatencyEwmaMs(ServeTier tier) const {
+  const int t = static_cast<int>(tier);
+  return tier_ewma_valid_[t] ? tier_ewma_ms_[t] : 0.0;
+}
+
+ServeTier RecommendService::ApplyDeadlineBudget(const ServeRequest& req,
+                                                ServeTier tier) {
+  // Deadline budget: if this tier's recent latency already exceeds the
+  // budget, answer from the cheap non-personalized tier instead of
+  // predictably blowing the deadline.
+  if (req.deadline_ms > 0.0 && tier != ServeTier::kPopularity &&
+      tier_ewma_valid_[static_cast<int>(tier)] &&
+      tier_ewma_ms_[static_cast<int>(tier)] > req.deadline_ms) {
+    tier = ServeTier::kPopularity;
+    ++deadline_degrades_;
+    degrade_counter_->Add(1);
+  }
+  return tier;
+}
+
+const std::vector<double>* RecommendService::FoldInEmbedding(
+    uint32_t user, const std::shared_ptr<const FactorModel>& model) {
+  // Re-solve embeddings only when the model generation changed.
+  if (watcher_->generation() != fold_in_generation_) {
+    fold_in_cache_.clear();
+    fold_in_generation_ = watcher_->generation();
+  }
+  auto it = fold_in_cache_.find(user);
+  if (it == fold_in_cache_.end()) {
+    ++fold_in_cache_misses_;
+    cache_miss_counter_->Add(1);
+    auto emb = FoldInUser(*model, user_cells_[user], opts_.fold_in);
+    if (!emb.ok()) return nullptr;  // singular solve: degrade further
+    it = fold_in_cache_.emplace(user, emb.MoveValue()).first;
+  } else {
+    ++fold_in_cache_hits_;
+    cache_hit_counter_->Add(1);
+  }
+  return &it->second;
 }
 
 RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
@@ -152,18 +218,7 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
 
   std::shared_ptr<const FactorModel> model =
       watcher_ != nullptr ? watcher_->current() : nullptr;
-  ServeTier tier = ChooseTier(req, model);
-
-  // Deadline budget: if this tier's recent latency already exceeds the
-  // budget, answer from the cheap non-personalized tier instead of
-  // predictably blowing the deadline.
-  if (req.deadline_ms > 0.0 && tier != ServeTier::kPopularity &&
-      tier_ewma_valid_[static_cast<int>(tier)] &&
-      tier_ewma_ms_[static_cast<int>(tier)] > req.deadline_ms) {
-    tier = ServeTier::kPopularity;
-    ++deadline_degrades_;
-    degrade_counter_->Add(1);
-  }
+  ServeTier tier = ApplyDeadlineBudget(req, ChooseTier(req, model));
 
   TopKOptions topts;
   topts.k = req.k;
@@ -172,30 +227,14 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
   const size_t num_pois = data_->num_pois();
 
   if (tier == ServeTier::kFoldIn) {
-    // Re-solve embeddings only when the model generation changed.
-    if (watcher_->generation() != fold_in_generation_) {
-      fold_in_cache_.clear();
-      fold_in_generation_ = watcher_->generation();
-    }
-    auto it = fold_in_cache_.find(req.user);
-    if (it == fold_in_cache_.end()) {
-      ++fold_in_cache_misses_;
-      cache_miss_counter_->Add(1);
-      auto emb = FoldInUser(*model, user_cells_[req.user], opts_.fold_in);
-      if (emb.ok()) {
-        it = fold_in_cache_.emplace(req.user, emb.MoveValue()).first;
-      }
-    } else {
-      ++fold_in_cache_hits_;
-      cache_hit_counter_->Add(1);
-    }
-    if (it != fold_in_cache_.end()) {
-      FoldInTier scorer(model, &it->second);
+    const std::vector<double>* emb = FoldInEmbedding(req.user, model);
+    if (emb != nullptr) {
+      FoldInTier scorer(model, emb);
       resp.recs = TopKRecommendations(scorer, req.user, req.time_bin,
                                       num_pois, topts, &train_);
       resp.tier = ServeTier::kFoldIn;
     } else {
-      tier = ServeTier::kPopularity;  // singular solve: degrade further
+      tier = ServeTier::kPopularity;
     }
   }
   if (tier == ServeTier::kModel) {
@@ -212,6 +251,109 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
   resp.latency_ms = sw.ElapsedMillis();
   RecordLatency(resp.tier, resp.latency_ms);
   return resp;
+}
+
+std::vector<RecommendService::Response> RecommendService::BatchTopK(
+    const std::vector<ServeRequest>& reqs) {
+  std::vector<Response> out(reqs.size());
+  if (reqs.empty()) return out;
+  Stopwatch sw;
+
+  std::shared_ptr<const FactorModel> model =
+      watcher_ != nullptr ? watcher_->current() : nullptr;
+
+  struct Plan {
+    bool valid = false;           ///< false: invalid request, empty answer
+    bool factor_scored = false;   ///< participates in the batch gemm
+    ServeTier tier = ServeTier::kPopularity;
+    const std::vector<double>* fold_emb = nullptr;
+    size_t q_row = 0;  ///< row in the stacked query matrix
+  };
+  std::vector<Plan> plans(reqs.size());
+
+  // Phase 1 — serial: validation, tier choice with deadline degradation,
+  // fold-in cache fills. Every service-state mutation happens here, on
+  // the one serving thread.
+  size_t num_factor = 0;
+  for (size_t b = 0; b < reqs.size(); ++b) {
+    const ServeRequest& req = reqs[b];
+    if (!initialized_ || req.time_bin >= num_bins_) {
+      ++invalid_requests_;
+      invalid_counter_->Add(1);
+      continue;
+    }
+    Plan& plan = plans[b];
+    plan.valid = true;
+    ServeTier tier = ApplyDeadlineBudget(req, ChooseTier(req, model));
+    if (tier == ServeTier::kFoldIn) {
+      plan.fold_emb = FoldInEmbedding(req.user, model);
+      if (plan.fold_emb == nullptr) tier = ServeTier::kPopularity;
+    }
+    plan.tier = tier;
+    if (tier != ServeTier::kPopularity) {
+      plan.factor_scored = true;
+      plan.q_row = num_factor++;
+    }
+  }
+
+  // Phase 2 — one factor pass for the whole batch: stack the query
+  // vectors q_t = h_t * U1[i,t] * U3[k,t] (fold-in users substitute their
+  // solved embedding for the U1 row) and score them against every POI
+  // with a single gemm. MatMulT row-shards over the deterministic pool,
+  // so this is where the batch amortizes both factor loads and threads.
+  Matrix scores;  // J x num_factor
+  if (num_factor > 0) {
+    const size_t r = model->rank();
+    Matrix q(num_factor, r);
+    for (size_t b = 0; b < reqs.size(); ++b) {
+      if (!plans[b].factor_scored) continue;
+      const double* u1row = plans[b].tier == ServeTier::kModel
+                                ? model->u1.row(reqs[b].user)
+                                : plans[b].fold_emb->data();
+      const double* u3row = model->u3.row(reqs[b].time_bin);
+      double* dst = q.row(plans[b].q_row);
+      for (size_t t = 0; t < r; ++t) {
+        dst[t] = model->h[t] * u1row[t] * u3row[t];
+      }
+    }
+    scores = MatMulT(model->u2, q);
+  }
+
+  // Phase 3 — parallel top-k selection into disjoint slots. The shard
+  // decomposition depends only on the batch size, never the worker
+  // count, so a batch's answers are worker-count-invariant.
+  const size_t num_pois = data_->num_pois();
+  ParallelFor(reqs.size(), 1, [&](size_t begin, size_t end, size_t) {
+    for (size_t b = begin; b < end; ++b) {
+      if (!plans[b].valid) continue;
+      TopKOptions topts;
+      topts.k = reqs[b].k;
+      topts.exclude_visited = reqs[b].exclude_visited;
+      topts.candidates = reqs[b].candidates;
+      if (plans[b].factor_scored) {
+        ColumnScorer scorer(&scores, plans[b].q_row);
+        out[b].recs =
+            TopKRecommendations(scorer, reqs[b].user, reqs[b].time_bin,
+                                num_pois, topts, &train_);
+      } else {
+        out[b].recs =
+            TopKRecommendations(popularity_, reqs[b].user, reqs[b].time_bin,
+                                num_pois, topts, &train_);
+      }
+      out[b].tier = plans[b].tier;
+    }
+  });
+
+  // Phase 4 — serial: latency accounting. Each request is charged the
+  // whole batch pass — that is the latency its caller observed, and what
+  // the admission EWMA must predict for the next arrival.
+  const double ms = sw.ElapsedMillis();
+  for (size_t b = 0; b < reqs.size(); ++b) {
+    if (!plans[b].valid) continue;
+    out[b].latency_ms = ms;
+    RecordLatency(plans[b].tier, ms);
+  }
+  return out;
 }
 
 void RecommendService::RecordLatency(ServeTier tier, double ms) {

@@ -102,6 +102,29 @@ class RecommendService {
   /// stale model falls down the chain.
   Response TopK(const ServeRequest& req);
 
+  /// Answers many queries in one model pass. Responses land at the index
+  /// of their request. Tier choice, deadline degradation and fold-in cache
+  /// fills run serially; then every factor-scored request contributes one
+  /// query vector q_t = h_t * U1[i,t] * U3[k,t] to a stacked matrix that a
+  /// single gemm (U2 · Qᵀ, row-sharded on the deterministic thread pool)
+  /// scores against the whole catalogue, and the per-request top-k
+  /// selections run shard-parallel into disjoint slots. Scores can differ
+  /// from the one-at-a-time path in the last ulp (different product
+  /// association), never in ranking semantics.
+  std::vector<Response> BatchTopK(const std::vector<ServeRequest>& reqs);
+
+  /// Predicts which tier would answer `req` right now, without running it.
+  /// Thread-safe (reads only immutable post-Init state and the watcher's
+  /// mutex-guarded model pointer) — the server's admission control calls
+  /// this from connection threads while the dispatcher is mid-batch.
+  ServeTier PlanTier(const ServeRequest& req) const;
+
+  /// Recent latency EWMA of a tier in milliseconds (0 before the first
+  /// sample). Single-writer like TopK itself: only the serving thread may
+  /// call this; the server republishes the values atomically for its
+  /// admission-control threads.
+  double TierLatencyEwmaMs(ServeTier tier) const;
+
   /// Triggers one hot-reload check on the watcher (no-op without one).
   void PollModel();
 
@@ -110,7 +133,14 @@ class RecommendService {
 
  private:
   ServeTier ChooseTier(const ServeRequest& req,
-                       const std::shared_ptr<const FactorModel>& model);
+                       const std::shared_ptr<const FactorModel>& model) const;
+  /// Applies the deadline-budget EWMA check to a chosen tier; may degrade
+  /// to popularity (counting the degrade).
+  ServeTier ApplyDeadlineBudget(const ServeRequest& req, ServeTier tier);
+  /// Returns the fold-in embedding for `user` (solving and caching it on
+  /// miss), or null when the solve fails. Must run on the serving thread.
+  const std::vector<double>* FoldInEmbedding(
+      uint32_t user, const std::shared_ptr<const FactorModel>& model);
   void RecordLatency(ServeTier tier, double ms);
 
   const Dataset* data_;

@@ -1,6 +1,7 @@
 // Randomized corruption harness for every untrusted-input loader: the CSV
-// dataset loader (strict and lenient), the TCSSv2 model parser and the
-// TCKPv1 checkpoint parser. A deterministic Rng mutates, splices and
+// dataset loader (strict and lenient), the TCSSv2 model parser, the
+// TCKPv1 checkpoint parser, and the serving wire format (frame decoder +
+// response-payload grammar). A deterministic Rng mutates, splices and
 // truncates known-good bytes; every loader must hand back a Status (ok or
 // not), never crash, never hang and never return half-validated data.
 // tools/check.sh runs this binary under ASan/UBSan as well.
@@ -17,6 +18,7 @@
 #include "core/checkpoint.h"
 #include "core/model_io.h"
 #include "data/csv_io.h"
+#include "serve/frontend.h"
 
 namespace tcss {
 namespace {
@@ -249,6 +251,120 @@ TEST(CheckpointFuzz, EveryCheckpointPrefixIsRejected) {
     if (TailIsWhitespace(good, n)) continue;
     auto r = ParseCheckpoint(good.substr(0, n));
     EXPECT_FALSE(r.ok()) << "prefix of length " << n << " parsed";
+  }
+}
+
+// --- Serving wire-format fuzz -------------------------------------------
+//
+// The frame decoder fronts a network socket, the least trusted input in
+// the codebase. Contract under corruption: DecodeFrame returns exactly one
+// of {frame, need-more-bytes, malformed} — it never crashes, never
+// allocates from a corrupt length field, and never hands back a frame
+// whose bytes differ from what was sent (CRC over id||payload).
+
+Frame GoodWireFrame() {
+  return Frame{0x0123456789abcdefULL, "topk 3 7 k=25 deadline_ms=4.5"};
+}
+
+TEST(WireFuzz, MutatedFramesNeverCrashDecoderOrForgeContent) {
+  const Frame good = GoodWireFrame();
+  const std::string bytes = EncodeRequestFrame(good);
+  Rng rng(0x31f3);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string bad = Mutate(bytes, &rng);
+    Frame out;
+    size_t consumed = 0;
+    auto r = DecodeFrame(kRequestMagic, bad, &out, &consumed);
+    if (r.ok() && r.value()) {
+      // A decoded frame must be byte-identical to a frame that was
+      // actually encoded: a mutation either leaves an intact frame at the
+      // front (insert/delete past the end) or the CRC catches it.
+      EXPECT_EQ(out.id, good.id);
+      EXPECT_EQ(out.payload, good.payload);
+      EXPECT_EQ(consumed, bytes.size());
+    }
+  }
+}
+
+// Deterministic single-byte-flip sweep: every xor of every byte must be
+// detected (wrong magic, bad length, or CRC mismatch) — or, when it
+// changes nothing semantically, decode to the identical frame. CRC-32
+// guarantees detection of any single flipped byte within its span.
+TEST(WireFuzz, EveryByteFlipIsDetected) {
+  const Frame good = GoodWireFrame();
+  const std::string bytes = EncodeRequestFrame(good);
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+      Frame out;
+      size_t consumed = 0;
+      auto r = DecodeFrame(kRequestMagic, bad, &out, &consumed);
+      EXPECT_FALSE(r.ok() && r.value())
+          << "flip at " << pos << " mask " << int(mask)
+          << " forged a frame";
+    }
+  }
+}
+
+// Truncation sweep (torn frame at every byte): a prefix is either "need
+// more bytes" (consistent so far) or malformed — never a whole frame.
+TEST(WireFuzz, EveryTruncatedFrameNeedsMoreOrRejects) {
+  const std::string bytes = EncodeRequestFrame(GoodWireFrame());
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Frame out;
+    size_t consumed = 0;
+    auto r = DecodeFrame(kRequestMagic, bytes.substr(0, n), &out, &consumed);
+    if (r.ok()) {
+      EXPECT_FALSE(r.value()) << "prefix of length " << n << " decoded";
+    }
+  }
+  // And with garbage appended after the cut, the decoder still never
+  // yields a frame (the CRC spans the whole payload).
+  for (size_t n = kFrameHeaderSize; n < bytes.size(); ++n) {
+    Frame out;
+    size_t consumed = 0;
+    const std::string torn =
+        bytes.substr(0, n) + std::string(bytes.size() - n, '\xee');
+    auto r = DecodeFrame(kRequestMagic, torn, &out, &consumed);
+    EXPECT_FALSE(r.ok() && r.value())
+        << "torn-at-" << n << " frame decoded";
+  }
+}
+
+// A hostile length field must be rejected before any allocation.
+TEST(WireFuzz, AbsurdLengthFieldRejectedWithoutAllocation) {
+  std::string bytes = EncodeRequestFrame(GoodWireFrame());
+  for (uint32_t hostile : {(uint32_t{1} << 20) + 1, uint32_t{1} << 24,
+                           uint32_t{0xffffffff}}) {
+    for (int b = 0; b < 4; ++b) {
+      bytes[12 + b] = static_cast<char>(hostile >> (8 * b));
+    }
+    Frame out;
+    size_t consumed = 0;
+    auto r = DecodeFrame(kRequestMagic, bytes, &out, &consumed);
+    EXPECT_FALSE(r.ok()) << "length " << hostile << " accepted";
+  }
+}
+
+TEST(WireFuzz, MutatedResponsePayloadsNeverCrashParser) {
+  WireResponse resp;
+  resp.kind = WireResponse::Kind::kOk;
+  resp.tier = ServeTier::kModel;
+  resp.latency_ms = 1.25;
+  resp.recs = {{4, 2.5}, {1, 1.75}, {0, 0.5}};
+  const std::string good = EncodeResponsePayload(resp);
+  auto round = ParseResponsePayload(good);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().recs.size(), 3u);
+  Rng rng(0xf4a3);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string bad = Mutate(good, &rng);
+    auto r = ParseResponsePayload(bad);
+    if (r.ok()) {
+      // If it still parses, it must be structurally sound and bounded.
+      EXPECT_LE(r.value().recs.size(), kMaxRequestK);
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 
 #include "common/rng.h"
 #include "core/spectral_init.h"
@@ -259,6 +260,102 @@ TEST(LrScheduleTest, StepFactorAppliesLateInTraining) {
   ASSERT_TRUE(result.ok());
   ASSERT_GT(snapshot.rows(), 0u);
   EXPECT_LT(MaxAbsDiff(result.value().u1, snapshot), 1e-3);
+}
+
+// --- Graceful-stop flag (TrainOptions::stop) ----------------------------
+
+TEST(GracefulStopTest, StopFlagEndsTrainingCleanlyAtThatEpoch) {
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 200;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+
+  std::atomic<bool> stop{false};
+  TrainOptions opts;
+  opts.stop = &stop;
+  int last_epoch = 0;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto result =
+      trainer.Train(opts, [&](const EpochStats& s, const FactorModel&) {
+        last_epoch = s.epoch;
+        if (s.epoch == 7) stop.store(true);  // "SIGINT" after epoch 7
+      });
+  // A stopped run is a *successful* shorter run: ok status, usable model.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(last_epoch, 7);
+  EXPECT_GT(result.value().rank(), 0u);
+}
+
+TEST(GracefulStopTest, StopWritesFinalCheckpointAndResumeContinues) {
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 30;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+
+  CheckpointOptions copts;
+  copts.dir = ::testing::TempDir() + "/stop_ckpt";
+  std::filesystem::remove_all(copts.dir);  // stale runs must not leak in
+  copts.every = 1000;  // never periodic: only the stop path writes
+  CheckpointManager ckpts(copts);
+  ASSERT_TRUE(ckpts.Init().ok());
+
+  std::atomic<bool> stop{false};
+  TrainOptions opts;
+  opts.checkpoints = &ckpts;
+  opts.stop = &stop;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto stopped =
+      trainer.Train(opts, [&](const EpochStats& s, const FactorModel&) {
+        if (s.epoch == 5) stop.store(true);
+      });
+  ASSERT_TRUE(stopped.ok());
+
+  // The interruption point was persisted through the atomic path.
+  auto ckpt = ckpts.LoadLatest();
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_EQ(ckpt.value().epoch, 5);
+
+  // --resume picks up from epoch 5 and runs to completion, matching the
+  // uninterrupted run bit-for-bit (the resume-determinism contract).
+  TrainOptions resume_opts;
+  resume_opts.checkpoints = &ckpts;
+  resume_opts.resume = true;
+  int first_resumed_epoch = 0;
+  TcssTrainer resumed_trainer(w.data, w.train, cfg);
+  auto resumed = resumed_trainer.Train(
+      resume_opts, [&](const EpochStats& s, const FactorModel&) {
+        if (first_resumed_epoch == 0) first_resumed_epoch = s.epoch;
+      });
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(first_resumed_epoch, 6);
+
+  TcssTrainer straight_trainer(w.data, w.train, cfg);
+  auto straight = straight_trainer.Train();
+  ASSERT_TRUE(straight.ok());
+  EXPECT_EQ(MaxAbsDiff(resumed.value().u1, straight.value().u1), 0.0);
+  EXPECT_EQ(MaxAbsDiff(resumed.value().u2, straight.value().u2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(resumed.value().u3, straight.value().u3), 0.0);
+}
+
+TEST(GracefulStopTest, NullStopAndNeverTrippedFlagChangeNothing) {
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 10;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+
+  std::atomic<bool> never{false};
+  TrainOptions with_flag;
+  with_flag.stop = &never;
+  TcssTrainer a(w.data, w.train, cfg);
+  TcssTrainer b(w.data, w.train, cfg);
+  auto with = a.Train(with_flag, nullptr);
+  auto without = b.Train();
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(MaxAbsDiff(with.value().u1, without.value().u1), 0.0);
 }
 
 }  // namespace

@@ -11,16 +11,26 @@
 //   tcss evaluate  --data DIR --model FILE [--granularity G]
 //   tcss recommend --data DIR --model FILE --user U [--time K] [--k N]
 //                  [--new-only] [--granularity G]
-//   tcss serve     --data DIR --model FILE --requests FILE
+//   tcss serve     --data DIR --model FILE
+//                  (--requests FILE | --listen SOCKET)
 //                  [--granularity G] [--poll-every N] [--metrics-out FILE]
+//                  [--workers N] [--queue N] [--max-batch N] [--max-conns N]
+//                  [--deadline-ms X] [--write-timeout-ms N]
 //
 // `generate` writes an LBSN as CSV (pois.csv / checkins.csv / friends.csv);
 // `train` fits TCSS on an 80/20 split of the check-ins and saves the
 // factors; `evaluate` reports Hit@10 / MRR on the held-out 20%;
 // `recommend` prints a ranked POI list for one user and time bin; `serve`
-// answers a batch request file through the resilient fallback chain
-// (hot-reloaded model -> fold-in -> popularity), ranked lists on stdout and
-// service stats on stderr.
+// answers queries through the resilient fallback chain (hot-reloaded
+// model -> fold-in -> popularity) — either a batch request file
+// (`--requests`, ranked lists on stdout) or a Unix-domain socket server
+// (`--listen`, frame protocol of serve/frontend.h with admission control
+// and load shedding; see DESIGN.md §10).
+//
+// Both `train` and `serve --listen` shut down gracefully on SIGINT/SIGTERM:
+// training writes a final checkpoint through the atomic path and saves the
+// model trained so far; the server stops accepting, answers or sheds
+// everything in flight, flushes --metrics-out, and exits 0.
 //
 // All data-loading commands accept `--lenient` (quarantine malformed CSV
 // rows instead of failing the load) and `--max-bad-rows N`.
@@ -29,6 +39,9 @@
 // counters, latency histograms) as JSON — periodically while running
 // (atomic replace, so the file is always whole) and once on exit. Set
 // TCSS_LOG_LEVEL=debug|info|warning|error to change log verbosity.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -36,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/env.h"
 #include "common/strings.h"
@@ -53,10 +67,23 @@
 #include "serve/model_watcher.h"
 #include "serve/recommend_service.h"
 #include "serve/request.h"
+#include "serve/server.h"
 
 namespace {
 
 using namespace tcss;
+
+// SIGINT/SIGTERM request a graceful stop. The handler only stores to an
+// atomic flag (the one async-signal-safe thing it can do); the trainer
+// checks it per epoch and the server's drain loop polls it.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void InstallStopHandlers() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
 
 struct Args {
   std::string command;
@@ -94,8 +121,11 @@ int Usage() {
       "  tcss stats     --data DIR\n"
       "  tcss recommend --data DIR --model FILE --user U [--time K] "
       "[--k N] [--new-only] [--granularity G]\n"
-      "  tcss serve     --data DIR --model FILE --requests FILE "
-      "[--granularity G] [--poll-every N] [--metrics-out FILE]\n"
+      "  tcss serve     --data DIR --model FILE "
+      "(--requests FILE | --listen SOCKET) "
+      "[--granularity G] [--poll-every N] [--metrics-out FILE] "
+      "[--workers N] [--queue N] [--max-batch N] [--max-conns N] "
+      "[--deadline-ms X] [--write-timeout-ms N]\n"
       "common flags: [--lenient] [--max-bad-rows N]\n"
       "env: TCSS_LOG_LEVEL=debug|info|warning|error\n");
   return 2;
@@ -216,6 +246,8 @@ int Train(const Args& args) {
   TrainOptions topts;
   topts.checkpoints = checkpoints.get();
   topts.resume = args.resume;
+  InstallStopHandlers();
+  topts.stop = &g_stop;
 
   const char* metrics_out = args.Get("metrics-out");
   const long metrics_every = std::max(1L, args.GetI("metrics-every", 25));
@@ -240,6 +272,11 @@ int Train(const Args& args) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     DumpMetrics(metrics_out);
     return 1;
+  }
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "interrupted: saving the model trained so far "
+                 "(checkpoint written; --resume continues from here)\n");
   }
   st = SaveFactorModel(model.factors(), model_path);
   if (!st.ok()) {
@@ -367,10 +404,58 @@ int Recommend(const Args& args) {
 // (dump running stats to stderr), a blank line or a `#` comment. The
 // process never aborts on a malformed line — it reports and moves on,
 // because request files are untrusted input.
+// Socket server mode (`serve --listen`): runs until SIGINT/SIGTERM, then
+// drains — stops accepting, answers or sheds everything accepted, flushes
+// metrics and exits 0. Overload never crashes it: the queue is bounded,
+// admission control sheds predicted deadline misses, slow clients hit
+// write timeouts.
+int ServeListen(const Args& args, RecommendService* service,
+                const char* listen, const char* metrics_out,
+                long poll_every) {
+  InstallStopHandlers();
+  ServerOptions sopts;
+  sopts.num_workers = static_cast<int>(args.GetI("workers", 0));
+  sopts.queue_capacity = static_cast<size_t>(args.GetI("queue", 256));
+  sopts.max_batch = static_cast<size_t>(args.GetI("max-batch", 32));
+  sopts.max_connections = static_cast<size_t>(args.GetI("max-conns", 64));
+  sopts.default_deadline_ms = args.GetD("deadline-ms", 0.0);
+  sopts.write_timeout_ms =
+      static_cast<int>(args.GetI("write-timeout-ms", 2000));
+  sopts.poll_every_batches = static_cast<int>(poll_every);
+  Server server(service, listen, sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listening on unix socket %s\n", listen);
+  int ticks = 0;
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (metrics_out != nullptr && ++ticks % 100 == 0) {
+      DumpMetrics(metrics_out);  // ~every 5 s, atomic replace
+    }
+  }
+  std::fprintf(stderr, "signal received, draining ...\n");
+  st = server.Stop();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "server: %s\n", server.stats().ToString().c_str());
+  std::fprintf(stderr, "service: %s\n", service->Stats().ToString().c_str());
+  DumpMetrics(metrics_out);
+  return 0;
+}
+
 int Serve(const Args& args) {
   const char* model_path = args.Get("model");
   const char* requests_path = args.Get("requests");
-  if (model_path == nullptr || requests_path == nullptr) return Usage();
+  const char* listen = args.Get("listen");
+  if (model_path == nullptr ||
+      (requests_path == nullptr && listen == nullptr)) {
+    return Usage();
+  }
   auto data = LoadData(args);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
@@ -395,6 +480,10 @@ int Serve(const Args& args) {
     std::fprintf(stderr, "warning: no valid model at %s (%s); serving %s\n",
                  model_path, watcher.last_error().ToString().c_str(),
                  ServeHealthName(service.health()));
+  }
+
+  if (listen != nullptr) {
+    return ServeListen(args, &service, listen, metrics_out, poll_every);
   }
 
   std::ifstream in(requests_path);
