@@ -1,5 +1,6 @@
 #include "common/env.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -36,6 +37,21 @@ Result<IoEvent> PollFd(int fd, short events, int timeout_ms) {
   }
 }
 
+/// Connection fds run non-blocking. With a blocking fd, poll(POLLOUT)
+/// only guarantees *some* buffer space, and send() then blocks until the
+/// whole remainder fits — a response larger than the free space written
+/// to a stalled peer would sleep far past any timeout. Non-blocking,
+/// send() returns partial/EAGAIN and the poll timeout genuinely bounds
+/// each progress step.
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 class PosixConn : public Conn {
  public:
   explicit PosixConn(int fd) : fd_(fd) {}
@@ -46,17 +62,18 @@ class PosixConn : public Conn {
     *n = 0;
     if (fd_ < 0) return Status::FailedPrecondition("connection is closed");
     if (cap == 0) return IoEvent::kData;
-    auto ready = PollFd(fd_, POLLIN, timeout_ms);
-    if (!ready.ok()) return ready.status();
-    if (ready.value() == IoEvent::kTimeout) return IoEvent::kTimeout;
     for (;;) {
+      auto ready = PollFd(fd_, POLLIN, timeout_ms);
+      if (!ready.ok()) return ready.status();
+      if (ready.value() == IoEvent::kTimeout) return IoEvent::kTimeout;
       const ssize_t rc = ::recv(fd_, buf, cap, 0);
       if (rc > 0) {
         *n = static_cast<size_t>(rc);
         return IoEvent::kData;
       }
       if (rc == 0) return IoEvent::kEof;
-      if (errno == EINTR) continue;
+      // EAGAIN: spurious readiness on the non-blocking fd — re-poll.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
   }
@@ -109,7 +126,14 @@ class PosixListener : public Listener {
     }
     for (;;) {
       const int cfd = ::accept(fd_, nullptr, nullptr);
-      if (cfd >= 0) return std::unique_ptr<Conn>(new PosixConn(cfd));
+      if (cfd >= 0) {
+        Status st = SetNonBlocking(cfd);
+        if (!st.ok()) {
+          ::close(cfd);
+          return st;
+        }
+        return std::unique_ptr<Conn>(new PosixConn(cfd));
+      }
       if (errno == EINTR) continue;
       // The connection may have been reset between poll and accept; treat
       // transient errors as "nothing accepted this tick".
@@ -273,6 +297,11 @@ class PosixEnv : public Env {
       const std::string why = std::strerror(errno);
       ::close(fd);
       return Status::IOError("connect " + path + ": " + why);
+    }
+    Status st = SetNonBlocking(fd);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
     }
     return std::unique_ptr<Conn>(new PosixConn(fd));
   }

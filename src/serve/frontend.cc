@@ -76,6 +76,11 @@ Result<bool> DecodeFrame(uint32_t magic, std::string_view buf, Frame* out,
   if (buf.size() < kFrameHeaderSize) return false;
   const uint64_t id = GetU64(buf.data() + 4);
   const uint32_t len = GetU32(buf.data() + 12);
+  // The 16-byte header validated; surface its id even when the rest of
+  // the frame is bad (absurd length, CRC mismatch), so the error response
+  // can echo the request that triggered it and a pipelined client can
+  // correlate the failure.
+  out->id = id;
   if (len > max_payload) {
     return Status::InvalidArgument(
         StrFormat("frame payload length %u exceeds cap %zu",
@@ -88,7 +93,6 @@ Result<bool> DecodeFrame(uint32_t magic, std::string_view buf, Frame* out,
   if (want != FrameCrc(id, payload)) {
     return Status::InvalidArgument("frame CRC mismatch");
   }
-  out->id = id;
   out->payload.assign(payload);
   *consumed = total;
   return true;
@@ -151,16 +155,28 @@ std::string EncodeResponsePayload(const WireResponse& resp) {
     case WireResponse::Kind::kOk: {
       std::string s = StrFormat("ok tier=%s latency_ms=%.6f recs=",
                                 ServeTierName(resp.tier), resp.latency_ms);
+      // The server must never emit a frame its own protocol rejects:
+      // kMaxRequestK recs at ~30 bytes each would overflow the 1 MiB
+      // kMaxFramePayload that DecodeFrame enforces, so the lowest-ranked
+      // tail is truncated once the payload would exceed the cap.
       for (size_t i = 0; i < resp.recs.size(); ++i) {
+        const std::string rec =
+            StrFormat("%u:%.17g", resp.recs[i].poi, resp.recs[i].score);
+        const size_t sep = i > 0 ? 1 : 0;
+        if (s.size() + sep + rec.size() > kMaxFramePayload) break;
         if (i > 0) s += ',';
-        s += StrFormat("%u:%.17g", resp.recs[i].poi, resp.recs[i].score);
+        s += rec;
       }
       return s;
     }
     case WireResponse::Kind::kShed:
       return StrFormat("shed reason=%s", ShedReasonName(resp.shed));
-    case WireResponse::Kind::kError:
-      return "error " + resp.message;
+    case WireResponse::Kind::kError: {
+      std::string s = "error ";
+      // Clamped for the same reason as the recs above.
+      s.append(resp.message, 0, kMaxFramePayload - s.size());
+      return s;
+    }
   }
   return "error internal";
 }

@@ -61,6 +61,9 @@ inline std::string EncodeResponseFrame(const Frame& f) {
 ///   ok(false)  — `buf` is a consistent prefix; read more bytes.
 ///   error      — malformed: wrong magic, length beyond `max_payload`,
 ///                or CRC mismatch. The stream cannot be resynchronized.
+///                When the 16-byte header itself validated (only the
+///                length/payload/CRC were bad), `out->id` carries the
+///                header's id so an error response can echo it.
 Result<bool> DecodeFrame(uint32_t magic, std::string_view buf, Frame* out,
                          size_t* consumed,
                          size_t max_payload = kMaxFramePayload);
@@ -114,6 +117,11 @@ struct WireResponse {
   std::vector<Recommendation> recs;         ///< kOk only
 };
 
+/// Encodes the payload, guaranteed to fit kMaxFramePayload so the server
+/// never emits a frame the client-side DecodeFrame rejects: an ok
+/// response drops its lowest-ranked recs once the cap is reached (a
+/// k=kMaxRequestK answer over a large catalogue would otherwise encode to
+/// several MiB), and an error message is clamped.
 std::string EncodeResponsePayload(const WireResponse& resp);
 
 /// Strict parse of the response grammar; rejects anything else so tests

@@ -7,6 +7,15 @@
 #include "common/thread_pool.h"
 
 namespace tcss {
+namespace {
+
+/// Write budget for the one shed frame sent to an over-limit connection.
+/// That client is being dropped anyway, so the frame is best-effort: a
+/// burst of rejected peers that never read must not stall the acceptor
+/// for write_timeout_ms each, delaying accepts for legitimate clients.
+constexpr int kRejectWriteTimeoutMs = 10;
+
+}  // namespace
 
 std::string ServerStats::ToString() const {
   std::string s = StrFormat(
@@ -151,7 +160,7 @@ void Server::AcceptorLoop() {
       resp.shed = ShedReason::kOverloaded;
       Status ignored =
           conn->Write(EncodeResponseFrame({0, EncodeResponsePayload(resp)}),
-                      opts_.write_timeout_ms);
+                      std::min(opts_.write_timeout_ms, kRejectWriteTimeoutMs));
       (void)ignored;
       conn->Close();
       continue;
@@ -232,21 +241,29 @@ bool Server::Admit(const std::shared_ptr<Session>& session, uint64_t frame_id,
       return false;
     }
   }
+  bool enqueued = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.size() >= opts_.queue_capacity) {
-      Shed(session.get(), frame_id, ShedReason::kQueueFull);
-      return false;
+    if (queue_.size() < opts_.queue_capacity) {
+      Pending p;
+      p.session = session;
+      p.frame_id = frame_id;
+      p.req = std::move(admitted);
+      p.deadline_ms = p.req.deadline_ms;
+      session->inflight.fetch_add(1, std::memory_order_acq_rel);
+      queue_.push_back(std::move(p));
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      enqueued = true;
     }
-    Pending p;
-    p.session = session;
-    p.frame_id = frame_id;
-    p.req = std::move(admitted);
-    p.deadline_ms = p.req.deadline_ms;
-    session->inflight.fetch_add(1, std::memory_order_acq_rel);
-    queue_.push_back(std::move(p));
-    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
-    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  if (!enqueued) {
+    // Queue full. The shed response is written outside queue_mu_: the
+    // write can stall up to write_timeout_ms on a slow client, and
+    // holding the lock that long would freeze the dispatcher and every
+    // other reader — the exact overload this path exists to survive.
+    Shed(session.get(), frame_id, ShedReason::kQueueFull);
+    return false;
   }
   queue_cv_.notify_one();
   return true;

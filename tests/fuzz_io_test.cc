@@ -347,6 +347,67 @@ TEST(WireFuzz, AbsurdLengthFieldRejectedWithoutAllocation) {
   }
 }
 
+// When the 16-byte header is intact and only the length/payload/CRC is
+// bad, the decoder must surface the header's id so the server's error
+// response can echo it — a pipelined client correlates the failure with
+// the request that caused it instead of seeing id=0.
+TEST(WireFuzz, BadCrcAndBadLengthSurfaceHeaderId) {
+  const Frame good = GoodWireFrame();
+  const std::string bytes = EncodeRequestFrame(good);
+  {
+    std::string bad = bytes;
+    bad.back() = static_cast<char>(bad.back() ^ 0x5a);  // corrupt the CRC
+    Frame out;
+    size_t consumed = 0;
+    auto r = DecodeFrame(kRequestMagic, bad, &out, &consumed);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(out.id, good.id);
+  }
+  {
+    std::string bad = bytes;
+    const uint32_t hostile = (uint32_t{1} << 20) + 1;
+    for (int b = 0; b < 4; ++b) {
+      bad[12 + b] = static_cast<char>(hostile >> (8 * b));
+    }
+    Frame out;
+    size_t consumed = 0;
+    auto r = DecodeFrame(kRequestMagic, bad, &out, &consumed);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(out.id, good.id);
+  }
+}
+
+// The server must never emit a response frame its own protocol rejects:
+// worst-case recs (maximum k, widest numeric text) still encode to a
+// payload within kMaxFramePayload by truncating the lowest-ranked tail,
+// and the result round-trips through the client-side decoder and parser.
+TEST(WireFuzz, OversizedOkResponseTruncatesToFitFrameCap) {
+  WireResponse resp;
+  resp.kind = WireResponse::Kind::kOk;
+  resp.tier = ServeTier::kModel;
+  resp.latency_ms = 1.0;
+  resp.recs.reserve(kMaxRequestK);
+  for (size_t i = 0; i < kMaxRequestK; ++i) {
+    resp.recs.push_back({static_cast<uint32_t>(4000000000u - i),
+                         -1.2345678901234567e-308});
+  }
+  const std::string payload = EncodeResponsePayload(resp);
+  EXPECT_LE(payload.size(), kMaxFramePayload);
+  const std::string frame = EncodeResponseFrame({7, payload});
+  Frame out;
+  size_t consumed = 0;
+  auto r = DecodeFrame(kResponseMagic, frame, &out, &consumed);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value());
+  EXPECT_EQ(consumed, frame.size());
+  auto parsed = ParseResponsePayload(out.payload);
+  ASSERT_TRUE(parsed.ok());
+  // Truncation keeps a non-empty ranked prefix.
+  ASSERT_GT(parsed.value().recs.size(), 0u);
+  EXPECT_LT(parsed.value().recs.size(), resp.recs.size());
+  EXPECT_EQ(parsed.value().recs[0].poi, resp.recs[0].poi);
+}
+
 TEST(WireFuzz, MutatedResponsePayloadsNeverCrashParser) {
   WireResponse resp;
   resp.kind = WireResponse::Kind::kOk;

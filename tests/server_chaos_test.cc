@@ -328,6 +328,67 @@ TEST(ServerChaosTest, MalformedFramesNeverKillTheServer) {
   ExpectServerLedgerBalanced(w->server->stats());
 }
 
+// A frame whose header is intact but whose CRC is corrupt gets an error
+// response that echoes the header's id, so a pipelined client can tell
+// which request poisoned the stream.
+TEST(ServerChaosTest, MalformedFrameErrorEchoesHeaderId) {
+  auto w = StartWorld("echoid", ServerOptions{});
+  auto conn = w->env()->Connect(w->socket_path);
+  ASSERT_TRUE(conn.ok());
+  std::string bytes = EncodeRequestFrame(TopkFrame(0xdeadbeefULL, 0, 0, 2));
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);  // corrupt the CRC
+  ASSERT_TRUE(conn.value()->Write(bytes, 2000).ok());
+  std::atomic<bool> give_up{false};
+  std::atomic<bool> got_it{false};
+  std::thread watchdog([&] {
+    Stopwatch clock;
+    while (!got_it.load() && clock.ElapsedSeconds() < 10.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    give_up.store(true);
+  });
+  FrameReader fr;
+  Frame resp;
+  auto ev = fr.Next(conn.value().get(), kResponseMagic, &resp, &give_up, 50);
+  got_it.store(true);
+  watchdog.join();
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  ASSERT_EQ(ev.value(), FrameReader::Event::kFrame);
+  EXPECT_EQ(resp.id, 0xdeadbeefULL);
+  auto parsed = ParseResponsePayload(resp.payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().kind, WireResponse::Kind::kError);
+  conn.value()->Close();
+  EXPECT_TRUE(w->server->Stop().ok());
+}
+
+// Regression for the slow-client guard: a write to a peer that never
+// reads must fail within the timeout, not block until the peer drains
+// the socket buffer. (Connection fds are non-blocking, so the poll()
+// budget bounds every progress step; a blocking send() of a payload
+// larger than the free buffer space would otherwise sleep forever and
+// wedge whichever server thread held the connection.)
+TEST(ServerChaosTest, WriteToStalledPeerFailsWithinTimeout) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("stalled.sock");
+  auto listener = env->NewListener(path);
+  ASSERT_TRUE(listener.ok());
+  auto client = env->Connect(path);
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener.value()->Accept(1000);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(accepted.value() != nullptr);
+  // 8 MiB into a peer that never reads — far beyond any socket buffer.
+  const std::string big(8u << 20, 'x');
+  Stopwatch clock;
+  Status st = accepted.value()->Write(big, /*timeout_ms=*/100);
+  EXPECT_FALSE(st.ok());
+  EXPECT_LT(clock.ElapsedSeconds(), 30.0) << "write did not time out";
+  accepted.value()->Close();
+  client.value()->Close();
+  listener.value()->Close();
+}
+
 // Overload storm against a deliberately tiny queue: many pipelined
 // clients, queue capacity 4. Backpressure must answer every request —
 // ok or an explicit queue_full shed — and the ledger must balance.
