@@ -103,6 +103,12 @@ class FaultInjectionConn : public Conn {
       *n = 0;
       return Crashed("Conn::Read");
     }
+    // Split-read injection: the kernel hands the stream over in dribbles,
+    // forcing the caller through its partial-frame reassembly path.
+    const int chunk = env_->conn_read_chunk_.load();
+    if (chunk > 0 && cap > static_cast<size_t>(chunk)) {
+      cap = static_cast<size_t>(chunk);
+    }
     return base_->Read(buf, cap, n, timeout_ms);
   }
 
@@ -134,6 +140,16 @@ class FaultInjectionListener : public Listener {
   Result<std::unique_ptr<Conn>> Accept(int timeout_ms) override {
     auto conn = base_->Accept(timeout_ms);
     if (!conn.ok() || conn.value() == nullptr) return conn;
+    // Ticks are consumed per *delivered* connection, never per idle poll,
+    // so the fault lands on a deterministic client no matter how often
+    // the accept loop wakes up. The injected outcome mirrors a real
+    // ECONNABORTED — the peer vanished between connect and accept — which
+    // PosixListener reports as a transient null Conn, not an error.
+    if (env_->NextConnOpFails(&env_->fail_accepts_after_,
+                              &env_->accepts_delivered_)) {
+      conn.value()->Close();
+      return std::unique_ptr<Conn>(nullptr);
+    }
     return std::unique_ptr<Conn>(
         std::make_unique<FaultInjectionConn>(conn.MoveValue(), env_));
   }

@@ -87,9 +87,24 @@ class FaultInjectionEnv : public Env {
   void set_fail_conn_writes_after(int k) { fail_conn_writes_after_.store(k); }
   void set_truncate_conn_writes(bool v) { truncate_conn_writes_.store(v); }
 
+  /// Drops the (k+1)-th *delivered* connection and all later ones: Accept
+  /// receives the peer's connection, the wrapper closes it and reports a
+  /// transient null Conn — exactly how PosixListener surfaces a real
+  /// ECONNABORTED (client gone between connect and accept). The client
+  /// side sees its connection die during the handshake. Idle Accept
+  /// timeouts do not consume ticks, so the schedule is deterministic no
+  /// matter how often the server's accept loop polls. Negative disables.
+  void set_fail_accepts_after(int k) { fail_accepts_after_.store(k); }
+
+  /// When n > 0, every Conn::Read is capped to at most n bytes — the
+  /// kernel returning a stream in dribbles — so framing code is forced
+  /// through its partial-read reassembly paths. 0 disables (default).
+  void set_conn_read_chunk(int n) { conn_read_chunk_.store(n); }
+
   int conn_reads_attempted() const { return conn_reads_attempted_.load(); }
   int conn_writes_attempted() const { return conn_writes_attempted_.load(); }
   int conn_faults_injected() const { return conn_faults_injected_.load(); }
+  int accepts_delivered() const { return accepts_delivered_.load(); }
 
   // Env interface -------------------------------------------------------
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -129,9 +144,12 @@ class FaultInjectionEnv : public Env {
   std::atomic<int> fail_conn_reads_after_{-1};
   std::atomic<int> fail_conn_writes_after_{-1};
   std::atomic<bool> truncate_conn_writes_{false};
+  std::atomic<int> fail_accepts_after_{-1};
+  std::atomic<int> conn_read_chunk_{0};
   std::atomic<int> conn_reads_attempted_{0};
   std::atomic<int> conn_writes_attempted_{0};
   std::atomic<int> conn_faults_injected_{0};
+  std::atomic<int> accepts_delivered_{0};
 };
 
 }  // namespace tcss

@@ -42,8 +42,29 @@ Status ScanMoments(TextScanner* scanner, const char* label,
   return Status::OK();
 }
 
-// "ckpt-000123.tckp" -> 123; -1 when the name is not a checkpoint file.
-int EpochFromName(const std::string& name) {
+// Leading decimal run of `*s`, consumed; false when there is none or the
+// value is absurd.
+bool TakeInt(std::string_view* s, int* out) {
+  int value = 0;
+  size_t used = 0;
+  while (used < s->size()) {
+    const char c = (*s)[used];
+    if (c < '0' || c > '9') break;
+    if (value > 100'000'000) return false;
+    value = value * 10 + (c - '0');
+    ++used;
+  }
+  if (used == 0) return false;
+  s->remove_prefix(used);
+  *out = value;
+  return true;
+}
+
+// "ckpt-000123.tckp"       -> epoch 123 of shard 0-of-1 (legacy name)
+// "ckpt-000123-s1of4.tckp" -> epoch 123 of shard 1-of-4
+// Returns the epoch when the file belongs to shard `shard` of
+// `num_shards`; -1 for other shards and non-checkpoint names.
+int EpochFromName(const std::string& name, int shard, int num_shards) {
   const std::string_view prefix = kFilePrefix;
   const std::string_view suffix = kFileSuffix;
   if (name.size() <= prefix.size() + suffix.size()) return -1;
@@ -51,12 +72,21 @@ int EpochFromName(const std::string& name) {
   if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
     return -1;
   }
+  std::string_view body(name.data() + prefix.size(),
+                        name.size() - prefix.size() - suffix.size());
   int epoch = 0;
-  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
-    const char c = name[i];
-    if (c < '0' || c > '9' || epoch > 100'000'000) return -1;
-    epoch = epoch * 10 + (c - '0');
+  if (!TakeInt(&body, &epoch)) return -1;
+  int file_shard = 0, file_num_shards = 1;
+  if (!body.empty()) {
+    if (body.size() < 2 || body[0] != '-' || body[1] != 's') return -1;
+    body.remove_prefix(2);
+    if (!TakeInt(&body, &file_shard)) return -1;
+    if (body.size() < 2 || body[0] != 'o' || body[1] != 'f') return -1;
+    body.remove_prefix(2);
+    if (!TakeInt(&body, &file_num_shards)) return -1;
+    if (!body.empty()) return -1;
   }
+  if (file_shard != shard || file_num_shards != num_shards) return -1;
   return epoch;
 }
 
@@ -134,6 +164,10 @@ CheckpointManager::CheckpointManager(CheckpointOptions options)
   if (options_.env == nullptr) options_.env = Env::Default();
   if (options_.every < 1) options_.every = 1;
   if (options_.retain < 1) options_.retain = 1;
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  if (options_.shard < 0 || options_.shard >= options_.num_shards) {
+    options_.shard = 0;
+  }
 }
 
 Status CheckpointManager::Init() {
@@ -144,8 +178,14 @@ Status CheckpointManager::Init() {
 }
 
 std::string CheckpointManager::PathForEpoch(int epoch) const {
+  // Legacy names when unsharded so old directories and tools keep working.
+  const std::string tag =
+      options_.num_shards > 1
+          ? StrFormat("-s%dof%d", options_.shard, options_.num_shards)
+          : std::string();
   return options_.dir + "/" +
-         StrFormat("%s%06d%s", kFilePrefix, epoch, kFileSuffix);
+         StrFormat("%s%06d%s%s", kFilePrefix, epoch, tag.c_str(),
+                   kFileSuffix);
 }
 
 std::vector<int> CheckpointManager::ListEpochs() const {
@@ -153,7 +193,7 @@ std::vector<int> CheckpointManager::ListEpochs() const {
   auto names = options_.env->ListDir(options_.dir);
   if (!names.ok()) return epochs;
   for (const std::string& name : names.value()) {
-    const int e = EpochFromName(name);
+    const int e = EpochFromName(name, options_.shard, options_.num_shards);
     if (e >= 0) epochs.push_back(e);
   }
   std::sort(epochs.begin(), epochs.end());
@@ -187,13 +227,22 @@ Result<TrainerCheckpoint> CheckpointManager::Load(
 
 Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
   std::vector<int> epochs = ListEpochs();
+  if (epochs.empty()) {
+    return Status::NotFound("no checkpoint in " + options_.dir);
+  }
   // Newest first; skip over torn or corrupt files so one bad snapshot
   // costs `every` epochs of progress, not the whole run.
+  std::string newest_error;
   for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
     auto ckpt = Load(PathForEpoch(*it));
     if (ckpt.ok()) return ckpt;
+    if (newest_error.empty()) newest_error = ckpt.status().message();
   }
-  return Status::NotFound("no valid checkpoint in " + options_.dir);
+  // Files exist but every one is corrupt: IOError, not NotFound, so a
+  // resume surfaces the damage instead of silently cold-starting.
+  return Status::IOError(StrFormat(
+      "all %zu checkpoint file(s) in %s are corrupt (newest: %s)",
+      epochs.size(), options_.dir.c_str(), newest_error.c_str()));
 }
 
 }  // namespace tcss

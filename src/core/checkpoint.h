@@ -41,6 +41,16 @@ struct CheckpointOptions {
   int every = 10;       ///< snapshot period in epochs (>= 1)
   int retain = 3;       ///< keep the newest N checkpoints (>= 1)
   Env* env = nullptr;   ///< defaults to Env::Default()
+
+  /// Shard-aware naming for distributed training: shard `s` of
+  /// `num_shards` writes "ckpt-<epoch>-s<s>of<N>.tckp" and only ever sees
+  /// files carrying its own (s, N) tag, so every worker of a distributed
+  /// run can share one directory without clobbering or loading each
+  /// other's state. The default (shard 0 of 1) keeps the legacy
+  /// "ckpt-<epoch>.tckp" names — single-process checkpoints are unchanged
+  /// and old directories stay loadable.
+  int shard = 0;
+  int num_shards = 1;
 };
 
 /// Writes and reads periodic training checkpoints crash-safely:
@@ -76,6 +86,14 @@ class CheckpointManager {
 
   /// Loads and validates one specific file.
   Result<TrainerCheckpoint> Load(const std::string& path) const;
+
+  /// Loads and validates the checkpoint of one specific epoch (under this
+  /// manager's shard naming). The distributed recovery protocol uses this:
+  /// the coordinator picks the newest epoch *every* worker has on disk,
+  /// which is not necessarily any single worker's newest.
+  Result<TrainerCheckpoint> LoadEpoch(int epoch) const {
+    return Load(PathForEpoch(epoch));
+  }
 
   /// Epochs of the on-disk checkpoint files, ascending (no validation).
   std::vector<int> ListEpochs() const;

@@ -49,25 +49,79 @@ struct TrainMetrics {
 /// Max-abs entry over all gradient blocks; +inf if any entry is NaN/Inf,
 /// so a single comparison catches both explosion and corruption.
 double GradMaxAbs(const FactorGrads& g) {
-  double m = 0.0;
-  auto scan = [&m](const double* p, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      if (!std::isfinite(p[i])) {
-        m = std::numeric_limits<double>::infinity();
-        return;
-      }
-      const double a = std::fabs(p[i]);
-      if (a > m) m = a;
-    }
-  };
-  scan(g.u1.data(), g.u1.size());
-  scan(g.u2.data(), g.u2.size());
-  scan(g.u3.data(), g.u3.size());
-  scan(g.h.data(), g.h.size());
+  double m = MaxAbsOrInf(g.u1.data(), g.u1.size());
+  m = std::max(m, MaxAbsOrInf(g.u2.data(), g.u2.size()));
+  m = std::max(m, MaxAbsOrInf(g.u3.data(), g.u3.size()));
+  m = std::max(m, MaxAbsOrInf(g.h.data(), g.h.size()));
   return m;
 }
 
 }  // namespace
+
+double MaxAbsOrInf(const double* p, size_t n) {
+  double m = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return std::numeric_limits<double>::infinity();
+    const double a = std::fabs(p[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+void AdamBiasCorrection(int64_t t, double* bc1, double* bc2) {
+  *bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(t));
+  *bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(t));
+}
+
+void AdamUpdateBlock(double* value, const double* grad, double* m, double* v,
+                     size_t n, double lr, double weight_decay, double bc1,
+                     double bc2) {
+  const double b1 = kAdamBeta1, b2 = kAdamBeta2, eps = kAdamEps;
+  for (size_t idx = 0; idx < n; ++idx) {
+    const double gi = grad[idx];
+    m[idx] = b1 * m[idx] + (1.0 - b1) * gi;
+    v[idx] = b2 * v[idx] + (1.0 - b2) * gi * gi;
+    const double mhat = m[idx] / bc1;
+    const double vhat = v[idx] / bc2;
+    value[idx] -= lr * (mhat / (std::sqrt(vhat) + eps) +
+                        weight_decay * value[idx]);
+  }
+}
+
+double ScheduledLearningRate(const TcssConfig& config, int epoch) {
+  double lr = config.learning_rate;
+  if (epoch > config.epochs * 17 / 20) {
+    lr *= config.lr_step_factor * config.lr_step_factor;
+  } else if (epoch > config.epochs * 3 / 5) {
+    lr *= config.lr_step_factor;
+  }
+  return lr;
+}
+
+// Cyclic temporal smoothness: ts * sum_k ||U3_k - U3_{k+1 mod K}||^2.
+// Gradient wrt U3_k: 2 ts (2 U3_k - U3_{k-1} - U3_{k+1}).
+double AddTemporalSmoothnessGrad(const Matrix& u3, double weight,
+                                 Matrix* u3_grad) {
+  const size_t K = u3.rows();
+  const size_t r = u3.cols();
+  if (K < 2) return 0.0;
+  double loss = 0.0;
+  for (size_t k = 0; k < K; ++k) {
+    const size_t next = (k + 1) % K;
+    const size_t prev = (k + K - 1) % K;
+    const double* cur_row = u3.row(k);
+    const double* next_row = u3.row(next);
+    const double* prev_row = u3.row(prev);
+    double* g = u3_grad->row(k);
+    for (size_t t = 0; t < r; ++t) {
+      const double d = cur_row[t] - next_row[t];
+      loss += weight * d * d;
+      g[t] += 2.0 * weight *
+              (2.0 * cur_row[t] - prev_row[t] - next_row[t]);
+    }
+  }
+  return loss;
+}
 
 TcssTrainer::TcssTrainer(const Dataset& data, const SparseTensor& train,
                          const TcssConfig& config)
@@ -85,68 +139,27 @@ TcssTrainer::TcssTrainer(const Dataset& data, const SparseTensor& train,
 void TcssTrainer::AdamStep(FactorModel* model, const FactorGrads& grads,
                            AdamState* state, double lr) const {
   ++state->t;
-  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
-  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(state->t));
-  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(state->t));
-  auto update = [&](Matrix* value, const Matrix& g, Matrix* m, Matrix* v) {
-    for (size_t idx = 0; idx < value->size(); ++idx) {
-      const double gi = g.data()[idx];
-      m->data()[idx] = b1 * m->data()[idx] + (1.0 - b1) * gi;
-      v->data()[idx] = b2 * v->data()[idx] + (1.0 - b2) * gi * gi;
-      const double mhat = m->data()[idx] / bc1;
-      const double vhat = v->data()[idx] / bc2;
-      value->data()[idx] -= lr * (mhat / (std::sqrt(vhat) + eps) +
-                                  config_.weight_decay * value->data()[idx]);
-    }
-  };
-  update(&model->u1, grads.u1, &state->m.u1, &state->v.u1);
-  update(&model->u2, grads.u2, &state->m.u2, &state->v.u2);
-  update(&model->u3, grads.u3, &state->m.u3, &state->v.u3);
-  for (size_t t = 0; t < model->h.size(); ++t) {
-    const double gi = grads.h[t];
-    state->m.h[t] = b1 * state->m.h[t] + (1.0 - b1) * gi;
-    state->v.h[t] = b2 * state->v.h[t] + (1.0 - b2) * gi * gi;
-    const double mhat = state->m.h[t] / bc1;
-    const double vhat = state->v.h[t] / bc2;
-    model->h[t] -= lr * (mhat / (std::sqrt(vhat) + eps) +
-                         config_.weight_decay * model->h[t]);
-  }
+  double bc1 = 0.0, bc2 = 0.0;
+  AdamBiasCorrection(state->t, &bc1, &bc2);
+  const double wd = config_.weight_decay;
+  AdamUpdateBlock(model->u1.data(), grads.u1.data(), state->m.u1.data(),
+                  state->v.u1.data(), model->u1.size(), lr, wd, bc1, bc2);
+  AdamUpdateBlock(model->u2.data(), grads.u2.data(), state->m.u2.data(),
+                  state->v.u2.data(), model->u2.size(), lr, wd, bc1, bc2);
+  AdamUpdateBlock(model->u3.data(), grads.u3.data(), state->m.u3.data(),
+                  state->v.u3.data(), model->u3.size(), lr, wd, bc1, bc2);
+  AdamUpdateBlock(model->h.data(), grads.h.data(), state->m.h.data(),
+                  state->v.h.data(), model->h.size(), lr, wd, bc1, bc2);
 }
 
-// Cyclic temporal smoothness: ts * sum_k ||U3_k - U3_{k+1 mod K}||^2.
-// Gradient wrt U3_k: 2 ts (2 U3_k - U3_{k-1} - U3_{k+1}).
 double TcssTrainer::AddTemporalSmoothness(const FactorModel& model,
                                           double weight,
                                           FactorGrads* grads) const {
-  const size_t K = model.u3.rows();
-  const size_t r = model.rank();
-  if (K < 2) return 0.0;
-  double loss = 0.0;
-  for (size_t k = 0; k < K; ++k) {
-    const size_t next = (k + 1) % K;
-    const size_t prev = (k + K - 1) % K;
-    const double* cur_row = model.u3.row(k);
-    const double* next_row = model.u3.row(next);
-    const double* prev_row = model.u3.row(prev);
-    double* g = grads->u3.row(k);
-    for (size_t t = 0; t < r; ++t) {
-      const double d = cur_row[t] - next_row[t];
-      loss += weight * d * d;
-      g[t] += 2.0 * weight *
-              (2.0 * cur_row[t] - prev_row[t] - next_row[t]);
-    }
-  }
-  return loss;
+  return AddTemporalSmoothnessGrad(model.u3, weight, &grads->u3);
 }
 
 double TcssTrainer::ScheduledLr(int epoch) const {
-  double lr = config_.learning_rate;
-  if (epoch > config_.epochs * 17 / 20) {
-    lr *= config_.lr_step_factor * config_.lr_step_factor;
-  } else if (epoch > config_.epochs * 3 / 5) {
-    lr *= config_.lr_step_factor;
-  }
-  return lr;
+  return ScheduledLearningRate(config_, epoch);
 }
 
 Result<FactorModel> TcssTrainer::Train(const EpochCallback& callback) {
@@ -195,6 +208,11 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
                      << start_epoch;
     } else if (loaded.status().code() != StatusCode::kNotFound) {
       return loaded.status();
+    } else if (options.require_checkpoint) {
+      return Status::FailedPrecondition(
+          "resume requires a checkpoint but none could be loaded from '" +
+          options.checkpoints->options().dir +
+          "': " + loaded.status().message());
     }
   }
   if (!resumed) {

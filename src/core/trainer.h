@@ -43,6 +43,46 @@ struct EpochStats {
 using EpochCallback =
     std::function<void(const EpochStats&, const FactorModel&)>;
 
+// Shared training arithmetic ---------------------------------------------
+//
+// The distributed engine (src/dist) re-implements the trainer's epoch loop
+// across processes and must produce bit-identical floating-point
+// trajectories. Every piece of per-element arithmetic therefore lives in
+// these free functions, used verbatim by both TcssTrainer and DistWorker/
+// DistCoordinator: same functions, same IEEE operation order, same bytes.
+
+/// Adam hyperparameters shared by every trainer in the repo.
+inline constexpr double kAdamBeta1 = 0.9;
+inline constexpr double kAdamBeta2 = 0.999;
+inline constexpr double kAdamEps = 1e-8;
+
+/// Bias-correction factors 1 - beta^t for step counter `t` (post-increment
+/// value, i.e. the step being applied).
+void AdamBiasCorrection(int64_t t, double* bc1, double* bc2);
+
+/// One Adam update over a contiguous parameter block. Elementwise: applying
+/// it to disjoint row blocks of a matrix (with the matching gradient and
+/// moment blocks) produces exactly the same bytes as one call over the
+/// whole matrix — the property that makes user-mode sharding exact.
+void AdamUpdateBlock(double* value, const double* grad, double* m, double* v,
+                     size_t n, double lr, double weight_decay, double bc1,
+                     double bc2);
+
+/// Learning rate of `epoch` under the step schedule (before any divergence
+/// backoff): lr * step^2 after 85% of the epochs, lr * step after 60%.
+double ScheduledLearningRate(const TcssConfig& config, int epoch);
+
+/// Adds the cyclic temporal-smoothness gradient
+/// ts * sum_k ||U3_k - U3_{k+1 mod K}||^2 into `u3_grad` and returns the
+/// penalty value. Touches only the (small, replicated) U3 factor, so the
+/// distributed coordinator can evaluate it centrally.
+double AddTemporalSmoothnessGrad(const Matrix& u3, double weight,
+                                 Matrix* u3_grad);
+
+/// Max-abs entry of a block; +inf if any entry is NaN/Inf, so a single
+/// comparison catches both explosion and corruption.
+double MaxAbsOrInf(const double* p, size_t n);
+
 /// Resilience knobs of TcssTrainer::Train. Defaults preserve the classic
 /// behavior (no checkpoints, no early stop) except that non-finite
 /// losses/gradients now trigger rollback + LR backoff instead of silently
@@ -60,6 +100,12 @@ struct TrainOptions {
   /// the resumed epochs draw the same negatives the uninterrupted run
   /// would have.
   bool resume = false;
+
+  /// With `resume`: fail (FailedPrecondition) instead of cold-starting when
+  /// no checkpoint can be loaded — the CLI sets this so `--resume` against
+  /// a missing or fully-corrupt checkpoint directory exits with a clear
+  /// diagnostic rather than silently retraining from scratch.
+  bool require_checkpoint = false;
 
   /// Divergence guard: on a non-finite loss/gradient (or grad_norm above
   /// `grad_norm_limit`), roll back to the last verified-good state and

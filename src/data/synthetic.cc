@@ -424,4 +424,61 @@ Result<Dataset> GenerateSyntheticLbsn(const SyntheticConfig& cfg) {
   return data;
 }
 
+namespace {
+
+/// SplitMix64-style finalizer deriving one independent RNG stream per
+/// (seed, user). Counter-based: user u's draws are a pure function of
+/// these two, never of how many other users were generated before — the
+/// property that makes arbitrary user slices independently generatable.
+uint64_t UserStream(uint64_t seed, uint64_t user) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (user + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+}  // namespace
+
+Result<SparseTensor> GenerateStreamedSlice(const StreamedTensorConfig& config,
+                                           size_t user_begin,
+                                           size_t user_end) {
+  if (user_begin > user_end || user_end > config.num_users) {
+    return Status::InvalidArgument("streamed slice out of user range");
+  }
+  if (config.num_pois == 0 || config.num_bins == 0) {
+    return Status::InvalidArgument("streamed tensor needs pois and bins");
+  }
+  if (!(config.activity_tail > 1.0)) {
+    return Status::InvalidArgument("activity_tail must be > 1");
+  }
+  const size_t J = config.num_pois;
+  const size_t K = config.num_bins;
+  SparseTensor tensor(user_end - user_begin, J, K);
+  // Pareto(a) has mean a/(a-1); dividing it out makes mean_checkins the
+  // actual expected event count regardless of the tail index.
+  const double a = config.activity_tail;
+  const double pareto_mean = a / (a - 1.0);
+  for (size_t u = user_begin; u < user_end; ++u) {
+    Rng rng(UserStream(config.seed, u));
+    const double pareto = std::pow(1.0 - rng.Uniform(), -1.0 / a);
+    const double events = config.mean_checkins * pareto / pareto_mean;
+    size_t n = static_cast<size_t>(events);
+    if (n > config.max_checkins_per_user) n = config.max_checkins_per_user;
+    const uint32_t i = static_cast<uint32_t>(u - user_begin);
+    for (size_t e = 0; e < n; ++e) {
+      const double pop = std::pow(rng.Uniform(), config.popularity_skew);
+      size_t j = static_cast<size_t>(pop * static_cast<double>(J));
+      if (j >= J) j = J - 1;
+      const size_t k = rng.UniformInt(K);
+      TCSS_RETURN_IF_ERROR(tensor.Add(i, static_cast<uint32_t>(j),
+                                      static_cast<uint32_t>(k)));
+    }
+  }
+  TCSS_RETURN_IF_ERROR(tensor.Finalize(/*binary=*/true));
+  return tensor;
+}
+
 }  // namespace tcss

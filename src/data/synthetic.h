@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "tensor/sparse_tensor.h"
 
 namespace tcss {
 
@@ -85,6 +86,43 @@ const char* PresetName(SyntheticPreset preset);
 
 /// Generates a dataset. Deterministic given the config (including seed).
 Result<Dataset> GenerateSyntheticLbsn(const SyntheticConfig& config);
+
+/// Streamed, shard-addressable check-in tensor for the large-scale
+/// regime (ROADMAP: "millions of users"). Unlike GenerateSyntheticLbsn —
+/// which simulates a full LBSN with social graph and geography — this
+/// produces only the tensor, with the two statistics that matter for
+/// training-cost realism: a heavy-tailed (Pareto) per-user activity level
+/// and a power-law POI popularity skew.
+///
+/// Every user's check-ins derive from an independent counter-based RNG
+/// stream keyed by (seed, user), so any contiguous user range is
+/// generatable on its own: a distributed worker materializes exactly its
+/// row block, never the full tensor, and the concatenation of disjoint
+/// slices equals the full generation entry-for-entry.
+struct StreamedTensorConfig {
+  uint64_t seed = 11;
+  size_t num_users = 1'000'000;
+  size_t num_pois = 20'000;
+  size_t num_bins = 12;        ///< time bins (months)
+  double mean_checkins = 24.0; ///< mean events per user
+  /// Pareto tail index of per-user activity (smaller = heavier tail).
+  /// Must be > 1 so the mean exists.
+  double activity_tail = 1.8;
+  /// POI popularity: event POI = floor(J * U^skew) for uniform U, so
+  /// skew > 1 concentrates mass on low-index ("popular") POIs.
+  double popularity_skew = 2.5;
+  /// Hard cap on one user's events (bounds worst-case slice memory).
+  size_t max_checkins_per_user = 4096;
+};
+
+/// Generates the tensor rows of users [user_begin, user_end), remapped to
+/// local rows 0..(user_end-user_begin): the returned (finalized, binary)
+/// tensor has dims (user_end - user_begin, num_pois, num_bins) — exactly
+/// the slice a distributed worker owning that row block trains on.
+/// GenerateStreamedSlice(cfg, 0, cfg.num_users) is the full tensor.
+Result<SparseTensor> GenerateStreamedSlice(const StreamedTensorConfig& config,
+                                           size_t user_begin,
+                                           size_t user_end);
 
 }  // namespace tcss
 

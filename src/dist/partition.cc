@@ -1,0 +1,159 @@
+#include "dist/partition.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace tcss {
+namespace {
+
+/// Bump on any incompatible change to the wire protocol or the epoch
+/// state machine: mixed-version fleets then refuse each other's kHello
+/// instead of diverging mid-run.
+constexpr uint64_t kDistProtocolVersion = 1;
+
+uint64_t Mix(uint64_t acc, uint64_t v) {
+  uint64_t z = acc + 0x9e3779b97f4a7c15ULL + v;
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+uint64_t MixDouble(uint64_t acc, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(acc, bits);
+}
+
+}  // namespace
+
+Result<SparseTensor> SliceTensorRows(const SparseTensor& full, size_t begin,
+                                     size_t end) {
+  if (!full.finalized()) {
+    return Status::FailedPrecondition("SliceTensorRows: tensor not final");
+  }
+  if (begin > end || end > full.dim_i()) {
+    return Status::InvalidArgument("SliceTensorRows: bad row range");
+  }
+  SparseTensor slice(end - begin, full.dim_j(), full.dim_k());
+  for (const TensorEntry& e : full.entries()) {
+    if (e.i < begin || e.i >= end) continue;
+    TCSS_RETURN_IF_ERROR(slice.Add(static_cast<uint32_t>(e.i - begin), e.j,
+                                   e.k, e.value));
+  }
+  TCSS_RETURN_IF_ERROR(slice.Finalize(/*binary=*/true));
+  return slice;
+}
+
+bool ValidateDistConfig(const TcssConfig& config, int num_workers,
+                        std::string* problem) {
+  if (num_workers < 1) {
+    *problem = "num_workers must be >= 1";
+    return false;
+  }
+  if (config.loss_mode == LossMode::kNegativeSampling) {
+    *problem =
+        "distributed training requires a loss that decomposes over user "
+        "row blocks (rewritten or naive); negative sampling draws "
+        "different streams in one process than in many";
+    return false;
+  }
+  const bool wants_hausdorff =
+      config.lambda > 0.0 && (config.hausdorff == HausdorffMode::kSocial ||
+                              config.hausdorff == HausdorffMode::kSelf);
+  if (wants_hausdorff) {
+    *problem =
+        "the social Hausdorff head couples users across shards; "
+        "distributed training requires lambda = 0 (or hausdorff mode "
+        "none/zero-out)";
+    return false;
+  }
+  if (num_workers > 1 && config.init == InitMethod::kSpectral) {
+    *problem =
+        "spectral init needs the full tensor in one process; multi-worker "
+        "runs use random or one-hot init (reproducible from dims + seed)";
+    return false;
+  }
+  return true;
+}
+
+Result<FactorModel> InitializeFactorsSlice(const TcssConfig& config,
+                                           size_t dim_i, size_t dim_j,
+                                           size_t dim_k,
+                                           const RowPartition& part,
+                                           int rank) {
+  if (part.rows != dim_i) {
+    return Status::InvalidArgument("partition does not cover dim_i");
+  }
+  if (rank < 0 || rank >= part.world) {
+    return Status::InvalidArgument("rank outside partition world");
+  }
+  const size_t begin = part.Begin(rank);
+  const size_t end = part.End(rank);
+  const size_t r = config.rank;
+  FactorModel m;
+  m.h.assign(r, 1.0);
+
+  switch (config.init) {
+    case InitMethod::kRandom: {
+      // Replays InitializeFactors' exact draw sequence — Rng(seed), U1
+      // row-major, then U2, then U3 — storing only the owned U1 rows.
+      // Every draw must happen (the Gaussian stream is stateful), so this
+      // costs O(I*r) time but only O((end-begin)*r) memory.
+      Rng rng(config.seed);
+      m.u1.Resize(end - begin, r);
+      for (size_t i = 0; i < dim_i; ++i) {
+        if (i >= begin && i < end) {
+          double* row = m.u1.row(i - begin);
+          for (size_t t = 0; t < r; ++t) row[t] = rng.Gaussian(0.0, 0.1);
+        } else {
+          for (size_t t = 0; t < r; ++t) (void)rng.Gaussian(0.0, 0.1);
+        }
+      }
+      m.u2 = Matrix::GaussianRandom(dim_j, r, &rng, 0.1);
+      m.u3 = Matrix::GaussianRandom(dim_k, r, &rng, 0.1);
+      break;
+    }
+    case InitMethod::kOneHot: {
+      m.u1.Resize(end - begin, r);
+      m.u2.Resize(dim_j, r);
+      m.u3.Resize(dim_k, r);
+      // The cyclic pattern depends on the *global* row index, so the
+      // slice matches the corresponding rows of the full init.
+      for (size_t i = begin; i < end; ++i) m.u1(i - begin, i % r) = 0.3;
+      for (size_t j = 0; j < dim_j; ++j) m.u2(j, j % r) = 0.3;
+      for (size_t k = 0; k < dim_k; ++k) m.u3(k, k % r) = 0.3;
+      break;
+    }
+    case InitMethod::kSpectral:
+      return Status::InvalidArgument(
+          "spectral init cannot be sliced; use random or one-hot");
+  }
+  return m;
+}
+
+uint64_t DistFingerprint(const TcssConfig& config, size_t dim_i, size_t dim_j,
+                         size_t dim_k, int num_workers) {
+  uint64_t acc = Mix(kDistProtocolVersion, 0x7c55);
+  acc = Mix(acc, dim_i);
+  acc = Mix(acc, dim_j);
+  acc = Mix(acc, dim_k);
+  acc = Mix(acc, static_cast<uint64_t>(num_workers));
+  acc = Mix(acc, config.rank);
+  acc = Mix(acc, static_cast<uint64_t>(config.epochs));
+  acc = Mix(acc, config.seed);
+  acc = Mix(acc, static_cast<uint64_t>(config.init));
+  acc = Mix(acc, static_cast<uint64_t>(config.loss_mode));
+  acc = MixDouble(acc, config.learning_rate);
+  acc = MixDouble(acc, config.weight_decay);
+  acc = MixDouble(acc, config.lr_step_factor);
+  acc = MixDouble(acc, config.w_pos);
+  acc = MixDouble(acc, config.w_neg);
+  acc = MixDouble(acc, config.temporal_smoothness);
+  return acc;
+}
+
+}  // namespace tcss

@@ -245,6 +245,72 @@ TEST(CheckpointManagerTest, SaveIsAtomicUnderEveryFailurePoint) {
   }
 }
 
+// Shard-aware naming (CheckpointOptions::shard/num_shards): every worker
+// of a distributed run shares one directory, yet each manager sees only
+// files carrying its own "-s<s>of<N>" tag.
+TEST(ShardNamingTest, ShardsShareADirectoryWithoutClobbering) {
+  CheckpointOptions base;
+  base.dir = ScratchDir("shards");
+  base.every = 1;
+  base.retain = 10;
+  base.num_shards = 2;
+
+  CheckpointOptions o0 = base, o1 = base;
+  o0.shard = 0;
+  o1.shard = 1;
+  CheckpointManager m0(o0), m1(o1);
+  ASSERT_TRUE(m0.Init().ok());
+  ASSERT_TRUE(m1.Init().ok());
+
+  // Same epochs, different payloads: distinct file names keep them apart.
+  ASSERT_TRUE(m0.Save(MakeCheckpoint(1, 100)).ok());
+  ASSERT_TRUE(m1.Save(MakeCheckpoint(1, 200)).ok());
+  ASSERT_TRUE(m0.Save(MakeCheckpoint(2, 101)).ok());
+
+  EXPECT_EQ(m0.ListEpochs(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(m1.ListEpochs(), (std::vector<int>{1}));
+
+  auto l0 = m0.LoadLatest();
+  auto l1 = m1.LoadLatest();
+  ASSERT_TRUE(l0.ok());
+  ASSERT_TRUE(l1.ok());
+  EXPECT_TRUE(SameCheckpoint(l0.value(), MakeCheckpoint(2, 101)));
+  EXPECT_TRUE(SameCheckpoint(l1.value(), MakeCheckpoint(1, 200)));
+
+  // The recovery protocol loads a *specific* common epoch per shard.
+  auto e1 = m1.LoadEpoch(1);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_TRUE(SameCheckpoint(e1.value(), MakeCheckpoint(1, 200)));
+  EXPECT_EQ(m1.LoadEpoch(2).status().code(), StatusCode::kIOError);
+
+  // The names on disk are the documented scheme, and both tags coexist.
+  EXPECT_TRUE(std::filesystem::exists(base.dir + "/ckpt-000002-s0of2.tckp"));
+  EXPECT_TRUE(std::filesystem::exists(base.dir + "/ckpt-000001-s1of2.tckp"));
+}
+
+TEST(ShardNamingTest, DefaultShardKeepsLegacyNamesAndIgnoresShardFiles) {
+  CheckpointOptions copts;
+  copts.dir = ScratchDir("shard_legacy");
+  copts.every = 1;
+  CheckpointManager legacy(copts);
+  ASSERT_TRUE(legacy.Init().ok());
+  ASSERT_TRUE(legacy.Save(MakeCheckpoint(3, 7)).ok());
+  EXPECT_TRUE(std::filesystem::exists(copts.dir + "/ckpt-000003.tckp"));
+
+  // A sharded manager pointed at the same directory sees nothing...
+  CheckpointOptions sopts = copts;
+  sopts.shard = 1;
+  sopts.num_shards = 2;
+  CheckpointManager sharded(sopts);
+  ASSERT_TRUE(sharded.Init().ok());
+  EXPECT_TRUE(sharded.ListEpochs().empty());
+  EXPECT_EQ(sharded.LoadLatest().status().code(), StatusCode::kNotFound);
+
+  // ...and after it saves, the legacy manager still sees only its file.
+  ASSERT_TRUE(sharded.Save(MakeCheckpoint(5, 8)).ok());
+  EXPECT_EQ(legacy.ListEpochs(), (std::vector<int>{3}));
+}
+
 TEST(ResumeTest, KillAndResumeIsBitIdentical) {
   World w = MakeWorld();
   TcssConfig cfg;

@@ -18,6 +18,7 @@
 #include "core/checkpoint.h"
 #include "core/model_io.h"
 #include "data/csv_io.h"
+#include "dist/wire.h"
 #include "serve/frontend.h"
 
 namespace tcss {
@@ -426,6 +427,201 @@ TEST(WireFuzz, MutatedResponsePayloadsNeverCrashParser) {
       // If it still parses, it must be structurally sound and bounded.
       EXPECT_LE(r.value().recs.size(), kMaxRequestK);
     }
+  }
+}
+
+// --- distributed-training wire messages (src/dist/wire.h) ---------------
+//
+// The coordinator/worker protocol travels over the same CRC32 frame codec
+// swept above, so a corrupted *frame* is already covered; these sweeps
+// attack the layer underneath — the strict binary payload parser — with
+// one representative message per DistMsgType.
+
+std::vector<DistMsg> DistCorpus() {
+  std::vector<DistMsg> corpus;
+  {
+    DistMsg m;
+    m.type = DistMsgType::kHello;
+    m.gen = 2;
+    m.rank = 3;
+    m.num_workers = 4;
+    m.fingerprint = 0x0123456789abcdefull;
+    m.ckpt_epochs = {10, 20, 30};
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kStart;
+    m.gen = 2;
+    m.epoch = 20;
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kGrad;
+    m.gen = 2;
+    m.epoch = 21;
+    m.loss = 3.5;
+    m.grad_maxabs = 0.125;
+    m.lr_scale = 0.5;
+    m.u2 = {1.0, 2.0};
+    m.u3 = {-1.0};
+    m.h = {0.25, -0.25};
+    m.u3_replica = {7.0};
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kReduced;
+    m.gen = 2;
+    m.epoch = 21;
+    m.action = kActionStep;
+    m.flags = kFlagCheckpoint;
+    m.lr = 0.05;
+    m.lr_scale = 0.5;
+    m.u2 = {0.5};
+    m.u3 = {1.5};
+    m.h = {2.5};
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kHeartbeat;
+    m.gen = 2;
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kCkptAck;
+    m.gen = 2;
+    m.epoch = 20;
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kFinal;
+    m.gen = 2;
+    m.epoch = 40;
+    m.u1 = {1.0, 2.0, 3.0, 4.0};
+    m.u2 = {5.0};
+    m.u3 = {6.0};
+    m.h = {7.0};
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kShutdown;
+    m.gen = 2;
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kReport;
+    m.gen = 3;
+    corpus.push_back(m);
+  }
+  {
+    DistMsg m;
+    m.type = DistMsgType::kAbort;
+    m.gen = 3;
+    m.text = "diverged past the retry budget";
+    corpus.push_back(m);
+  }
+  return corpus;
+}
+
+// The payload encoding is canonical (fixed-width little-endian fields,
+// length-prefixed arrays, trailing bytes rejected), so parse followed by
+// re-encode must reproduce the input byte-for-byte. Any accepted mutation
+// therefore IS a well-formed message — nothing half-parsed can leak into
+// the training state machine.
+TEST(DistWireFuzz, EveryByteFlipIsRejectedOrParsesCanonically) {
+  for (const DistMsg& m : DistCorpus()) {
+    const std::string good = EncodeDistMsg(m);
+    for (size_t pos = 0; pos < good.size(); ++pos) {
+      for (unsigned char mask : {0x01, 0x80, 0xff}) {
+        std::string bad = good;
+        bad[pos] = static_cast<char>(bad[pos] ^ mask);
+        auto r = ParseDistMsg(bad);
+        if (r.ok()) {
+          EXPECT_EQ(EncodeDistMsg(r.value()), bad)
+              << DistMsgTypeName(m.type) << " flip at " << pos << " mask "
+              << int(mask) << " parsed non-canonically";
+        }
+      }
+    }
+  }
+}
+
+TEST(DistWireFuzz, EveryTruncationIsRejected) {
+  for (const DistMsg& m : DistCorpus()) {
+    const std::string good = EncodeDistMsg(m);
+    for (size_t n = 0; n < good.size(); ++n) {
+      EXPECT_FALSE(ParseDistMsg(std::string_view(good.data(), n)).ok())
+          << DistMsgTypeName(m.type) << " prefix " << n << " parsed";
+    }
+    EXPECT_FALSE(ParseDistMsg(good + '\0').ok())
+        << DistMsgTypeName(m.type) << " accepted a trailing byte";
+  }
+}
+
+TEST(DistWireFuzz, MutatedPayloadsNeverCrashStrictParse) {
+  Rng rng(0xd157);
+  for (const DistMsg& m : DistCorpus()) {
+    const std::string good = EncodeDistMsg(m);
+    ASSERT_TRUE(ParseDistMsg(good).ok()) << DistMsgTypeName(m.type);
+    for (int iter = 0; iter < 200; ++iter) {
+      const std::string bad = Mutate(good, &rng);
+      auto r = ParseDistMsg(bad);
+      if (r.ok()) {
+        // Canonicality again: accepted bytes are a real message.
+        EXPECT_EQ(EncodeDistMsg(r.value()), bad);
+      }
+    }
+  }
+}
+
+// Hostile array counts (the gradient/final messages carry
+// length-prefixed double arrays) must be rejected before any allocation:
+// the parser checks the count against the bytes actually present.
+TEST(DistWireFuzz, AbsurdArrayCountsRejectedWithoutAllocation) {
+  DistMsg grad;
+  grad.type = DistMsgType::kGrad;
+  grad.u2 = {1.0};
+  const std::string good = EncodeDistMsg(grad);
+  // Sweep a hostile 0xffffffff over every aligned u32 position; at least
+  // the array-count fields are hit, and nothing may crash or allocate.
+  for (size_t pos = 0; pos + 4 <= good.size(); ++pos) {
+    std::string bad = good;
+    bad[pos] = '\xff';
+    bad[pos + 1] = '\xff';
+    bad[pos + 2] = '\xff';
+    bad[pos + 3] = '\xff';
+    auto r = ParseDistMsg(bad);
+    if (r.ok()) {
+      EXPECT_EQ(EncodeDistMsg(r.value()), bad);
+    }
+  }
+}
+
+// End-to-end: a dist message inside its CRC32 frame. Every single-byte
+// flip of the full on-wire bytes must be caught by the frame layer (magic
+// mismatch, hostile length, or CRC) — the strict payload parser is the
+// second line of defense, not the first.
+TEST(DistWireFuzz, FramedMessageByteFlipsNeverForgeAFrame) {
+  DistMsg m = DistCorpus()[2];  // kGrad, the richest payload
+  Frame f;
+  f.id = 7;
+  f.payload = EncodeDistMsg(m);
+  const std::string wire = EncodeFrame(kDistMagic, f);
+  for (size_t pos = 0; pos < wire.size(); ++pos) {
+    std::string bad = wire;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    Frame out;
+    size_t consumed = 0;
+    auto r = DecodeFrame(kDistMagic, bad, &out, &consumed);
+    EXPECT_FALSE(r.ok() && r.value())
+        << "flip at " << pos << " forged a framed dist message";
   }
 }
 

@@ -608,6 +608,45 @@ TEST(ServerChaosTest, WireFaultScheduleSweep) {
   }
 }
 
+// Accept-gate faults and kernel-dribble reads (the FaultInjectionEnv
+// knobs added for the distributed engine, aimed back at the serving
+// front-end): a dropped accept is exactly a real ECONNABORTED — the
+// client vanished between connect and accept — and must not wedge the
+// accept loop; 2-byte chunked reads force every request through the
+// frame reassembly path.
+TEST(ServerChaosTest, DroppedAcceptsAndSplitReadsAreSurvived) {
+  FaultInjectionEnv fenv(Env::Default());
+  auto w = StartWorld("acceptsplit", ServerOptions{}, &fenv);
+
+  // Every delivered connection dies at the accept gate: clients connect
+  // (the kernel backlog accepts the handshake) but are never served.
+  fenv.set_fail_accepts_after(0);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Frame> reqs = {TopkFrame(1, 0, 0, 2)};
+    ClientOutcome out = RunClient(Env::Default(), w->socket_path, reqs, 2.0);
+    EXPECT_TRUE(out.responses.empty())
+        << "a connection dropped at accept was answered";
+  }
+  EXPECT_GE(fenv.accepts_delivered(), 2);
+
+  // Lift the fault; the accept loop must still be alive. Now dribble all
+  // server-side reads 2 bytes at a time and demand full service.
+  fenv.set_fail_accepts_after(-1);
+  fenv.set_conn_read_chunk(2);
+  std::vector<Frame> reqs;
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back(TopkFrame(static_cast<uint64_t>(i) + 1,
+                             static_cast<uint32_t>(i % 4), 0, 2));
+  }
+  ClientOutcome ok = RunClient(Env::Default(), w->socket_path, reqs);
+  ExpectAllAnswered(ok, reqs);
+  // Far more read ops than frames: the chunk cap really was in force.
+  EXPECT_GT(fenv.conn_reads_attempted(), static_cast<int>(reqs.size()) * 4);
+
+  EXPECT_TRUE(w->server->Stop().ok());
+  ExpectServerLedgerBalanced(w->server->stats());
+}
+
 // Connection-limit overload: with max_connections=1 a second concurrent
 // connection is answered with one explicit overloaded-shed frame.
 TEST(ServerChaosTest, ConnectionLimitShedsExplicitly) {

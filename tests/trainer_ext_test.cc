@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
 #include "common/rng.h"
 #include "core/spectral_init.h"
@@ -337,6 +338,77 @@ TEST(GracefulStopTest, StopWritesFinalCheckpointAndResumeContinues) {
   EXPECT_EQ(MaxAbsDiff(resumed.value().u1, straight.value().u1), 0.0);
   EXPECT_EQ(MaxAbsDiff(resumed.value().u2, straight.value().u2), 0.0);
   EXPECT_EQ(MaxAbsDiff(resumed.value().u3, straight.value().u3), 0.0);
+}
+
+// `tcss train --resume` sets require_checkpoint: a resume that finds no
+// loadable checkpoint must fail loudly instead of silently cold-starting
+// (the CLI turns this status into a nonzero exit + diagnostic).
+TEST(RequireCheckpointTest, ResumeWithEmptyDirFailsPrecondition) {
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 2;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+
+  CheckpointOptions copts;
+  copts.dir = ::testing::TempDir() + "/require_empty";
+  std::filesystem::remove_all(copts.dir);
+  std::filesystem::create_directories(copts.dir);
+  CheckpointManager ckpts(copts);
+  ASSERT_TRUE(ckpts.Init().ok());
+
+  TrainOptions opts;
+  opts.checkpoints = &ckpts;
+  opts.resume = true;
+  opts.require_checkpoint = true;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto result = trainer.Train(opts, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  // The diagnostic must name the directory the user pointed at.
+  EXPECT_NE(result.status().message().find(copts.dir), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(RequireCheckpointTest, ResumeWithOnlyCorruptCheckpointsFails) {
+  World w = MakeWorld();
+  TcssConfig cfg;
+  cfg.epochs = 2;
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.lambda = 0.0;
+
+  CheckpointOptions copts;
+  copts.dir = ::testing::TempDir() + "/require_corrupt";
+  std::filesystem::remove_all(copts.dir);
+  std::filesystem::create_directories(copts.dir);
+  for (const char* name : {"ckpt-000003.tckp", "ckpt-000007.tckp"}) {
+    std::ofstream f(copts.dir + "/" + name, std::ios::binary);
+    f << "TCKPv1 garbage that fails the CRC footer\n";
+  }
+  CheckpointManager ckpts(copts);
+  ASSERT_TRUE(ckpts.Init().ok());
+
+  TrainOptions opts;
+  opts.checkpoints = &ckpts;
+  opts.resume = true;
+  opts.require_checkpoint = true;
+  TcssTrainer trainer(w.data, w.train, cfg);
+  auto result = trainer.Train(opts, nullptr);
+  ASSERT_FALSE(result.ok());
+  // Damage is IOError (distinct from the FailedPrecondition of "nothing
+  // there at all") and names the corruption, so the operator can tell a
+  // wiped directory from a mangled one.
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("corrupt"), std::string::npos)
+      << result.status().ToString();
+
+  // Even without the strict flag a damaged directory must not silently
+  // cold-start: corrupt-everywhere is an error on any resume.
+  opts.require_checkpoint = false;
+  TcssTrainer lenient(w.data, w.train, cfg);
+  auto still_bad = lenient.Train(opts, nullptr);
+  ASSERT_FALSE(still_bad.ok());
+  EXPECT_EQ(still_bad.status().code(), StatusCode::kIOError);
 }
 
 TEST(GracefulStopTest, NullStopAndNeverTrippedFlagChangeNothing) {

@@ -2,24 +2,28 @@
 # CI check, three stages:
 #
 #   1. Plain build: run the serving-layer, server chaos, randomized-
-#      corruption, parallel-determinism, observability, and property-based
-#      differential-oracle suites (ctest labels "serve", "server", "fuzz",
-#      "determinism", "obs", and "proptest") in the production
-#      configuration — the exact binaries that ship.
+#      corruption, parallel-determinism, observability, property-based
+#      differential-oracle, and distributed-training suites (ctest labels
+#      "serve", "server", "fuzz", "determinism", "obs", "proptest", and
+#      "dist") in the production configuration — the exact binaries that
+#      ship.
 #   2. Sanitizer build: configure with AddressSanitizer + UBSan and run
 #      the FULL test suite (which again includes the labeled suites)
 #      under the instrumented binaries.
 #   3. ThreadSanitizer build: configure with TCSS_SANITIZE=thread and run
-#      the determinism + obs + proptest + server suites: determinism
+#      the determinism + obs + proptest + server + dist suites: determinism
 #      drives the thread pool, the sharded losses, and multi-threaded
 #      training end to end; obs hammers the sharded metric registry from
 #      many threads; proptest re-runs the differential-oracle properties,
-#      whose kernel equalities execute at 1/2/8 threads; and the server
+#      whose kernel equalities execute at 1/2/8 threads; the server
 #      chaos harness replays its storms — with TCSS_SERVER_SOAK=10000 so
 #      the mixed-traffic soak pushes >=10k requests through the full
-#      acceptor/reader/dispatcher thread web under TSan. Any data race in
-#      the parallel engine, the telemetry, or the serving front-end fails
-#      here.
+#      acceptor/reader/dispatcher thread web under TSan; and the dist
+#      suite runs coordinator + worker fleets (acceptor, per-session
+#      readers, heartbeat threads, kill/partition recovery) in one
+#      process, where TSan sees every cross-thread edge. Any data race in
+#      the parallel engine, the telemetry, the serving front-end, or the
+#      distributed engine fails here.
 #
 #   tools/check.sh [asan-build-dir] [tsan-build-dir]
 #                  (defaults: build-asan, build-tsan; the plain stage
@@ -36,7 +40,7 @@ TSAN_DIR="${2:-build-tsan}"
 # --- Stage 1: plain build, resilience + determinism suites ---------------
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -L "serve|server|fuzz|determinism|obs|proptest"
+ctest --test-dir build --output-on-failure -L "serve|server|fuzz|determinism|obs|proptest|dist"
 
 # --- Stage 2: ASan/UBSan build, full suite -------------------------------
 cmake -B "$BUILD_DIR" -S . \
@@ -51,12 +55,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
 # --- Stage 3: TSan build, concurrency suites -----------------------------
 # TSan is mutually exclusive with ASan, hence the separate tree. Only the
-# determinism, obs, proptest, and server labels run here: they are the
-# suites that exercise concurrency (ThreadPool, sharded losses,
+# determinism, obs, proptest, server, and dist labels run here: they are
+# the suites that exercise concurrency (ThreadPool, sharded losses,
 # multi-threaded training, concurrent metric recording, the multi-threaded
-# kernel-equality properties, and the server's acceptor/reader/dispatcher
-# threads); the rest of the suite is single-threaded and already covered
-# by stage 2.
+# kernel-equality properties, the server's acceptor/reader/dispatcher
+# threads, and the distributed coordinator/worker fleets); the rest of the
+# suite is single-threaded and already covered by stage 2.
 cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTCSS_SANITIZE=thread
@@ -65,6 +69,6 @@ cmake --build "$TSAN_DIR" -j
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # The chaos soak gates this stage at >=10k requests (see tests/CMakeLists).
 export TCSS_SERVER_SOAK=10000
-ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs|proptest|server"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs|proptest|server|dist"
 
 echo "sanitizer check passed"

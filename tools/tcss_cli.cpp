@@ -62,6 +62,9 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "data/tensor_builder.h"
+#include "dist/coordinator.h"
+#include "dist/partition.h"
+#include "dist/worker.h"
 #include "eval/ranking_protocol.h"
 #include "obs/metrics.h"
 #include "serve/model_watcher.h"
@@ -119,6 +122,14 @@ int Usage() {
       "[--metrics-out FILE] [--metrics-every N]\n"
       "  tcss evaluate  --data DIR --model FILE [--granularity G]\n"
       "  tcss stats     --data DIR\n"
+      "distributed training (see DESIGN.md §11):\n"
+      "  tcss train     --dist-coordinator SOCKET --dist-workers W "
+      "[--model FILE] [--checkpoint-every N] [training flags] "
+      "(--data DIR | --streamed-users N [--streamed-pois N] "
+      "[--streamed-bins N] [--streamed-seed S])\n"
+      "  tcss train     --dist-worker SOCKET --dist-rank R "
+      "--dist-workers W [--checkpoint-dir DIR] [training flags] "
+      "(--data DIR | --streamed-users N ...)\n"
       "  tcss recommend --data DIR --model FILE --user U [--time K] "
       "[--k N] [--new-only] [--granularity G]\n"
       "  tcss serve     --data DIR --model FILE "
@@ -203,7 +214,167 @@ Result<Dataset> LoadData(const Args& args) {
   return data;
 }
 
+// Distributed training entry points (`train --dist-coordinator` /
+// `--dist-worker`). Every process of a run must be launched with the same
+// training flags and data source — the fingerprint handshake enforces it.
+// The tensor comes either from a CSV dataset (--data, sliced per worker)
+// or from the streamed power-law generator (--streamed-users ...), where
+// each worker synthesizes only its own row block and the full tensor is
+// never materialized anywhere.
+int DistTrain(const Args& args) {
+  const char* coord_socket = args.Get("dist-coordinator");
+  const char* worker_socket = args.Get("dist-worker");
+  const int num_workers = static_cast<int>(args.GetI("dist-workers", 1));
+
+  TcssConfig cfg;
+  cfg.epochs = static_cast<int>(args.GetI("epochs", 40));
+  cfg.rank = static_cast<size_t>(args.GetI("rank", 8));
+  cfg.num_threads =
+      static_cast<int>(args.GetI("num-threads", cfg.num_threads));
+  cfg.seed = static_cast<uint64_t>(args.GetI("seed", 13));
+  cfg.learning_rate = args.GetD("lr", cfg.learning_rate);
+  cfg.temporal_smoothness =
+      args.GetD("temporal-smoothness", cfg.temporal_smoothness);
+  // The social Hausdorff head couples users across shards and spectral
+  // init needs the full tensor; the distributed defaults drop both
+  // (ValidateDistConfig rejects incompatible overrides with a diagnostic).
+  cfg.lambda = args.GetD("lambda", 0.0);
+  cfg.hausdorff = HausdorffMode::kNone;
+  cfg.init = InitMethod::kRandom;
+
+  // Dims + a per-rank tensor slice factory, from either source.
+  const bool streamed = args.Get("streamed-users") != nullptr;
+  StreamedTensorConfig scfg;
+  SparseTensor full;
+  size_t dim_i = 0, dim_j = 0, dim_k = 0;
+  if (streamed) {
+    scfg.num_users = static_cast<size_t>(args.GetI("streamed-users", 0));
+    scfg.num_pois = static_cast<size_t>(
+        args.GetI("streamed-pois", static_cast<long>(scfg.num_pois)));
+    scfg.num_bins = static_cast<size_t>(
+        args.GetI("streamed-bins", static_cast<long>(scfg.num_bins)));
+    scfg.seed = static_cast<uint64_t>(
+        args.GetI("streamed-seed", static_cast<long>(scfg.seed)));
+    scfg.mean_checkins =
+        args.GetD("streamed-mean-checkins", scfg.mean_checkins);
+    dim_i = scfg.num_users;
+    dim_j = scfg.num_pois;
+    dim_k = scfg.num_bins;
+  } else {
+    auto data = LoadData(args);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    const TimeGranularity g = ParseGranularity(args.Get("granularity"));
+    TrainTestSplit split = SplitCheckins(data.value(), 0.8, 42);
+    auto built = BuildCheckinTensor(data.value(), split.train, g);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    full = built.MoveValue();
+    dim_i = full.dim_i();
+    dim_j = full.dim_j();
+    dim_k = full.dim_k();
+  }
+  if (dim_i == 0 || dim_j == 0 || dim_k == 0) {
+    std::fprintf(stderr,
+                 "distributed training needs a data source: --data DIR or "
+                 "--streamed-users N\n");
+    return 2;
+  }
+
+  if (coord_socket != nullptr) {
+    InstallStopHandlers();
+    DistCoordinatorOptions opts;
+    opts.num_workers = num_workers;
+    opts.socket_path = coord_socket;
+    opts.checkpoint_every = static_cast<int>(args.GetI("checkpoint-every", 25));
+    opts.heartbeat_timeout_ms =
+        static_cast<int>(args.GetI("heartbeat-timeout-ms", 3000));
+    opts.world_timeout_ms =
+        static_cast<int>(args.GetI("world-timeout-ms", 60000));
+    opts.stop = &g_stop;
+    opts.epoch_callback = [&cfg](const EpochStats& s) {
+      if (s.epoch % std::max(1, cfg.epochs / 5) == 0) {
+        std::printf("  epoch %4d  L2=%.2f  grad=%.3g  lr=%.4f\n", s.epoch,
+                    s.loss_l2, s.grad_norm, s.lr);
+      }
+    };
+    DistCoordinator coordinator(cfg, dim_i, dim_j, dim_k, opts);
+    std::printf("coordinating %d workers on %s (%s, tensor %zux%zux%zu)\n",
+                num_workers, coord_socket, cfg.Summary().c_str(), dim_i,
+                dim_j, dim_k);
+    auto model = coordinator.Run();
+    const DistCoordinatorStats& cs = coordinator.stats();
+    std::fprintf(stderr,
+                 "coordinator: %d epochs, %d rollbacks, %d recoveries, %d "
+                 "stragglers, %d ckpt acks\n",
+                 cs.epochs, cs.rollbacks, cs.recoveries, cs.stragglers,
+                 cs.ckpt_acks);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    const char* model_path = args.Get("model");
+    if (model_path != nullptr) {
+      Status st = SaveFactorModel(model.value(), model_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved model to %s\n", model_path);
+    }
+    return 0;
+  }
+
+  // Worker process.
+  const int rank = static_cast<int>(args.GetI("dist-rank", 0));
+  const RowPartition part(dim_i, num_workers);
+  if (rank < 0 || rank >= num_workers) {
+    std::fprintf(stderr, "--dist-rank %d outside [0, %d)\n", rank,
+                 num_workers);
+    return 2;
+  }
+  Result<SparseTensor> slice =
+      streamed
+          ? GenerateStreamedSlice(scfg, part.Begin(rank), part.End(rank))
+          : SliceTensorRows(full, part.Begin(rank), part.End(rank));
+  if (!slice.ok()) {
+    std::fprintf(stderr, "%s\n", slice.status().ToString().c_str());
+    return 1;
+  }
+  DistWorkerOptions wopts;
+  wopts.rank = rank;
+  wopts.num_workers = num_workers;
+  wopts.socket_path = worker_socket;
+  const char* ckpt_dir = args.Get("checkpoint-dir");
+  if (ckpt_dir != nullptr) wopts.checkpoint_dir = ckpt_dir;
+  wopts.checkpoint_retain =
+      static_cast<int>(args.GetI("checkpoint-retain", 3));
+  DistWorker worker(cfg, dim_i, dim_j, dim_k, slice.MoveValue(), wopts);
+  std::printf("worker %d/%d connecting to %s (%zu local users)\n", rank,
+              num_workers, worker_socket, part.Count(rank));
+  Status st = worker.Run();
+  const DistWorkerStats& ws = worker.stats();
+  std::fprintf(stderr,
+               "worker %d: %d epochs computed, %d steps, %d rollbacks, %d "
+               "reconnects, %d checkpoints, %d reloads\n",
+               rank, ws.epochs_computed, ws.steps_applied, ws.rollbacks,
+               ws.reconnects, ws.checkpoints, ws.reloads);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int Train(const Args& args) {
+  if (args.Get("dist-coordinator") != nullptr ||
+      args.Get("dist-worker") != nullptr) {
+    return DistTrain(args);
+  }
   const char* model_path = args.Get("model");
   if (model_path == nullptr) return Usage();
   auto data = LoadData(args);
@@ -246,6 +417,9 @@ int Train(const Args& args) {
   TrainOptions topts;
   topts.checkpoints = checkpoints.get();
   topts.resume = args.resume;
+  // An explicit --resume against a directory with nothing loadable exits
+  // nonzero with a diagnostic instead of silently retraining from scratch.
+  topts.require_checkpoint = args.resume;
   InstallStopHandlers();
   topts.stop = &g_stop;
 
