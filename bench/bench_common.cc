@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
+#include <thread>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "linalg/simd.h"
 
 namespace tcss::bench {
 
@@ -137,6 +141,21 @@ std::string JsonQuote(const std::string& s) {
   return out;
 }
 
+/// Short git revision stamped into each row so trajectory points from
+/// different checkouts are distinguishable. Configure-time value (the
+/// TCSS_GIT_REV define from bench/CMakeLists.txt), overridable at run
+/// time via the TCSS_GIT_REV environment variable (CI runs that bench a
+/// stale build tree can stamp the truth).
+std::string GitRev() {
+  const char* env = std::getenv("TCSS_GIT_REV");
+  if (env != nullptr && *env != '\0') return env;
+#ifdef TCSS_GIT_REV
+  return TCSS_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
 
 void AppendBenchJson(const std::string& bench, const std::string& dataset,
@@ -150,10 +169,18 @@ void AppendBenchJson(const std::string& bench, const std::string& dataset,
     std::fprintf(stderr, "warning: cannot append bench JSON to %s\n", path);
     return;
   }
-  std::fprintf(f, "{\"bench\": %s, \"dataset\": %s, \"metric\": %s, "
-                  "\"value\": %.17g}\n",
+  // Context fields (num_threads/host_cpus/git_rev/simd) are additive:
+  // rows from before they existed parse with the same reader, they just
+  // lack the keys.
+  std::fprintf(f,
+               "{\"bench\": %s, \"dataset\": %s, \"metric\": %s, "
+               "\"value\": %.17g, \"num_threads\": %d, \"host_cpus\": %u, "
+               "\"git_rev\": %s, \"simd\": %s}\n",
                JsonQuote(bench).c_str(), JsonQuote(dataset).c_str(),
-               JsonQuote(metric).c_str(), value);
+               JsonQuote(metric).c_str(), value, GlobalThreads(),
+               std::thread::hardware_concurrency(),
+               JsonQuote(GitRev()).c_str(),
+               JsonQuote(SimdModeName(ActiveSimdMode())).c_str());
   std::fclose(f);
 }
 

@@ -1,16 +1,27 @@
-// Kernel micro-benchmark: mode-0 MTTKRP on COO vs CSF (DESIGN.md's
-// compressed-sparse-fiber decision). CSF's fiber factoring reuses the U2
-// row across a fiber's nonzeros, which pays off when (user, POI) fibers
-// are long. Measured result on the month-binned presets: fibers average
-// only ~3 nonzeros (K = 12 caps them), so plain COO wins - the library
-// therefore keeps COO in the CP-ALS hot path and CSF as an alternative
-// for long-fiber regimes (hour/week granularities, denser data).
+// Kernel micro-benchmark: MTTKRP on COO vs CSF vs CSF+SIMD, plus the
+// dense gemm/Gram micro-kernels behind the ALS solves — the trajectory
+// behind BENCH_kernels.json.
+//
+// History: the first measurement on month-binned presets found fibers
+// averaging only ~3 nonzeros (K = 12 caps them), so plain COO won and
+// the library kept COO in the hot path. The register-blocked kernel
+// rewrite changed that verdict: CSF's fiber factoring (one rank-r
+// accumulator per fiber, ~1/2 the flops) combined with the vectorized
+// kernel build now beats the COO entry loop well past the 4x mark, and
+// CSF via SparseKernels IS the training hot path (trainer, RewrittenLoss,
+// CP-ALS). The coo series here measures the retained COO fallback
+// (MttkrpCoo) for continuity with the committed baselines; csf uses the
+// scalar kernel table, csf_simd the native (TCSS_SIMD=native) build.
+// All three are bit-identical across thread counts; scalar and native
+// are bit-identical to each other (see tests/kernels_test.cc).
+//
 // The thread-scaling sweep (BM_MttkrpCooThreads) tracks the speedup of
 // the deterministic parallel path at 1/2/4/8 threads; the output is
 // bit-identical at every thread count, so this measures scheduling
 // overhead and memory bandwidth only. BM_Gemm/BM_Gram sweep the dense
 // products behind the ALS solves (square references plus the tall-skinny
-// rows x rank shapes CP-ALS actually forms).
+// rows x rank shapes CP-ALS actually forms), each in scalar and simd
+// variants.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -23,8 +34,10 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "data/tensor_builder.h"
+#include "linalg/simd.h"
 #include "tensor/csf_tensor.h"
 #include "tensor/mttkrp.h"
+#include "tensor/sparse_kernels.h"
 
 namespace {
 
@@ -33,6 +46,20 @@ using namespace tcss;
 const char* TensorName(int which) {
   return which == 0 ? "gowalla-like" : "gmu5k-like";
 }
+
+// Selects the kernel build for one benchmark run. simd=1 asks for the
+// native build; if it is unavailable (not compiled in / CPU too old) the
+// dispatcher falls back to scalar with a warning and the emitted rows
+// carry "simd": "scalar", so a fallback can never masquerade as a
+// vectorized measurement.
+void SelectSimd(int64_t simd) {
+  SetSimdMode(simd != 0 ? SimdMode::kNative : SimdMode::kScalar);
+  if (simd != 0 && !(SimdNativeCompiledIn() && SimdNativeSupportedByCpu())) {
+    SetSimdMode(SimdMode::kScalar);
+  }
+}
+
+const char* SimdTag(int64_t simd) { return simd != 0 ? "_simd" : ""; }
 
 // Emits one TCSS_BENCH_JSON record with mean seconds/iteration; the
 // google-benchmark tables stay the human-readable output.
@@ -59,6 +86,8 @@ const SparseTensor& CheckinTensor(int which) {
 void BM_MttkrpCoo(benchmark::State& state) {
   const SparseTensor& x = CheckinTensor(static_cast<int>(state.range(1)));
   const size_t r = static_cast<size_t>(state.range(0));
+  SetSimdMode(SimdMode::kScalar);  // COO loop bypasses the kernel table;
+                                   // keep the emitted simd tag honest
   Rng rng(1);
   Matrix factors[3] = {Matrix(x.dim_i(), r),
                        Matrix::GaussianRandom(x.dim_j(), r, &rng),
@@ -66,7 +95,7 @@ void BM_MttkrpCoo(benchmark::State& state) {
   Stopwatch sw;
   size_t iters = 0;
   for (auto _ : state) {
-    Matrix out = Mttkrp(x, factors, 0);
+    Matrix out = MttkrpCoo(x, factors, 0);
     benchmark::DoNotOptimize(out.data());
     ++iters;
   }
@@ -76,25 +105,58 @@ void BM_MttkrpCoo(benchmark::State& state) {
                  iters);
 }
 
+// Args: {rank, dataset, simd}. Measures the dispatched CSF mode-0 MTTKRP
+// (the hot-path kernel) on a prebuilt tree.
 void BM_MttkrpCsf(benchmark::State& state) {
   const SparseTensor& x = CheckinTensor(static_cast<int>(state.range(1)));
   const CsfTensor csf(x);
   const size_t r = static_cast<size_t>(state.range(0));
+  const int64_t simd = state.range(2);
+  SelectSimd(simd);
   Rng rng(1);
-  Matrix u2 = Matrix::GaussianRandom(x.dim_j(), r, &rng);
-  Matrix u3 = Matrix::GaussianRandom(x.dim_k(), r, &rng);
+  Matrix factors[3] = {Matrix(x.dim_i(), r),
+                       Matrix::GaussianRandom(x.dim_j(), r, &rng),
+                       Matrix::GaussianRandom(x.dim_k(), r, &rng)};
   Stopwatch sw;
   size_t iters = 0;
   for (auto _ : state) {
-    Matrix out = csf.MttkrpMode0(u2, u3);
+    Matrix out = SparseKernels::Mttkrp(csf, factors, 0);
     benchmark::DoNotOptimize(out.data());
     ++iters;
   }
   state.counters["fibers"] = static_cast<double>(csf.num_fibers());
   state.counters["nnz"] = static_cast<double>(csf.nnz());
-  EmitKernelJson("csf_r" + std::to_string(r) + "_s",
+  EmitKernelJson("csf" + std::string(SimdTag(simd)) + "_r" +
+                     std::to_string(r) + "_s",
                  static_cast<int>(state.range(1)), sw.ElapsedSeconds(),
                  iters);
+  SetSimdMode(SimdMode::kScalar);
+}
+
+// Args: {mode, simd}. Per-mode CSF series at rank 32 on the gowalla-like
+// tensor: modes 1/2 run off the same mode-0-rooted tree.
+void BM_MttkrpCsfMode(benchmark::State& state) {
+  const SparseTensor& x = CheckinTensor(0);
+  const CsfTensor csf(x);
+  const size_t r = 32;
+  const int mode = static_cast<int>(state.range(0));
+  const int64_t simd = state.range(1);
+  SelectSimd(simd);
+  Rng rng(1);
+  Matrix factors[3] = {Matrix::GaussianRandom(x.dim_i(), r, &rng),
+                       Matrix::GaussianRandom(x.dim_j(), r, &rng),
+                       Matrix::GaussianRandom(x.dim_k(), r, &rng)};
+  Stopwatch sw;
+  size_t iters = 0;
+  for (auto _ : state) {
+    Matrix out = SparseKernels::Mttkrp(csf, factors, mode);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  EmitKernelJson("csf" + std::string(SimdTag(simd)) + "_mode" +
+                     std::to_string(mode) + "_r32_s",
+                 /*which=*/0, sw.ElapsedSeconds(), iters);
+  SetSimdMode(SimdMode::kScalar);
 }
 
 // Thread-scaling sweep over the parallel COO path: rank 32 on the
@@ -103,6 +165,7 @@ void BM_MttkrpCsf(benchmark::State& state) {
 void BM_MttkrpCooThreads(benchmark::State& state) {
   const SparseTensor& x = CheckinTensor(0);
   const size_t r = 32;
+  SetSimdMode(SimdMode::kScalar);
   Rng rng(1);
   Matrix factors[3] = {Matrix(x.dim_i(), r),
                        Matrix::GaussianRandom(x.dim_j(), r, &rng),
@@ -111,24 +174,27 @@ void BM_MttkrpCooThreads(benchmark::State& state) {
   Stopwatch sw;
   size_t iters = 0;
   for (auto _ : state) {
-    Matrix out = Mttkrp(x, factors, 0);
+    Matrix out = MttkrpCoo(x, factors, 0);
     benchmark::DoNotOptimize(out.data());
     ++iters;
   }
   state.counters["nnz"] = static_cast<double>(x.nnz());
   state.counters["threads"] = static_cast<double>(state.range(0));
-  SetGlobalThreads(1);
   EmitKernelJson("coo_r32_t" + std::to_string(state.range(0)) + "_s",
                  /*which=*/0, sw.ElapsedSeconds(), iters);
+  SetGlobalThreads(1);
 }
 
 // Dense gemm sweep over the shapes the CP-ALS solve path actually hits:
 // square reference points plus the tall-skinny (rows x rank) products
-// behind Gram matrices and fold-in. Args: {m, k, n} for (m x k)(k x n).
+// behind Gram matrices and fold-in. Args: {m, k, n, simd} for
+// (m x k)(k x n).
 void BM_Gemm(benchmark::State& state) {
   const size_t m = static_cast<size_t>(state.range(0));
   const size_t k = static_cast<size_t>(state.range(1));
   const size_t n = static_cast<size_t>(state.range(2));
+  const int64_t simd = state.range(3);
+  SelectSimd(simd);
   Rng rng(7);
   const Matrix a = Matrix::GaussianRandom(m, k, &rng);
   const Matrix b = Matrix::GaussianRandom(k, n, &rng);
@@ -147,16 +213,19 @@ void BM_Gemm(benchmark::State& state) {
     tcss::bench::AppendBenchJson(
         "kernel_gemm", "dense",
         "m" + std::to_string(m) + "_k" + std::to_string(k) + "_n" +
-            std::to_string(n) + "_s",
+            std::to_string(n) + SimdTag(simd) + "_s",
         sw.ElapsedSeconds() / static_cast<double>(iters));
   }
+  SetSimdMode(SimdMode::kScalar);
 }
 
 // Tall-skinny Gram sweep (a^T a for rows x rank factors): the per-mode
-// normal-equation matrix CP-ALS forms every sweep.
+// normal-equation matrix CP-ALS forms every sweep. Args: {rows, r, simd}.
 void BM_Gram(benchmark::State& state) {
   const size_t rows = static_cast<size_t>(state.range(0));
   const size_t r = static_cast<size_t>(state.range(1));
+  const int64_t simd = state.range(2);
+  SelectSimd(simd);
   Rng rng(7);
   const Matrix a = Matrix::GaussianRandom(rows, r, &rng);
   Stopwatch sw;
@@ -170,32 +239,46 @@ void BM_Gram(benchmark::State& state) {
     tcss::bench::AppendBenchJson(
         "kernel_gemm", "dense",
         "gram_rows" + std::to_string(rows) + "_r" + std::to_string(r) +
-            "_s",
+            SimdTag(simd) + "_s",
         sw.ElapsedSeconds() / static_cast<double>(iters));
   }
+  SetSimdMode(SimdMode::kScalar);
 }
 
-// Arg pairs: {rank, dataset} with dataset 0 = sparse gowalla-like
-// (short fibers; COO tends to win) and 1 = dense gmu5k-like (long
-// fibers; CSF's factoring pays off).
+// Arg tuples: {rank, dataset} (dataset 0 = sparse gowalla-like with
+// short fibers, 1 = dense gmu5k-like with long fibers); CSF variants add
+// a trailing simd flag (0 = scalar table, 1 = native table).
 BENCHMARK(BM_MttkrpCoo)
     ->Args({4, 0})->Args({10, 0})->Args({32, 0})
     ->Args({4, 1})->Args({10, 1})->Args({32, 1});
 BENCHMARK(BM_MttkrpCsf)
-    ->Args({4, 0})->Args({10, 0})->Args({32, 0})
-    ->Args({4, 1})->Args({10, 1})->Args({32, 1});
+    ->Args({4, 0, 0})->Args({10, 0, 0})->Args({32, 0, 0})
+    ->Args({4, 1, 0})->Args({10, 1, 0})->Args({32, 1, 0})
+    ->Args({4, 0, 1})->Args({10, 0, 1})->Args({32, 0, 1})
+    ->Args({4, 1, 1})->Args({10, 1, 1})->Args({32, 1, 1});
+BENCHMARK(BM_MttkrpCsfMode)
+    ->Args({0, 0})->Args({1, 0})->Args({2, 0})
+    ->Args({0, 1})->Args({1, 1})->Args({2, 1});
 BENCHMARK(BM_MttkrpCooThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 BENCHMARK(BM_Gemm)
-    ->Args({128, 128, 128})
-    ->Args({256, 256, 256})
-    ->Args({512, 512, 512})
-    ->Args({4096, 32, 32})
-    ->Args({4096, 32, 512});
+    ->Args({128, 128, 128, 0})
+    ->Args({256, 256, 256, 0})
+    ->Args({512, 512, 512, 0})
+    ->Args({4096, 32, 32, 0})
+    ->Args({4096, 32, 512, 0})
+    ->Args({128, 128, 128, 1})
+    ->Args({256, 256, 256, 1})
+    ->Args({512, 512, 512, 1})
+    ->Args({4096, 32, 32, 1})
+    ->Args({4096, 32, 512, 1});
 BENCHMARK(BM_Gram)
-    ->Args({2000, 10})
-    ->Args({2000, 32})
-    ->Args({20000, 32});
+    ->Args({2000, 10, 0})
+    ->Args({2000, 32, 0})
+    ->Args({20000, 32, 0})
+    ->Args({2000, 10, 1})
+    ->Args({2000, 32, 1})
+    ->Args({20000, 32, 1});
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "core/factor_model.h"
 #include "core/tcss_config.h"
+#include "tensor/csf_tensor.h"
 #include "tensor/sparse_tensor.h"
 
 namespace tcss {
@@ -34,6 +35,13 @@ class WholeDataLoss {
   virtual double Compute(const FactorModel& model,
                          const SparseTensor& train) = 0;
 
+  /// Precomputes tensor-derived structures (the CSF tree for
+  /// RewrittenLoss) for the tensor the next Compute*/ComputeWithGrads
+  /// calls will pass. Purely an optimization: unbound calls build the
+  /// same structure per call and return the same bytes. The binding is
+  /// keyed on the tensor's address — rebind if it moves or changes.
+  virtual void BindTensor(const SparseTensor& train) { (void)train; }
+
   /// Opaque sampler state for checkpointing. Deterministic losses return
   /// 0; NegativeSamplingLoss returns its call counter, from which every
   /// random stream is re-derivable (seed + counter), so restoring it makes
@@ -53,11 +61,14 @@ class RewrittenLoss : public WholeDataLoss {
   double ComputeWithGrads(const FactorModel& model, const SparseTensor& train,
                           FactorGrads* grads) override;
   double Compute(const FactorModel& model, const SparseTensor& train) override;
+  void BindTensor(const SparseTensor& train) override;
 
  private:
   double Run(const FactorModel& model, const SparseTensor& train,
              FactorGrads* grads);
   double w_pos_, w_neg_;
+  CsfTensor csf_;                        ///< bound CSF tree (may be empty)
+  const SparseTensor* bound_ = nullptr;  ///< tensor csf_ was built from
 };
 
 /// Eq 14, literal triple loop (kept for Table IV and equivalence tests).

@@ -1,0 +1,98 @@
+#ifndef TCSS_LINALG_KERNEL_TABLE_H_
+#define TCSS_LINALG_KERNEL_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd.h"
+
+namespace tcss {
+
+/// Raw view of a CSF tensor (tensor/csf_tensor.h) so the linalg-layer
+/// kernels can traverse it without a dependency on the tensor library.
+/// All arrays follow the CsfTensor layout: slices index into fibers via
+/// slice_start (size num_slices + 1), fibers into nonzeros via
+/// fiber_start (size num_fibers + 1).
+struct CsfView {
+  const uint32_t* slice_id = nullptr;
+  const size_t* slice_start = nullptr;
+  size_t num_slices = 0;
+  const uint32_t* fiber_id = nullptr;
+  const size_t* fiber_start = nullptr;
+  const uint32_t* kk = nullptr;
+  const double* val = nullptr;
+};
+
+/// The dispatchable micro-kernels of the training hot path. Two tables
+/// exist — scalar reference and native/vectorized — built from the SAME
+/// kernel bodies (kernels_impl.h) in two translation units with
+/// different flags. Every kernel keeps each output element's floating-
+/// point accumulation chain in a fixed (ascending) order, so the tables
+/// are interchangeable bit for bit; tests/kernels_test.cc enforces it.
+///
+/// Matrix arguments are row-major with a row stride equal to the
+/// logical column count (the only layout tcss::Matrix produces).
+struct KernelTable {
+  const char* name;
+
+  /// out[i,:] += sum_k a[i,k] * b[k,:] for i in [i_begin, i_end).
+  /// a is (rows x kk), b is (kk x n), out is (rows x n).
+  void (*gemm_rows)(const double* a, const double* b, double* out,
+                    size_t i_begin, size_t i_end, size_t kk, size_t n);
+
+  /// out[i,:] += sum_k a[k,i] * b[k,:] for i in [i_begin, i_end).
+  /// a is (rows x a_cols), b is (rows x b_cols), out is
+  /// (a_cols x b_cols): the a^T b product sharded over output rows.
+  void (*gemmt_rows)(const double* a, const double* b, double* out,
+                     size_t i_begin, size_t i_end, size_t rows,
+                     size_t a_cols, size_t b_cols);
+
+  /// Upper triangle of the Gram product: out[i,j] += sum_k a[k,i]*a[k,j]
+  /// for i in [i_begin, i_end), j in [i, cols). The caller mirrors the
+  /// strict lower triangle; the (i,j) chain equals the full-rectangle
+  /// (j,i) chain term for term (multiplication commutes), so mirroring
+  /// is bitwise-faithful.
+  void (*gram_upper)(const double* a, double* out, size_t i_begin,
+                     size_t i_end, size_t rows, size_t cols);
+
+  /// CSF MTTKRP, one function per mode, over slices [s_begin, s_end).
+  /// Mode 0: out[i,:] += sum_f (u2[j_f,:] * sum_e v_e u3[k_e,:]).
+  /// Mode 1: out[j_f,:] += u1[i,:] * sum_e v_e u3[k_e,:].
+  /// Mode 2: out[k_e,:] += v_e * (u1[i,:] * u2[j_f,:]).
+  /// fa/fb are the two factor matrices read (u2,u3 / u1,u3 / u1,u2).
+  void (*csf_mttkrp_mode0)(const CsfView& x, const double* fa,
+                           const double* fb, size_t r, double* out,
+                           size_t s_begin, size_t s_end);
+  void (*csf_mttkrp_mode1)(const CsfView& x, const double* fa,
+                           const double* fb, size_t r, double* out,
+                           size_t s_begin, size_t s_end);
+  void (*csf_mttkrp_mode2)(const CsfView& x, const double* fa,
+                           const double* fb, size_t r, double* out,
+                           size_t s_begin, size_t s_end);
+
+  /// Observed-entry loop of the rewritten loss (Eq 15 positive part)
+  /// over slices [s_begin, s_end): returns
+  ///   sum (w+ - w-) y^2 - 2 w+ x y + w+ x^2,  y = sum_t h_t a_t b_t c_t
+  /// and, when gu1 != nullptr, accumulates dL/dU1 into gu1 (global,
+  /// slice rows are disjoint across shards), dL/dU2, dL/dU3, dL/dh into
+  /// gu2/gu3/gh (shard-local buffers merged by the caller). All g*
+  /// must be null or non-null together.
+  double (*csf_rewritten_entries)(const CsfView& x, const double* u1,
+                                  const double* u2, const double* u3,
+                                  const double* h, size_t r, double w_pos,
+                                  double w_neg, double* gu1, double* gu2,
+                                  double* gu3, double* gh, size_t s_begin,
+                                  size_t s_end);
+};
+
+/// The two concrete tables (kernels_scalar.cc / kernels_native.cc).
+const KernelTable& ScalarKernelTable();
+const KernelTable& NativeKernelTable();
+
+/// Table selected by ActiveSimdMode(). Resolve once per kernel call
+/// site, outside parallel loops.
+const KernelTable& ActiveKernels();
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_KERNEL_TABLE_H_

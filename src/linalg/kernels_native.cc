@@ -1,0 +1,23 @@
+// Vectorized build of the micro-kernels: the SAME bodies as
+// kernels_scalar.cc (kernels_impl.h), compiled with vector flags when
+// the toolchain supports them — see src/CMakeLists.txt, which adds
+// -O3 -funroll-loops -fopenmp-simd -mavx2 and, crucially,
+// -ffp-contract=off (FMA contraction would change rounding and break
+// the bitwise scalar/native contract) to this one translation unit and
+// defines TCSS_KERNELS_VECTORIZE. Without toolchain support the macro
+// is absent and this TU degenerates to a second scalar build, which
+// SimdNativeCompiledIn() reports.
+
+#define TCSS_KERNEL_NS native
+#if defined(TCSS_KERNELS_VECTORIZE)
+#define TCSS_KERNEL_NAME "native"
+#else
+#define TCSS_KERNEL_NAME "native-unvectorized"
+#endif
+#include "linalg/kernels_impl.h"
+
+namespace tcss {
+
+const KernelTable& NativeKernelTable() { return kern::native::kTable; }
+
+}  // namespace tcss

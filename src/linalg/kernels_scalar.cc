@@ -1,0 +1,13 @@
+// Scalar reference build of the micro-kernels: kernels_impl.h compiled
+// with the project-default flags and no vector hints. This is the
+// semantics baseline every other kernel build is tested against.
+
+#define TCSS_KERNEL_NS scalar
+#define TCSS_KERNEL_NAME "scalar"
+#include "linalg/kernels_impl.h"
+
+namespace tcss {
+
+const KernelTable& ScalarKernelTable() { return kern::scalar::kTable; }
+
+}  // namespace tcss

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "linalg/kernel_table.h"
 
 namespace tcss {
 
@@ -117,25 +118,20 @@ std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TCSS_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and out rows contiguously. Output
-  // rows are independent, so sharding over i is exact.
-  auto rows = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      double* out_row = out.row(i);
-      const double* a_row = a.row(i);
-      for (size_t k = 0; k < a.cols(); ++k) {
-        const double aik = a_row[k];
-        if (aik == 0.0) continue;
-        const double* b_row = b.row(k);
-        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-      }
-    }
-  };
+  // Dispatched micro-kernel (kernels_impl.h): i-k-j order with k-tiling
+  // and 4-way register blocking. Every out(i,j) accumulates in ascending
+  // k regardless of sharding or kernel build, so all paths are
+  // bit-identical to the serial reference loop.
+  const KernelTable& kern = ActiveKernels();
   if (a.rows() * a.cols() * b.cols() >= kParallelFlopThreshold) {
     ParallelFor(a.rows(), RowGrain(a.rows()),
-                [&](size_t begin, size_t end, size_t) { rows(begin, end); });
+                [&](size_t begin, size_t end, size_t) {
+                  kern.gemm_rows(a.data(), b.data(), out.data(), begin, end,
+                                 a.cols(), b.cols());
+                });
   } else {
-    rows(0, a.rows());
+    kern.gemm_rows(a.data(), b.data(), out.data(), 0, a.rows(), a.cols(),
+                   b.cols());
   }
   return out;
 }
@@ -144,24 +140,18 @@ Matrix MatTMul(const Matrix& a, const Matrix& b) {
   TCSS_CHECK(a.rows() == b.rows()) << "MatTMul shape mismatch";
   Matrix out(a.cols(), b.cols());
   // out(i,j) = sum_k a(k,i) b(k,j): i indexes output rows, so sharding
-  // over i is exact; k runs in ascending order for every element either
-  // way, so this matches a k-outer serial loop bit for bit.
-  auto rows = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      double* out_row = out.row(i);
-      for (size_t k = 0; k < a.rows(); ++k) {
-        const double aki = a(k, i);
-        if (aki == 0.0) continue;
-        const double* b_row = b.row(k);
-        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
-      }
-    }
-  };
+  // over i is exact; k runs in ascending order for every element in all
+  // kernel builds, matching a k-outer serial loop bit for bit.
+  const KernelTable& kern = ActiveKernels();
   if (a.rows() * a.cols() * b.cols() >= kParallelFlopThreshold) {
     ParallelFor(a.cols(), RowGrain(a.cols()),
-                [&](size_t begin, size_t end, size_t) { rows(begin, end); });
+                [&](size_t begin, size_t end, size_t) {
+                  kern.gemmt_rows(a.data(), b.data(), out.data(), begin, end,
+                                  a.rows(), a.cols(), b.cols());
+                });
   } else {
-    rows(0, a.cols());
+    kern.gemmt_rows(a.data(), b.data(), out.data(), 0, a.cols(), a.rows(),
+                    a.cols(), b.cols());
   }
   return out;
 }
@@ -182,7 +172,26 @@ Matrix MatMulT(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix Gram(const Matrix& a) { return MatTMul(a, a); }
+Matrix Gram(const Matrix& a) {
+  // a^T a is symmetric: compute only the upper triangle and mirror. The
+  // (i,j) and (j,i) chains are the same multiplications a(k,i)*a(k,j) in
+  // the same ascending-k order, so the mirror is bitwise-faithful to the
+  // full-rectangle MatTMul(a, a) it replaces (proptest keeps that gate).
+  Matrix out(a.cols(), a.cols());
+  const KernelTable& kern = ActiveKernels();
+  if (a.rows() * a.cols() * a.cols() >= kParallelFlopThreshold) {
+    ParallelFor(a.cols(), RowGrain(a.cols()),
+                [&](size_t begin, size_t end, size_t) {
+                  kern.gram_upper(a.data(), out.data(), begin, end, a.rows(),
+                                  a.cols());
+                });
+  } else {
+    kern.gram_upper(a.data(), out.data(), 0, a.cols(), a.rows(), a.cols());
+  }
+  for (size_t i = 0; i < a.cols(); ++i)
+    for (size_t j = i + 1; j < a.cols(); ++j) out(j, i) = out(i, j);
+  return out;
+}
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   TCSS_CHECK(x.size() == a.cols());

@@ -1,0 +1,110 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/kernel_table.h"
+
+// This TU is compiled with the project-default (baseline) flags so the
+// CPU-capability probe itself never executes unsupported instructions.
+// src/CMakeLists.txt defines TCSS_SIMD_NATIVE_COMPILED here when the
+// native TU got vector flags, and TCSS_KERNELS_NATIVE_AVX2 when those
+// flags included -mavx2 (making the native table AVX2-only code).
+
+namespace tcss {
+namespace {
+
+// 0 = unresolved; otherwise 1 + static_cast<int>(SimdMode).
+std::atomic<int> g_mode{0};
+
+SimdMode DefaultSimdMode() {
+  if (SimdNativeCompiledIn() && SimdNativeSupportedByCpu()) {
+    return SimdMode::kNative;
+  }
+  return SimdMode::kScalar;
+}
+
+}  // namespace
+
+bool SimdNativeCompiledIn() {
+#if defined(TCSS_SIMD_NATIVE_COMPILED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool SimdNativeSupportedByCpu() {
+#if defined(TCSS_KERNELS_NATIVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return true;
+#endif
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kNative:
+      return "native";
+  }
+  return "unknown";
+}
+
+SimdMode ResolveSimdMode(const char* env_value) {
+  if (env_value == nullptr || env_value[0] == '\0') {
+    return DefaultSimdMode();
+  }
+  if (std::strcmp(env_value, "off") == 0 ||
+      std::strcmp(env_value, "scalar") == 0) {
+    return SimdMode::kScalar;
+  }
+  if (std::strcmp(env_value, "native") == 0) {
+    if (!SimdNativeCompiledIn()) {
+      std::fprintf(stderr,
+                   "tcss: TCSS_SIMD=native but the vectorized kernel build "
+                   "was not compiled in; using scalar kernels\n");
+      return SimdMode::kScalar;
+    }
+    if (!SimdNativeSupportedByCpu()) {
+      std::fprintf(stderr,
+                   "tcss: TCSS_SIMD=native but this CPU lacks the compiled "
+                   "ISA (AVX2); using scalar kernels\n");
+      return SimdMode::kScalar;
+    }
+    return SimdMode::kNative;
+  }
+  std::fprintf(stderr,
+               "tcss: unknown TCSS_SIMD value '%s' (want off|scalar|native); "
+               "using the default\n",
+               env_value);
+  return DefaultSimdMode();
+}
+
+SimdMode ActiveSimdMode() {
+  int packed = g_mode.load(std::memory_order_acquire);
+  if (packed == 0) {
+    const SimdMode resolved = ResolveSimdMode(std::getenv("TCSS_SIMD"));
+    packed = 1 + static_cast<int>(resolved);
+    int expected = 0;
+    if (!g_mode.compare_exchange_strong(expected, packed,
+                                        std::memory_order_acq_rel)) {
+      packed = expected;  // another thread (or SetSimdMode) won the race
+    }
+  }
+  return static_cast<SimdMode>(packed - 1);
+}
+
+void SetSimdMode(SimdMode mode) {
+  g_mode.store(1 + static_cast<int>(mode), std::memory_order_release);
+}
+
+const KernelTable& ActiveKernels() {
+  return ActiveSimdMode() == SimdMode::kNative ? NativeKernelTable()
+                                               : ScalarKernelTable();
+}
+
+}  // namespace tcss

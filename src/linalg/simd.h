@@ -1,0 +1,49 @@
+#ifndef TCSS_LINALG_SIMD_H_
+#define TCSS_LINALG_SIMD_H_
+
+namespace tcss {
+
+/// Which build of the micro-kernels (linalg/kernel_table.h) executes.
+///
+///  * kScalar - the reference build: plain loops compiled with the
+///    project-default flags. This is the semantics every other variant
+///    is differentially tested against.
+///  * kNative - the same kernel bodies compiled with vector hints
+///    (#pragma omp simd, -O3, and -mavx2 where the toolchain supports
+///    it). The bodies keep every per-element accumulation chain in the
+///    same order and forbid FP contraction (-ffp-contract=off), so the
+///    two builds are bitwise-identical; only the instruction mix
+///    differs. See DESIGN.md "Kernel architecture & SIMD dispatch".
+enum class SimdMode { kScalar, kNative };
+
+/// Mode currently driving ActiveKernels(). Resolved once, lazily, from
+/// the TCSS_SIMD environment variable (off|scalar|native; off and scalar
+/// are synonyms for the reference build); unset picks kNative when the
+/// vectorized build was compiled in and the CPU supports it, else
+/// kScalar.
+SimdMode ActiveSimdMode();
+
+/// Overrides the active mode at runtime (differential tests, benches).
+void SetSimdMode(SimdMode mode);
+
+/// Pure resolution function (exposed for the dispatch guard test):
+/// maps an environment value (nullptr = unset) to the mode the
+/// dispatcher would select on this machine. Unknown values warn and
+/// resolve like unset; "native" on a machine whose CPU lacks the
+/// compiled ISA warns and resolves to kScalar (never silently).
+SimdMode ResolveSimdMode(const char* env_value);
+
+const char* SimdModeName(SimdMode mode);
+
+/// True iff the native kernel TU was actually compiled with vector
+/// flags (the toolchain supported -fopenmp-simd / -mavx2). When false,
+/// kNative selects a table with identical codegen to kScalar.
+bool SimdNativeCompiledIn();
+
+/// True iff this CPU can execute the ISA the native TU was compiled
+/// for (AVX2 check on x86-64 when -mavx2 was applied; otherwise true).
+bool SimdNativeSupportedByCpu();
+
+}  // namespace tcss
+
+#endif  // TCSS_LINALG_SIMD_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/kernel_table.h"
 #include "linalg/matrix.h"
 #include "tensor/sparse_tensor.h"
 
@@ -21,8 +22,14 @@ namespace tcss {
 /// into one fused multiply per nonzero plus one rank-r combine per fiber -
 /// fewer flops and much better locality on check-in data, where a user
 /// visits the same POI in many time bins. See bench_kernel_mttkrp.
+/// The single mode-0-rooted tree serves all three MTTKRP modes (see
+/// SparseKernels in tensor/sparse_kernels.h): mode 1 scatters the fiber
+/// accumulator times U1[i] into out[j], mode 2 reuses the per-fiber
+/// product U1[i] ⊙ U2[j] across the fiber's nonzeros.
 class CsfTensor {
  public:
+  CsfTensor() : dim_i_(0), dim_j_(0), dim_k_(0) {}
+
   /// Builds from a finalized sparse tensor.
   explicit CsfTensor(const SparseTensor& coo);
 
@@ -40,9 +47,28 @@ class CsfTensor {
   /// Sum of squared values.
   double SquaredSum() const;
 
+  /// Raw pointer view consumed by the dispatched micro-kernels
+  /// (linalg/kernel_table.h). Valid while this object is alive and
+  /// unmodified.
+  CsfView view() const {
+    CsfView v;
+    v.slice_id = slice_id_.data();
+    v.slice_start = slice_start_.data();
+    v.num_slices = slice_id_.size();
+    v.fiber_id = fiber_id_.data();
+    v.fiber_start = fiber_start_.data();
+    v.kk = kk_.data();
+    v.val = val_.data();
+    return v;
+  }
+
   // --- Introspection (tests) ---------------------------------------------
   const std::vector<uint32_t>& slice_ids() const { return slice_id_; }
   const std::vector<uint32_t>& fiber_ids() const { return fiber_id_; }
+  const std::vector<size_t>& slice_starts() const { return slice_start_; }
+  const std::vector<size_t>& fiber_starts() const { return fiber_start_; }
+  const std::vector<uint32_t>& kks() const { return kk_; }
+  const std::vector<double>& vals() const { return val_; }
 
  private:
   size_t dim_i_, dim_j_, dim_k_;

@@ -14,7 +14,17 @@ namespace tcss {
 ///
 /// `factors` are the three factor matrices {U1 (I x r), U2 (J x r),
 /// U3 (K x r)}; the factor for `mode` itself is not read.
+///
+/// Finalized tensors route through the CSF path (SparseKernels over a
+/// CsfTensor built per call — amortize with SparseKernels::Mttkrp and a
+/// long-lived CsfTensor in loops); unfinalized tensors fall back to the
+/// COO entry loop. Both are bit-identical across thread counts and match
+/// the dense oracle to <= 1e-12 relative.
 Matrix Mttkrp(const SparseTensor& x, const Matrix factors[3], int mode);
+
+/// The COO entry-loop implementation (any tensor, finalized or not).
+/// Kept callable for differential tests and the coo bench series.
+Matrix MttkrpCoo(const SparseTensor& x, const Matrix factors[3], int mode);
 
 }  // namespace tcss
 

@@ -1,0 +1,159 @@
+#include "tensor/sparse_kernels.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "linalg/kernel_table.h"
+
+namespace tcss {
+
+namespace {
+
+/// Same work threshold as the COO Mttkrp: below nnz * r multiply-adds,
+/// fork/join overhead dominates and the serial path runs.
+constexpr size_t kParallelWorkThreshold = 1u << 14;
+
+/// Target shard count for slice decompositions. The grain is a pure
+/// function of the slice count, never the thread count.
+constexpr size_t kTargetShards = 16;
+
+size_t SliceGrain(size_t num_slices) {
+  return std::max<size_t>(1,
+                          (num_slices + kTargetShards - 1) / kTargetShards);
+}
+
+using CsfModeKernel = void (*)(const CsfView&, const double*, const double*,
+                               size_t, double*, size_t, size_t);
+
+CsfModeKernel ModeKernel(const KernelTable& kern, int mode) {
+  switch (mode) {
+    case 0:
+      return kern.csf_mttkrp_mode0;
+    case 1:
+      return kern.csf_mttkrp_mode1;
+    default:
+      return kern.csf_mttkrp_mode2;
+  }
+}
+
+}  // namespace
+
+Matrix SparseKernels::Mttkrp(const CsfTensor& x, const Matrix factors[3],
+                             int mode) {
+  TCSS_CHECK(mode >= 0 && mode <= 2);
+  const size_t r = factors[(mode + 1) % 3].cols();
+  TCSS_CHECK(factors[(mode + 2) % 3].cols() == r);
+  const size_t dims[3] = {x.dim_i(), x.dim_j(), x.dim_k()};
+  Matrix out(dims[mode], r);
+  const CsfView v = x.view();
+  const KernelTable& kern = ActiveKernels();
+  const CsfModeKernel fn = ModeKernel(kern, mode);
+  // The kernels read the two factors in tree order: slices (U1) and the
+  // lower levels, so fa/fb are (U2, U3) for mode 0 and (U1, U3) / (U1, U2)
+  // for modes 1 / 2.
+  const double* fa =
+      (mode == 0 ? factors[1] : factors[0]).data();
+  const double* fb = (mode == 2 ? factors[1] : factors[2]).data();
+
+  if (x.nnz() * r < kParallelWorkThreshold) {
+    fn(v, fa, fb, r, out.data(), 0, v.num_slices);
+    return out;
+  }
+
+  const size_t grain = SliceGrain(v.num_slices);
+  if (mode == 0) {
+    // Slice rows are distinct i values: shards write disjoint out rows,
+    // so any decomposition is bit-identical to the serial loop.
+    if (GlobalThreads() == 1) {
+      fn(v, fa, fb, r, out.data(), 0, v.num_slices);
+      return out;
+    }
+    ParallelFor(v.num_slices, grain, [&](size_t begin, size_t end, size_t) {
+      fn(v, fa, fb, r, out.data(), begin, end);
+    });
+    return out;
+  }
+
+  // Modes 1/2 scatter into rows shared across slices, so each shard
+  // accumulates into its own buffer and the buffers merge in ascending
+  // shard order. The decomposition and the merge chain depend only on
+  // the tensor, so results are bit-identical at any thread count (this
+  // path runs even at 1 thread — taking the serial shortcut instead
+  // would change the summation chain with the thread count).
+  const size_t shards = ParallelForShards(v.num_slices, grain);
+  if (shards <= 1) {
+    fn(v, fa, fb, r, out.data(), 0, v.num_slices);
+    return out;
+  }
+  std::vector<Matrix> shard_out(shards, Matrix(dims[mode], r));
+  ParallelFor(v.num_slices, grain, [&](size_t begin, size_t end, size_t s) {
+    fn(v, fa, fb, r, shard_out[s].data(), begin, end);
+  });
+  for (size_t s = 0; s < shards; ++s) out.Add(shard_out[s]);
+  return out;
+}
+
+double SparseKernels::RewrittenEntryLoss(const CsfTensor& x, const Matrix& u1,
+                                         const Matrix& u2, const Matrix& u3,
+                                         const std::vector<double>& h,
+                                         double w_pos, double w_neg,
+                                         Matrix* gu1, Matrix* gu2,
+                                         Matrix* gu3,
+                                         std::vector<double>* gh) {
+  const size_t r = h.size();
+  if (x.nnz() == 0) return 0.0;
+  const CsfView v = x.view();
+  const KernelTable& kern = ActiveKernels();
+  const bool want_grads = gu1 != nullptr;
+
+  // Shard decomposition mirrors the COO entry loop's sizing (>= ~1024
+  // entries per shard, <= 16 shards) but splits on slice boundaries; a
+  // pure function of (nnz, num_slices), so the summation structure — and
+  // hence every rounding decision — is thread-count invariant.
+  const size_t target = std::clamp<size_t>(x.nnz() / 1024, 1, kTargetShards);
+  const size_t grain =
+      std::max<size_t>(1, (v.num_slices + target - 1) / target);
+  const size_t shards = ParallelForShards(v.num_slices, grain);
+
+  if (shards <= 1) {
+    return kern.csf_rewritten_entries(
+        v, u1.data(), u2.data(), u3.data(), h.data(), r, w_pos, w_neg,
+        want_grads ? gu1->data() : nullptr,
+        want_grads ? gu2->data() : nullptr,
+        want_grads ? gu3->data() : nullptr,
+        want_grads ? gh->data() : nullptr, 0, v.num_slices);
+  }
+
+  // dL/dU1 rows are slice rows — disjoint across shards — so shards
+  // write gu1 in place. dL/dU2, dL/dU3 and dL/dh overlap, so they go
+  // through per-shard buffers merged in ascending shard order.
+  std::vector<double> shard_loss(shards, 0.0);
+  std::vector<Matrix> shard_gu2, shard_gu3;
+  std::vector<std::vector<double>> shard_gh;
+  if (want_grads) {
+    shard_gu2.assign(shards, Matrix(u2.rows(), r));
+    shard_gu3.assign(shards, Matrix(u3.rows(), r));
+    shard_gh.assign(shards, std::vector<double>(r, 0.0));
+  }
+  ParallelFor(v.num_slices, grain, [&](size_t begin, size_t end, size_t s) {
+    shard_loss[s] = kern.csf_rewritten_entries(
+        v, u1.data(), u2.data(), u3.data(), h.data(), r, w_pos, w_neg,
+        want_grads ? gu1->data() : nullptr,
+        want_grads ? shard_gu2[s].data() : nullptr,
+        want_grads ? shard_gu3[s].data() : nullptr,
+        want_grads ? shard_gh[s].data() : nullptr, begin, end);
+  });
+  double loss = 0.0;
+  for (size_t s = 0; s < shards; ++s) loss += shard_loss[s];
+  if (want_grads) {
+    for (size_t s = 0; s < shards; ++s) {
+      gu2->Add(shard_gu2[s]);
+      gu3->Add(shard_gu3[s]);
+      for (size_t t = 0; t < r; ++t) (*gh)[t] += shard_gh[s][t];
+    }
+  }
+  return loss;
+}
+
+}  // namespace tcss

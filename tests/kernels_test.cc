@@ -1,0 +1,375 @@
+// Kernel-dispatch suite (label "kernels"): the TCSS_SIMD dispatch seam,
+// bitwise equivalence of the scalar and native kernel builds across
+// thread counts, the CSF kernels against COO and each other, the
+// bucketed COO modes-1/2 parallel path (serial == parallel bytes), the
+// mirrored Gram, and the CSF-backed RewrittenLoss (bound == unbound
+// bytes). tools/check.sh runs this suite in the plain stage under both
+// TCSS_SIMD=off and TCSS_SIMD=native, and again under ASan/UBSan and
+// TSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/whole_data_loss.h"
+#include "linalg/kernel_table.h"
+#include "linalg/matrix.h"
+#include "linalg/simd.h"
+#include "tensor/csf_tensor.h"
+#include "tensor/mttkrp.h"
+#include "tensor/sparse_kernels.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+namespace {
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+bool BitIdentical(const FactorGrads& a, const FactorGrads& b) {
+  return a.h == b.h && BitIdentical(a.u1, b.u1) && BitIdentical(a.u2, b.u2) &&
+         BitIdentical(a.u3, b.u3);
+}
+
+double RelMaxDiff(const Matrix& a, const Matrix& b) {
+  double err = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(a.data()[i] - b.data()[i]);
+    const double scale = std::max(1.0, std::fabs(b.data()[i]));
+    err = std::max(err, d / scale);
+  }
+  return err;
+}
+
+/// RAII: restore threads and the env-resolved SIMD mode when a test ends.
+struct KernelGuard {
+  ~KernelGuard() {
+    SetGlobalThreads(1);
+    SetSimdMode(ResolveSimdMode(std::getenv("TCSS_SIMD")));
+  }
+};
+
+SparseTensor RandomTensor(size_t I, size_t J, size_t K, size_t nnz,
+                          uint64_t seed, bool binary = false) {
+  Rng rng(seed);
+  SparseTensor x(I, J, K);
+  for (size_t e = 0; e < nnz; ++e) {
+    (void)x.Add(static_cast<uint32_t>(rng.UniformInt(I)),
+                static_cast<uint32_t>(rng.UniformInt(J)),
+                static_cast<uint32_t>(rng.UniformInt(K)),
+                rng.Uniform(0.1, 2.0));
+  }
+  EXPECT_TRUE(x.Finalize(binary).ok());
+  return x;
+}
+
+FactorModel RandomModel(size_t I, size_t J, size_t K, size_t r,
+                        uint64_t seed) {
+  Rng rng(seed);
+  FactorModel m;
+  m.u1 = Matrix::GaussianRandom(I, r, &rng, 0.3);
+  m.u2 = Matrix::GaussianRandom(J, r, &rng, 0.3);
+  m.u3 = Matrix::GaussianRandom(K, r, &rng, 0.3);
+  m.h.resize(r);
+  for (double& h : m.h) h = rng.Uniform(0.5, 1.5);
+  return m;
+}
+
+// --------------------------------------------------------------------------
+// Dispatch guard: the dispatcher must never silently fall back to scalar
+// when the vectorized build is compiled in and the CPU supports it.
+// --------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, NativeNeverSilentlyFallsBackWhenAvailable) {
+  if (!SimdNativeCompiledIn()) {
+    GTEST_SKIP() << "vectorized kernel build not compiled in "
+                 << "(toolchain lacks -fopenmp-simd, or coverage build)";
+  }
+  if (!SimdNativeSupportedByCpu()) {
+    GTEST_SKIP() << "CPU lacks the compiled ISA (AVX2)";
+  }
+  // With the native build available, both the explicit request and the
+  // unset default must resolve to kNative — resolving to kScalar here is
+  // exactly the silent fallback this guard exists to catch.
+  EXPECT_EQ(ResolveSimdMode("native"), SimdMode::kNative);
+  EXPECT_EQ(ResolveSimdMode(nullptr), SimdMode::kNative);
+  EXPECT_EQ(ResolveSimdMode(""), SimdMode::kNative);
+}
+
+TEST(SimdDispatchTest, ExplicitModesResolveAsDocumented) {
+  EXPECT_EQ(ResolveSimdMode("off"), SimdMode::kScalar);
+  EXPECT_EQ(ResolveSimdMode("scalar"), SimdMode::kScalar);
+  // Unknown values warn and resolve like unset.
+  EXPECT_EQ(ResolveSimdMode("bogus"), ResolveSimdMode(nullptr));
+  EXPECT_STREQ(SimdModeName(SimdMode::kScalar), "scalar");
+  EXPECT_STREQ(SimdModeName(SimdMode::kNative), "native");
+}
+
+TEST(SimdDispatchTest, SetSimdModeSelectsTable) {
+  KernelGuard guard;
+  SetSimdMode(SimdMode::kScalar);
+  EXPECT_EQ(&ActiveKernels(), &ScalarKernelTable());
+  SetSimdMode(SimdMode::kNative);
+  EXPECT_EQ(&ActiveKernels(), &NativeKernelTable());
+}
+
+// --------------------------------------------------------------------------
+// Scalar vs native: bitwise-identical kernels at 1/2/8 threads
+// --------------------------------------------------------------------------
+
+TEST(KernelEquivalenceTest, DenseKernelsBitIdenticalScalarVsNative) {
+  KernelGuard guard;
+  Rng rng(41);
+  // Shapes straddle kKc = 64 tiling and the 4-way k-block remainders.
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 67, 33}, {200, 130, 17}};
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::GaussianRandom(s[0], s[1], &rng);
+    const Matrix b = Matrix::GaussianRandom(s[1], s[2], &rng);
+    const Matrix c = Matrix::GaussianRandom(s[0], s[2], &rng);
+    for (int threads : {1, 2, 8}) {
+      SetGlobalThreads(threads);
+      SetSimdMode(SimdMode::kScalar);
+      const Matrix mm_s = MatMul(a, b);
+      const Matrix mtm_s = MatTMul(a, c);
+      const Matrix gram_s = Gram(a);
+      SetSimdMode(SimdMode::kNative);
+      EXPECT_TRUE(BitIdentical(mm_s, MatMul(a, b)))
+          << s[0] << "x" << s[1] << "x" << s[2] << " @" << threads;
+      EXPECT_TRUE(BitIdentical(mtm_s, MatTMul(a, c)))
+          << s[0] << "x" << s[1] << "x" << s[2] << " @" << threads;
+      EXPECT_TRUE(BitIdentical(gram_s, Gram(a)))
+          << s[0] << "x" << s[1] << "x" << s[2] << " @" << threads;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, CsfMttkrpBitIdenticalScalarVsNativePerMode) {
+  KernelGuard guard;
+  const SparseTensor x = RandomTensor(40, 30, 12, 2000, 7);
+  const CsfTensor csf(x);
+  Rng rng(8);
+  // Rank 9 exercises the vector remainders, rank 8 the 4-wide chunked
+  // bodies, and rank 32 the register-resident mode-0 specialization.
+  for (size_t r : {size_t{9}, size_t{8}, size_t{32}}) {
+    Matrix factors[3] = {Matrix::GaussianRandom(40, r, &rng),
+                         Matrix::GaussianRandom(30, r, &rng),
+                         Matrix::GaussianRandom(12, r, &rng)};
+    for (int mode = 0; mode < 3; ++mode) {
+      for (int threads : {1, 2, 8}) {
+        SetGlobalThreads(threads);
+        SetSimdMode(SimdMode::kScalar);
+        const Matrix want = SparseKernels::Mttkrp(csf, factors, mode);
+        SetSimdMode(SimdMode::kNative);
+        EXPECT_TRUE(
+            BitIdentical(want, SparseKernels::Mttkrp(csf, factors, mode)))
+            << "rank " << r << " mode " << mode << " @" << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, RewrittenLossBitIdenticalScalarVsNative) {
+  KernelGuard guard;
+  const SparseTensor x = RandomTensor(25, 20, 8, 1500, 21);
+  const FactorModel m = RandomModel(25, 20, 8, 6, 22);
+  RewrittenLoss loss(0.95, 0.05);
+  for (int threads : {1, 2, 8}) {
+    SetGlobalThreads(threads);
+    SetSimdMode(SimdMode::kScalar);
+    FactorGrads gs(m);
+    const double ls = loss.ComputeWithGrads(m, x, &gs);
+    SetSimdMode(SimdMode::kNative);
+    FactorGrads gn(m);
+    const double ln = loss.ComputeWithGrads(m, x, &gn);
+    EXPECT_EQ(ls, ln) << threads << " threads";
+    EXPECT_TRUE(BitIdentical(gs, gn)) << threads << " threads";
+  }
+}
+
+// --------------------------------------------------------------------------
+// CSF vs COO differential, and thread-count invariance of both
+// --------------------------------------------------------------------------
+
+TEST(CsfKernelsTest, MttkrpMatchesCooPerMode) {
+  KernelGuard guard;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const SparseTensor x = RandomTensor(30, 25, 10, 400 << seed, seed);
+    const CsfTensor csf(x);
+    Rng rng(seed + 100);
+    const size_t r = 5;
+    Matrix factors[3] = {Matrix::GaussianRandom(30, r, &rng),
+                         Matrix::GaussianRandom(25, r, &rng),
+                         Matrix::GaussianRandom(10, r, &rng)};
+    for (int mode = 0; mode < 3; ++mode) {
+      const Matrix coo = MttkrpCoo(x, factors, mode);
+      const Matrix got = SparseKernels::Mttkrp(csf, factors, mode);
+      EXPECT_LE(RelMaxDiff(got, coo), 1e-12)
+          << "mode " << mode << " seed " << seed;
+    }
+  }
+}
+
+TEST(CsfKernelsTest, MttkrpThreadCountInvariantPerMode) {
+  KernelGuard guard;
+  const SparseTensor x = RandomTensor(50, 40, 12, 4000, 5);
+  const CsfTensor csf(x);
+  Rng rng(6);
+  const size_t r = 8;
+  Matrix factors[3] = {Matrix::GaussianRandom(50, r, &rng),
+                       Matrix::GaussianRandom(40, r, &rng),
+                       Matrix::GaussianRandom(12, r, &rng)};
+  for (int mode = 0; mode < 3; ++mode) {
+    SetGlobalThreads(1);
+    const Matrix serial = SparseKernels::Mttkrp(csf, factors, mode);
+    for (int threads : {2, 8}) {
+      SetGlobalThreads(threads);
+      EXPECT_TRUE(
+          BitIdentical(serial, SparseKernels::Mttkrp(csf, factors, mode)))
+          << "mode " << mode << " @" << threads;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Satellite regression: the bucketed COO modes-1/2 parallel path returns
+// the serial loop's exact bytes (the pre-bucketing preserves per-row
+// entry order).
+// --------------------------------------------------------------------------
+
+TEST(MttkrpCooBucketTest, SerialEqualsParallelBytesAllModes) {
+  KernelGuard guard;
+  for (const bool finalized : {true, false}) {
+    Rng rng(17);
+    SparseTensor x(60, 45, 12);
+    for (size_t e = 0; e < 9000; ++e) {
+      (void)x.Add(static_cast<uint32_t>(rng.UniformInt(60)),
+                  static_cast<uint32_t>(rng.UniformInt(45)),
+                  static_cast<uint32_t>(rng.UniformInt(12)),
+                  rng.Uniform(0.1, 2.0));
+    }
+    if (finalized) {
+      ASSERT_TRUE(x.Finalize(false).ok());
+    }
+    const size_t r = 8;  // nnz * r is far past the parallel threshold
+    Matrix factors[3] = {Matrix::GaussianRandom(60, r, &rng),
+                         Matrix::GaussianRandom(45, r, &rng),
+                         Matrix::GaussianRandom(12, r, &rng)};
+    for (int mode = 0; mode < 3; ++mode) {
+      SetGlobalThreads(1);
+      const Matrix serial = MttkrpCoo(x, factors, mode);
+      for (int threads : {2, 8}) {
+        SetGlobalThreads(threads);
+        EXPECT_TRUE(BitIdentical(serial, MttkrpCoo(x, factors, mode)))
+            << "mode " << mode << " @" << threads
+            << (finalized ? " finalized" : " unfinalized");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Satellite regression: mirrored Gram stays bitwise-equal to the full
+// rectangle it replaced, and exactly symmetric.
+// --------------------------------------------------------------------------
+
+TEST(GramMirrorTest, EqualsFullRectangleBitwise) {
+  KernelGuard guard;
+  Rng rng(31);
+  const std::pair<size_t, size_t> shapes[] = {
+      {7, 3}, {200, 32}, {65, 64}, {1, 5}};
+  for (const auto& shape : shapes) {
+    const Matrix a =
+        Matrix::GaussianRandom(shape.first, shape.second, &rng);
+    for (int threads : {1, 2, 8}) {
+      SetGlobalThreads(threads);
+      const Matrix g = Gram(a);
+      const Matrix full = MatTMul(a, a);
+      EXPECT_TRUE(BitIdentical(g, full))
+          << shape.first << "x" << shape.second << " @" << threads;
+      for (size_t i = 0; i < g.rows(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          ASSERT_EQ(g(i, j), g(j, i)) << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// CSF-backed RewrittenLoss: bound and unbound calls return the same
+// bytes, and the entry term matches a direct per-entry reference.
+// --------------------------------------------------------------------------
+
+TEST(RewrittenCsfTest, BoundAndUnboundBitIdentical) {
+  KernelGuard guard;
+  const SparseTensor x = RandomTensor(30, 22, 9, 2500, 33);
+  const FactorModel m = RandomModel(30, 22, 9, 5, 34);
+  RewrittenLoss unbound(0.9, 0.1);
+  RewrittenLoss bound(0.9, 0.1);
+  bound.BindTensor(x);
+  for (int threads : {1, 8}) {
+    SetGlobalThreads(threads);
+    FactorGrads ga(m), gb(m);
+    const double la = unbound.ComputeWithGrads(m, x, &ga);
+    const double lb = bound.ComputeWithGrads(m, x, &gb);
+    EXPECT_EQ(la, lb) << threads << " threads";
+    EXPECT_TRUE(BitIdentical(ga, gb)) << threads << " threads";
+  }
+}
+
+TEST(RewrittenCsfTest, EntryLossMatchesPerEntryReference) {
+  KernelGuard guard;
+  const SparseTensor x = RandomTensor(12, 10, 6, 200, 35);
+  const FactorModel m = RandomModel(12, 10, 6, 4, 36);
+  const double wp = 0.93, wn = 0.07;
+  const CsfTensor csf(x);
+  const double got = SparseKernels::RewrittenEntryLoss(
+      csf, m.u1, m.u2, m.u3, m.h, wp, wn, nullptr, nullptr, nullptr,
+      nullptr);
+  double want = 0.0;
+  for (const TensorEntry& e : x.entries()) {
+    const double y = m.Predict(e.i, e.j, e.k);
+    want += (wp - wn) * y * y - 2.0 * wp * e.value * y +
+            wp * e.value * e.value;
+  }
+  EXPECT_NEAR(got, want, 1e-10 * std::max(1.0, std::fabs(want)));
+}
+
+TEST(RewrittenCsfTest, GradsMatchCooEntryLoop) {
+  KernelGuard guard;
+  const SparseTensor x = RandomTensor(14, 11, 7, 300, 37);
+  const FactorModel m = RandomModel(14, 11, 7, 4, 38);
+  const double wp = 0.9, wn = 0.1;
+  const CsfTensor csf(x);
+  FactorGrads got(m);
+  (void)SparseKernels::RewrittenEntryLoss(csf, m.u1, m.u2, m.u3, m.h, wp,
+                                          wn, &got.u1, &got.u2, &got.u3,
+                                          &got.h);
+  FactorGrads want(m);
+  for (const TensorEntry& e : x.entries()) {
+    const double y = m.Predict(e.i, e.j, e.k);
+    const double g = 2.0 * (wp - wn) * y - 2.0 * wp * e.value;
+    AccumulateEntryGrad(m, e.i, e.j, e.k, g, &want);
+  }
+  EXPECT_LE(RelMaxDiff(got.u1, want.u1), 1e-12);
+  EXPECT_LE(RelMaxDiff(got.u2, want.u2), 1e-12);
+  EXPECT_LE(RelMaxDiff(got.u3, want.u3), 1e-12);
+  for (size_t t = 0; t < m.h.size(); ++t) {
+    EXPECT_NEAR(got.h[t], want.h[t],
+                1e-12 * std::max(1.0, std::fabs(want.h[t])));
+  }
+}
+
+}  // namespace
+}  // namespace tcss

@@ -25,8 +25,11 @@
 #include "linalg/matrix.h"
 #include "proptest/generators.h"
 #include "proptest/oracles.h"
+#include "linalg/simd.h"
 #include "proptest/prop.h"
+#include "tensor/csf_tensor.h"
 #include "tensor/mttkrp.h"
+#include "tensor/sparse_kernels.h"
 
 namespace tcss {
 namespace {
@@ -344,6 +347,182 @@ TEST(DifferentialKernels, GemmGramMttkrpMatchOraclesAtManyThreads) {
   opts.max_size = 64;
   PropReport report = Prop::Check<KernelCase>(
       "kernels-vs-triple-loop", 24, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// ---------------------------------------------------------------------------
+// CSF tensor: structure invariants and per-mode MTTKRP differentials
+// (DESIGN.md §12). GenSparseTensor is biased toward the adversarial
+// shapes that matter here: empty tensors, empty modes, singleton
+// dimensions, duplicate-heavy coordinates (coalesced into long fibers),
+// single-slice tensors.
+// ---------------------------------------------------------------------------
+
+struct CsfCase {
+  SparseTensor x;
+  Matrix factors[3];
+};
+
+CsfCase MakeCsfCase(uint64_t seed, uint32_t size) {
+  Rng rng(seed);
+  CsfCase c;
+  GenTensorOptions topts;
+  topts.binary = rng.Bernoulli(0.5);
+  c.x = GenSparseTensor(&rng, size, topts);
+  const size_t rank = GenRank(&rng, size);
+  c.factors[0] = Matrix::GaussianRandom(c.x.dim(0), rank, &rng);
+  c.factors[1] = Matrix::GaussianRandom(c.x.dim(1), rank, &rng);
+  c.factors[2] = Matrix::GaussianRandom(c.x.dim(2), rank, &rng);
+  return c;
+}
+
+// Build-from-COO invariants: delimiter arrays are well-formed and the
+// tree, walked in order, reproduces the sorted COO entry list exactly
+// (which implies nnz conservation and per-level index ordering).
+TEST(CsfProperties, StructureInvariantsHoldOnAdversarialTensors) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Rng rng(seed);
+    GenTensorOptions topts;
+    topts.binary = rng.Bernoulli(0.5);
+    return GenSparseTensor(&rng, size, topts);
+  };
+  auto pred = [](const SparseTensor& x, std::string* msg) {
+    const CsfTensor csf(x);
+    if (csf.nnz() != x.nnz()) {
+      *msg = StrFormat("nnz %zu != COO nnz %zu", csf.nnz(), x.nnz());
+      return false;
+    }
+    const auto& ss = csf.slice_starts();
+    const auto& fs = csf.fiber_starts();
+    if (ss.size() != csf.num_slices() + 1 || ss.front() != 0 ||
+        ss.back() != csf.num_fibers()) {
+      *msg = "slice_start delimiters malformed";
+      return false;
+    }
+    if (fs.size() != csf.num_fibers() + 1 || fs.front() != 0 ||
+        fs.back() != csf.nnz()) {
+      *msg = "fiber_start delimiters malformed";
+      return false;
+    }
+    // Every slice holds >= 1 fiber and every fiber >= 1 nonzero (empty
+    // nodes would be dead weight the builder must not emit).
+    for (size_t s = 0; s + 1 < ss.size(); ++s) {
+      if (ss[s] >= ss[s + 1]) {
+        *msg = StrFormat("empty slice %zu", s);
+        return false;
+      }
+    }
+    for (size_t f = 0; f + 1 < fs.size(); ++f) {
+      if (fs[f] >= fs[f + 1]) {
+        *msg = StrFormat("empty fiber %zu", f);
+        return false;
+      }
+    }
+    // Walking the tree in order must replay the finalized COO entry list
+    // byte for byte: same (i, j, k) lexicographic order, same values.
+    size_t e = 0;
+    for (size_t s = 0; s < csf.num_slices(); ++s) {
+      for (size_t f = ss[s]; f < ss[s + 1]; ++f) {
+        for (size_t p = fs[f]; p < fs[f + 1]; ++p, ++e) {
+          const TensorEntry& want = x.entries()[e];
+          if (csf.slice_ids()[s] != want.i || csf.fiber_ids()[f] != want.j ||
+              csf.kks()[p] != want.k || csf.vals()[p] != want.value) {
+            *msg = StrFormat("tree walk diverges from COO at entry %zu", e);
+            return false;
+          }
+        }
+      }
+    }
+    return e == csf.nnz();
+  };
+  PropOptions opts;
+  opts.max_size = 48;
+  PropReport report = Prop::Check<SparseTensor>(
+      "csf-structure-invariants", 80, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// All three CSF MTTKRP modes against both the COO entry loop and the
+// dense triple-loop oracle, on the same adversarial tensor family.
+TEST(CsfProperties, MttkrpAllModesMatchCooAndDenseOracle) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeCsfCase(seed, size);
+  };
+  auto pred = [](const CsfCase& c, std::string* msg) {
+    const CsfTensor csf(c.x);
+    for (int mode = 0; mode < 3; ++mode) {
+      const Matrix got = SparseKernels::Mttkrp(csf, c.factors, mode);
+      const Matrix coo = MttkrpCoo(c.x, c.factors, mode);
+      const Matrix want = OracleMttkrp(c.x, c.factors, mode);
+      const double err_coo = RelMaxDiff(got, coo);
+      const double err_dense = RelMaxDiff(got, want);
+      if (err_coo > 1e-12 || err_dense > 1e-12) {
+        *msg = StrFormat(
+            "CSF mode %d: vs COO %.3e, vs dense %.3e (nnz=%zu, %zux%zux%zu)",
+            mode, err_coo, err_dense, c.x.nnz(), c.x.dim(0), c.x.dim(1),
+            c.x.dim(2));
+        return false;
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 32;
+  PropReport report = Prop::Check<CsfCase>(
+      "csf-mttkrp-vs-coo-vs-dense", 48, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// The scalar and native kernel builds must return the same bytes for
+// every dispatched kernel, at 1/2/8 threads (the vectorized build only
+// vectorizes across independent output elements, never within a
+// per-element reduction chain — DESIGN.md §12).
+TEST(CsfProperties, SimdOffVsNativeBitIdenticalAtManyThreads) {
+  struct SimdGuard {
+    ~SimdGuard() {
+      SetGlobalThreads(1);
+      SetSimdMode(ResolveSimdMode(std::getenv("TCSS_SIMD")));
+    }
+  };
+  auto gen = [](uint64_t seed, uint32_t size) {
+    return MakeKernelCase(seed, size);
+  };
+  auto pred = [](const KernelCase& c, std::string* msg) {
+    SimdGuard guard;
+    const CsfTensor csf(c.x);
+    for (int threads : {1, 2, 8}) {
+      SetGlobalThreads(threads);
+      SetSimdMode(SimdMode::kScalar);
+      const Matrix mm = MatMul(c.a, c.b);
+      const Matrix mtm = MatTMul(c.a, c.c);
+      const Matrix gram = Gram(c.a);
+      Matrix mttkrp[3];
+      for (int mode = 0; mode < 3; ++mode) {
+        mttkrp[mode] = SparseKernels::Mttkrp(csf, c.factors, mode);
+      }
+      SetSimdMode(SimdMode::kNative);
+      if (MaxAbsDiff(MatMul(c.a, c.b), mm) != 0.0 ||
+          MaxAbsDiff(MatTMul(c.a, c.c), mtm) != 0.0 ||
+          MaxAbsDiff(Gram(c.a), gram) != 0.0) {
+        *msg = StrFormat("dense kernel scalar != native at %d threads",
+                         threads);
+        return false;
+      }
+      for (int mode = 0; mode < 3; ++mode) {
+        if (MaxAbsDiff(SparseKernels::Mttkrp(csf, c.factors, mode),
+                       mttkrp[mode]) != 0.0) {
+          *msg = StrFormat("CSF mode %d scalar != native at %d threads",
+                           mode, threads);
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 48;
+  PropReport report = Prop::Check<KernelCase>(
+      "simd-off-vs-native-bitwise", 24, gen, pred, opts);
   EXPECT_TRUE(report.ok) << report.message;
 }
 

@@ -3,10 +3,15 @@
 #
 #   1. Plain build: run the serving-layer, server chaos, randomized-
 #      corruption, parallel-determinism, observability, property-based
-#      differential-oracle, and distributed-training suites (ctest labels
-#      "serve", "server", "fuzz", "determinism", "obs", "proptest", and
-#      "dist") in the production configuration — the exact binaries that
-#      ship.
+#      differential-oracle, kernel-dispatch, and distributed-training
+#      suites (ctest labels "serve", "server", "fuzz", "determinism",
+#      "obs", "proptest", "kernels", and "dist") in the production
+#      configuration — the exact binaries that ship. The kernels label
+#      runs twice more: once with TCSS_SIMD=off and once with
+#      TCSS_SIMD=native, so both sides of the dispatch seam are the
+#      startup-selected table (the suite's own guard test fails if the
+#      dispatcher silently falls back to scalar on a machine where the
+#      vectorized build is compiled in and supported).
 #   2. Sanitizer build: configure with AddressSanitizer + UBSan and run
 #      the FULL test suite (which again includes the labeled suites)
 #      under the instrumented binaries.
@@ -40,7 +45,13 @@ TSAN_DIR="${2:-build-tsan}"
 # --- Stage 1: plain build, resilience + determinism suites ---------------
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -L "serve|server|fuzz|determinism|obs|proptest|dist"
+ctest --test-dir build --output-on-failure -L "serve|server|fuzz|determinism|obs|proptest|kernels|dist"
+
+# Kernel-dispatch suite under both env-forced SIMD modes. The unlabeled
+# run above already covers the default (auto) resolution; these two pin
+# each side of the seam explicitly.
+TCSS_SIMD=off ctest --test-dir build --output-on-failure -L "kernels"
+TCSS_SIMD=native ctest --test-dir build --output-on-failure -L "kernels"
 
 # --- Stage 2: ASan/UBSan build, full suite -------------------------------
 cmake -B "$BUILD_DIR" -S . \
@@ -55,10 +66,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
 # --- Stage 3: TSan build, concurrency suites -----------------------------
 # TSan is mutually exclusive with ASan, hence the separate tree. Only the
-# determinism, obs, proptest, server, and dist labels run here: they are
-# the suites that exercise concurrency (ThreadPool, sharded losses,
-# multi-threaded training, concurrent metric recording, the multi-threaded
-# kernel-equality properties, the server's acceptor/reader/dispatcher
+# determinism, obs, proptest, kernels, server, and dist labels run here:
+# they are the suites that exercise concurrency (ThreadPool, sharded
+# losses, multi-threaded training, concurrent metric recording, the
+# multi-threaded kernel-equality properties, the sharded CSF/MTTKRP
+# kernels at 1/2/8 threads, the server's acceptor/reader/dispatcher
 # threads, and the distributed coordinator/worker fleets); the rest of the
 # suite is single-threaded and already covered by stage 2.
 cmake -B "$TSAN_DIR" -S . \
@@ -69,6 +81,6 @@ cmake --build "$TSAN_DIR" -j
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # The chaos soak gates this stage at >=10k requests (see tests/CMakeLists).
 export TCSS_SERVER_SOAK=10000
-ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs|proptest|server|dist"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -L "determinism|obs|proptest|kernels|server|dist"
 
 echo "sanitizer check passed"
