@@ -1,0 +1,251 @@
+#include "ann/lsh_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "linalg/kernel_table.h"
+
+namespace tcss {
+namespace ann {
+namespace {
+
+/// SplitMix64 finalizer, the repo-wide seed mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Auto bucket width: mean occupancy ~8 POIs per bucket.
+size_t AutoBits(size_t num_pois) {
+  size_t bits = 2;
+  while (bits < kMaxLshBits && (num_pois >> bits) > 8) ++bits;
+  return bits;
+}
+
+void AppendBytes(std::string* out, const void* p, size_t n) {
+  out->append(reinterpret_cast<const char*>(p), n);
+}
+
+}  // namespace
+
+uint64_t ModelFingerprint(const FactorModel& model) {
+  uint32_t crc = 0;
+  if (!model.u2.empty()) {
+    crc = Crc32(model.u2.data(), model.u2.size() * sizeof(double), crc);
+  }
+  if (!model.h.empty()) {
+    crc = Crc32(model.h.data(), model.h.size() * sizeof(double), crc);
+  }
+  uint64_t fp = Mix64((static_cast<uint64_t>(model.u2.rows()) << 20) ^
+                      model.u2.cols());
+  fp = Mix64(fp ^ crc);
+  fp = Mix64(fp ^ model.h.size());
+  return fp;
+}
+
+LshIndex::LshIndex(const FactorModel& model, const LshConfig& config,
+                   obs::MetricRegistry* metrics) {
+  Stopwatch sw;
+  num_pois_ = model.u2.rows();
+  rank_ = model.u2.cols();
+  tables_ = std::clamp<size_t>(config.tables, 1, kMaxLshTables);
+  bits_ = config.bits == 0 ? AutoBits(num_pois_)
+                           : std::clamp<size_t>(config.bits, 2, kMaxLshBits);
+  probes_ = std::clamp<size_t>(
+      config.probes, 1, std::min(kMaxLshProbes, size_t{1} << bits_));
+  fingerprint_ = ModelFingerprint(model);
+
+  const size_t d = tables_ * bits_;
+  // Hyperplanes from seed ⊕ fingerprint: a retrained model draws fresh
+  // projections, a byte-identical model reproduces them exactly.
+  Rng rng(Mix64(config.seed ^ fingerprint_));
+  proj_ = Matrix::GaussianRandom(rank_ + 1, d, &rng);
+
+  // MIPS→cosine augmentation coordinate per POI row.
+  std::vector<double> aug(num_pois_, 0.0);
+  double max_sq = 0.0;
+  for (size_t j = 0; j < num_pois_; ++j) {
+    const double* x = model.u2.row(j);
+    double sq = 0.0;
+    for (size_t t = 0; t < rank_; ++t) sq += x[t] * x[t];
+    aug[j] = sq;  // stash |x|^2, finished below once M is known
+    max_sq = std::max(max_sq, sq);
+  }
+  for (size_t j = 0; j < num_pois_; ++j) {
+    aug[j] = std::sqrt(std::max(0.0, max_sq - aug[j]));
+  }
+
+  // Projection pass H = [U2 aug] · proj through the kernel gemm seam: one
+  // row-sharded dense gemm over all POI rows plus a rank-1 update for the
+  // augmentation column (this avoids materializing the augmented J×(r+1)
+  // matrix). Each row's accumulation chain lives entirely inside one
+  // shard, so the result is bitwise thread-count-invariant.
+  Matrix h(num_pois_, d);
+  std::vector<uint32_t> bucket_of(num_pois_ * tables_, 0);
+  if (num_pois_ > 0) {
+    const KernelTable& kernels = ActiveKernels();
+    const double* proj_aug = proj_.row(rank_);
+    ParallelFor(num_pois_, 256, [&](size_t begin, size_t end, size_t) {
+      if (rank_ > 0) {
+        kernels.gemm_rows(model.u2.data(), proj_.data(), h.data(), begin,
+                          end, rank_, d);
+      }
+      kernels.gemm_rows(aug.data(), proj_aug, h.data(), begin, end, 1, d);
+      for (size_t j = begin; j < end; ++j) {
+        const double* hrow = h.row(j);
+        for (size_t t = 0; t < tables_; ++t) {
+          uint32_t bucket = 0;
+          for (size_t bit = 0; bit < bits_; ++bit) {
+            if (hrow[t * bits_ + bit] >= 0.0) bucket |= 1u << bit;
+          }
+          bucket_of[j * tables_ + t] = bucket;
+        }
+      }
+    });
+  }
+
+  // CSR buckets by counting sort: ids ascending within each bucket, one
+  // pass per table. Serial — O(J·tables) index arithmetic.
+  const size_t num_buckets = size_t{1} << bits_;
+  offsets_.assign(tables_, {});
+  ids_.assign(tables_, {});
+  for (size_t t = 0; t < tables_; ++t) {
+    auto& off = offsets_[t];
+    off.assign(num_buckets + 1, 0);
+    for (size_t j = 0; j < num_pois_; ++j) {
+      ++off[bucket_of[j * tables_ + t] + 1];
+    }
+    for (size_t b = 0; b < num_buckets; ++b) off[b + 1] += off[b];
+    auto& ids = ids_[t];
+    ids.resize(num_pois_);
+    std::vector<size_t> cursor(off.begin(), off.end() - 1);
+    for (size_t j = 0; j < num_pois_; ++j) {
+      ids[cursor[bucket_of[j * tables_ + t]]++] = static_cast<uint32_t>(j);
+    }
+  }
+
+  build_ms_ = sw.ElapsedMillis();
+  if (metrics != nullptr) {
+    metrics->GetHistogram("ann.rebuild_ms")->Record(build_ms_);
+    obs::Histogram* occupancy = metrics->GetHistogram("ann.bucket_occupancy");
+    for (size_t t = 0; t < tables_; ++t) {
+      for (size_t b = 0; b < num_buckets; ++b) {
+        const size_t n = offsets_[t][b + 1] - offsets_[t][b];
+        if (n > 0) occupancy->Record(static_cast<double>(n));
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> LshIndex::Candidates(const double* q, size_t r) const {
+  std::vector<uint32_t> out;
+  if (q == nullptr || r != rank_ || num_pois_ == 0) return out;
+  const size_t d = tables_ * bits_;
+  // z = projᵀ q; the query's augmentation coordinate is exactly zero, so
+  // the last projection row never contributes.
+  std::vector<double> z(d, 0.0);
+  for (size_t t = 0; t < rank_; ++t) {
+    const double qt = q[t];
+    if (qt == 0.0) continue;
+    const double* prow = proj_.row(t);
+    for (size_t i = 0; i < d; ++i) z[i] += qt * prow[i];
+  }
+  std::vector<std::pair<double, uint32_t>> margin(bits_);
+  // A perturbation set is a subset of the margin-sorted bit positions,
+  // encoded as a mask over positions; its score is the sum of squared
+  // margins of the flipped bits (the standard multi-probe LSH ordering:
+  // cheaper sets are likelier to hold the true bucket). Heap entries are
+  // (score, position-mask); comparing the mask on score ties keeps the
+  // probe order fully deterministic.
+  using Pert = std::pair<double, uint32_t>;
+  std::vector<Pert> heap;
+  const auto later = [](const Pert& a, const Pert& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  };
+  for (size_t t = 0; t < tables_; ++t) {
+    const double* zt = z.data() + t * bits_;
+    uint32_t base = 0;
+    for (size_t bit = 0; bit < bits_; ++bit) {
+      if (zt[bit] >= 0.0) base |= 1u << bit;
+      margin[bit] = {std::fabs(zt[bit]), static_cast<uint32_t>(bit)};
+    }
+    // Sorting the (|margin|, bit) pairs breaks ties on the bit index —
+    // deterministic even for degenerate projections.
+    std::sort(margin.begin(), margin.end());
+    const auto gather = [&](uint32_t bucket) {
+      const auto& ids = ids_[t];
+      out.insert(out.end(), ids.begin() + offsets_[t][bucket],
+                 ids.begin() + offsets_[t][bucket + 1]);
+    };
+    gather(base);
+    // Enumerate perturbation sets in nondecreasing score order with the
+    // shift/expand successor scheme (Lv et al.): popping the set whose
+    // largest sorted position is `top` yields two successors, "shift"
+    // (move `top` one position up) and "expand" (also keep `top`). Every
+    // non-empty subset is reached exactly once.
+    heap.clear();
+    if (bits_ > 0 && probes_ > 1) {
+      heap.push_back({margin[0].first * margin[0].first, 1u});
+    }
+    for (size_t p = 1; p < probes_ && !heap.empty(); ++p) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const Pert cur = heap.back();
+      heap.pop_back();
+      uint32_t bucket = base;
+      uint32_t mask = cur.second;
+      uint32_t top = 0;
+      while (mask != 0) {
+        const uint32_t pos = static_cast<uint32_t>(__builtin_ctz(mask));
+        mask &= mask - 1;
+        bucket ^= 1u << margin[pos].second;
+        top = pos;
+      }
+      gather(bucket);
+      if (top + 1 < bits_) {
+        const double step = margin[top + 1].first * margin[top + 1].first -
+                            margin[top].first * margin[top].first;
+        const uint32_t shifted =
+            (cur.second & ~(1u << top)) | (1u << (top + 1));
+        heap.push_back({cur.first + step, shifted});
+        std::push_heap(heap.begin(), heap.end(), later);
+        heap.push_back({cur.first + margin[top + 1].first *
+                                        margin[top + 1].first,
+                        cur.second | (1u << (top + 1))});
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string LshIndex::DebugBytes() const {
+  std::string out;
+  const uint64_t header[6] = {tables_, bits_,      probes_,
+                              num_pois_, rank_, fingerprint_};
+  AppendBytes(&out, header, sizeof(header));
+  if (!proj_.empty()) {
+    AppendBytes(&out, proj_.data(), proj_.size() * sizeof(double));
+  }
+  for (size_t t = 0; t < tables_; ++t) {
+    AppendBytes(&out, offsets_[t].data(),
+                offsets_[t].size() * sizeof(size_t));
+    if (!ids_[t].empty()) {
+      AppendBytes(&out, ids_[t].data(), ids_[t].size() * sizeof(uint32_t));
+    }
+  }
+  return out;
+}
+
+}  // namespace ann
+}  // namespace tcss

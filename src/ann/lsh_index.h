@@ -1,0 +1,116 @@
+#ifndef TCSS_ANN_LSH_INDEX_H_
+#define TCSS_ANN_LSH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/factor_model.h"
+#include "linalg/matrix.h"
+#include "obs/metrics.h"
+
+namespace tcss {
+namespace ann {
+
+/// Hard caps on index parameters; values beyond them are clamped at
+/// construction so a hostile flag value cannot trigger a 2^64-bucket
+/// allocation.
+inline constexpr size_t kMaxLshTables = 64;
+inline constexpr size_t kMaxLshBits = 20;
+inline constexpr size_t kMaxLshProbes = 1024;
+
+/// Parameters of the candidate-generation index (DESIGN.md §13).
+struct LshConfig {
+  /// Independent hash tables; more tables = higher recall, more memory.
+  size_t tables = 8;
+  /// Hyperplane bits per table (2^bits buckets). 0 = auto: sized so the
+  /// mean bucket holds ~8 POIs, clamped to [2, kMaxLshBits]. Narrow
+  /// buckets plus generous multi-probe beats wide buckets: the probe
+  /// order skips low-confidence bits, so precision rises faster than
+  /// recall falls.
+  size_t bits = 0;
+  /// Buckets probed per table: the base bucket plus the probes-1
+  /// perturbed buckets, enumerated in increasing sum-of-squared-margin
+  /// order over the flipped bits (multi-probe LSH). Clamped to the bucket
+  /// count (2^bits) and kMaxLshProbes.
+  size_t probes = 32;
+  /// When the (possibly geo/candidate-intersected) candidate union is
+  /// smaller than this, the service falls back to the exact path.
+  size_t min_candidates = 64;
+  /// Base seed; the effective projection seed mixes in the model
+  /// fingerprint, so a retrained model gets fresh hyperplanes while a
+  /// byte-identical model reproduces the index bit for bit.
+  uint64_t seed = 0x7c55'a22'5eedULL;
+};
+
+/// Order-sensitive digest of the factors the index is built from (the POI
+/// matrix and the h weights — the parts that define the scored inner
+/// product). Two models with identical bytes get identical fingerprints;
+/// any retrain perturbs it.
+uint64_t ModelFingerprint(const FactorModel& model);
+
+/// Multi-table random-hyperplane (SimHash) LSH over the POI factor rows.
+///
+/// Ranking POIs for a composed query q (q_t = h_t * U1[i,t] * U3[k,t]) is
+/// a maximum-inner-product search over the rows of U2. MIPS is reduced to
+/// cosine search by the standard norm augmentation: each row x becomes
+/// [x; sqrt(M^2 - |x|^2)] (M = max row norm) and the query [q; 0], which
+/// makes augmented-space cosine order equal inner-product order. Signed
+/// random projections then bucket the augmented rows per table; a query
+/// probes its base bucket plus the buckets across its lowest-confidence
+/// hyperplanes (multi-probe) and returns the deduplicated union for exact
+/// re-ranking by the caller.
+///
+/// The whole build is deterministic: projections come from a seeded RNG
+/// (seed ⊕ model fingerprint), the projection pass runs through the
+/// KernelTable gemm seam whose per-row accumulation chains are fixed, and
+/// the ParallelFor shard decomposition depends only on the row count — so
+/// the index bytes are identical at any build thread count (enforced by
+/// tests/ann_test.cc).
+class LshIndex {
+ public:
+  /// Builds the index over `model.u2`. If `metrics` is non-null, records
+  /// ann.rebuild_ms and the per-bucket ann.bucket_occupancy histograms.
+  /// Does not retain `model`.
+  LshIndex(const FactorModel& model, const LshConfig& config,
+           obs::MetricRegistry* metrics = nullptr);
+
+  /// Union of the probed buckets across all tables for composed query
+  /// vector `q` (length `r`, which must equal the build rank): sorted
+  /// ascending, deduplicated. Thread-safe (read-only).
+  std::vector<uint32_t> Candidates(const double* q, size_t r) const;
+
+  size_t num_pois() const { return num_pois_; }
+  size_t rank() const { return rank_; }
+  size_t tables() const { return tables_; }
+  size_t bits() const { return bits_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  double build_ms() const { return build_ms_; }
+
+  /// Byte-exact image of the index state (config, projections, bucket
+  /// offsets and ids) — the determinism tests compare these across build
+  /// thread counts and seeds.
+  std::string DebugBytes() const;
+
+ private:
+  size_t tables_ = 1;
+  size_t bits_ = 2;
+  size_t probes_ = 1;
+  size_t num_pois_ = 0;
+  size_t rank_ = 0;
+  uint64_t fingerprint_ = 0;
+  double build_ms_ = 0.0;
+  /// (rank+1) x (tables*bits) hyperplane normals; the last row multiplies
+  /// the MIPS augmentation coordinate (zero for queries).
+  Matrix proj_;
+  /// Per-table CSR buckets: offsets_[t] has 2^bits+1 entries, ids_[t]
+  /// holds every POI id once, ascending within each bucket.
+  std::vector<std::vector<size_t>> offsets_;
+  std::vector<std::vector<uint32_t>> ids_;
+};
+
+}  // namespace ann
+}  // namespace tcss
+
+#endif  // TCSS_ANN_LSH_INDEX_H_

@@ -88,23 +88,78 @@ double SpatialGrid::NearestDistanceKm(const GeoPoint& q,
 std::vector<uint32_t> SpatialGrid::WithinRadius(const GeoPoint& q,
                                                 double radius_km) const {
   std::vector<uint32_t> out;
-  if (points_->empty()) return out;
-  // Conservative cell window: convert km radius to degrees at this latitude.
-  const double lat_deg = radius_km / 110.574;
-  const double cos_lat =
-      std::max(0.05, std::cos(q.lat * M_PI / 180.0));
-  const double lon_deg = radius_km / (111.320 * cos_lat);
-  int cx0, cy0, cx1, cy1;
-  CellCoords({q.lat - lat_deg, q.lon - lon_deg}, &cx0, &cy0);
-  CellCoords({q.lat + lat_deg, q.lon + lon_deg}, &cx1, &cy1);
-  for (int y = cy0; y <= cy1; ++y) {
-    for (int x = cx0; x <= cx1; ++x) {
-      for (uint32_t idx : cells_[static_cast<size_t>(y) * nx_ + x]) {
-        if (HaversineKm(q, (*points_)[idx]) <= radius_km) out.push_back(idx);
+  if (points_->empty() || !(radius_km >= 0.0)) return out;
+  // Conservative cell window, derived from the haversine formula itself
+  // (d = 2R asin sqrt(sin^2(dlat/2) + cos lat1 cos lat2 sin^2(dlon/2))):
+  //   * dropping the longitude term gives d >= R*|dlat|, so every point
+  //     within the radius lies inside the latitude band +-c (c = angular
+  //     radius in radians);
+  //   * dropping the latitude term and lower-bounding both cosines by the
+  //     band's minimum cosine gives |dlon| <= 2 asin(sin(c/2)/cos lat_m),
+  //     where lat_m is the largest |latitude| the band reaches. Using the
+  //     band minimum (not cos(q.lat)) is what keeps pole-adjacent queries
+  //     correct: the circle bulges in longitude toward the pole.
+  // A radius that reaches a pole, or a bound that saturates, means every
+  // longitude qualifies. The 1.001 slack absorbs rounding.
+  const double kDegPerRad = 180.0 / M_PI;
+  const double c = radius_km / kEarthRadiusKm;  // angular radius, radians
+  const double lat_deg = c * kDegPerRad * 1.001;
+  const double lat_lo = q.lat - lat_deg;
+  const double lat_hi = q.lat + lat_deg;
+  bool all_lon = false;
+  double lon_deg = 0.0;
+  if (lat_lo <= -90.0 || lat_hi >= 90.0 || c >= M_PI) {
+    all_lon = true;
+  } else {
+    const double band_max_lat = std::max(std::fabs(lat_lo), std::fabs(lat_hi));
+    const double sin_half =
+        std::sin(c / 2.0) / std::cos(band_max_lat * M_PI / 180.0);
+    if (sin_half >= 1.0) {
+      all_lon = true;
+    } else {
+      lon_deg = 2.0 * std::asin(sin_half) * kDegPerRad * 1.001;
+      if (lon_deg >= 180.0) all_lon = true;
+    }
+  }
+  // Longitude wraps at the antimeridian: a window that crosses +-180 is
+  // split into two disjoint spans (a window this wide but not global is
+  // excluded above, so at most one edge wraps).
+  struct LonSpan {
+    double lo, hi;
+  };
+  LonSpan spans[2];
+  int num_spans = 0;
+  if (all_lon) {
+    spans[num_spans++] = {-180.0, 180.0};
+  } else {
+    double lo = q.lon - lon_deg;
+    double hi = q.lon + lon_deg;
+    if (lo < -180.0) {
+      spans[num_spans++] = {lo + 360.0, 180.0};
+      lo = -180.0;
+    }
+    if (hi > 180.0) {
+      spans[num_spans++] = {-180.0, hi - 360.0};
+      hi = 180.0;
+    }
+    spans[num_spans++] = {lo, hi};
+  }
+  for (int s = 0; s < num_spans; ++s) {
+    int cx0, cy0, cx1, cy1;
+    CellCoords({lat_lo, spans[s].lo}, &cx0, &cy0);
+    CellCoords({lat_hi, spans[s].hi}, &cx1, &cy1);
+    for (int y = cy0; y <= cy1; ++y) {
+      for (int x = cx0; x <= cx1; ++x) {
+        for (uint32_t idx : cells_[static_cast<size_t>(y) * nx_ + x]) {
+          if (HaversineKm(q, (*points_)[idx]) <= radius_km) out.push_back(idx);
+        }
       }
     }
   }
+  // Disjoint spans can still clamp onto overlapping cell columns at the
+  // grid edge, so dedup after sorting.
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -25,7 +25,10 @@ class SpatialGrid {
   /// Haversine distance from q to its nearest indexed point; +inf if empty.
   double NearestDistanceKm(const GeoPoint& q, int64_t exclude = -1) const;
 
-  /// All point indices within `radius_km` of q.
+  /// All point indices within `radius_km` of q (haversine), sorted
+  /// ascending and deduplicated. Exact: the cell window is conservative,
+  /// wraps across the antimeridian, and widens toward the poles, so no
+  /// in-radius point is ever missed.
   std::vector<uint32_t> WithinRadius(const GeoPoint& q,
                                      double radius_km) const;
 

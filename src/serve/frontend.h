@@ -27,7 +27,8 @@ namespace tcss {
 ///   crc        4 bytes   little-endian CRC-32 over id||payload
 ///
 /// The payload is text: requests use the ParseRequestLine grammar
-/// ("topk <user> <time_bin> ..."), responses the WireResponse grammar
+/// ("topk <user> <time_bin> [k=N] [new] [deadline_ms=X] [cand=...]
+/// [within_km=KM,LAT,LON]"), responses the WireResponse grammar
 /// below. The CRC covers the id too, so a bit flip anywhere past the
 /// magic is detected; a flipped magic or an absurd length is rejected
 /// before any allocation. A byte stream that produced a malformed frame

@@ -1,8 +1,11 @@
 #include "serve/recommend_service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -64,6 +67,38 @@ class ColumnScorer : public Recommender {
   size_t col_;
 };
 
+/// A request's geo fence is either absent or a finite positive radius
+/// under the cap with a valid centre — the service re-validates because
+/// requests can arrive through the C++ API without passing the parser.
+bool ValidGeoFence(const ServeRequest& req) {
+  if (req.within_km == 0.0) return true;
+  return std::isfinite(req.within_km) && req.within_km > 0.0 &&
+         req.within_km <= kMaxRequestWithinKm && IsValid(req.center);
+}
+
+std::vector<uint32_t> IntersectSorted(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Fraction of the exact oracle's top-k the approximate list recovered.
+double RecallAtK(const std::vector<Recommendation>& approx,
+                 const std::vector<Recommendation>& exact) {
+  if (exact.empty()) return 1.0;
+  std::vector<uint32_t> ids;
+  ids.reserve(approx.size());
+  for (const auto& a : approx) ids.push_back(a.poi);
+  std::sort(ids.begin(), ids.end());
+  size_t hit = 0;
+  for (const auto& e : exact) {
+    if (std::binary_search(ids.begin(), ids.end(), e.poi)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(exact.size());
+}
+
 }  // namespace
 
 std::string ServiceStats::ToString() const {
@@ -83,6 +118,16 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(fold_in_cache_hits),
       static_cast<unsigned long long>(fold_in_cache_misses), p50_ms, p95_ms,
       p99_ms);
+  if (ann_served + ann_fallbacks + ann_rebuilds + geo_fenced > 0) {
+    s += StrFormat(
+        " ann_served=%llu ann_fallbacks=%llu ann_rebuilds=%llu "
+        "ann_audits=%llu geo_fenced=%llu",
+        static_cast<unsigned long long>(ann_served),
+        static_cast<unsigned long long>(ann_fallbacks),
+        static_cast<unsigned long long>(ann_rebuilds),
+        static_cast<unsigned long long>(ann_audits),
+        static_cast<unsigned long long>(geo_fenced));
+  }
   for (int t = 0; t < kNumServeTiers; ++t) {
     if (queries_by_tier[t] == 0) continue;
     s += StrFormat(" %s[p50=%.3f p95=%.3f p99=%.3f]",
@@ -109,6 +154,12 @@ RecommendService::RecommendService(const Dataset* data,
   degrade_counter_ = metrics_->GetCounter("serve.deadline_degrades");
   cache_hit_counter_ = metrics_->GetCounter("serve.fold_in.cache_hits");
   cache_miss_counter_ = metrics_->GetCounter("serve.fold_in.cache_misses");
+  ann_candidates_hist_ = metrics_->GetHistogram("ann.candidates");
+  ann_recall_hist_ = metrics_->GetHistogram("ann.recall_proxy");
+  ann_served_counter_ = metrics_->GetCounter("ann.served");
+  ann_fallback_counter_ = metrics_->GetCounter("ann.fallbacks");
+  ann_rebuild_counter_ = metrics_->GetCounter("ann.rebuilds");
+  geo_fenced_counter_ = metrics_->GetCounter("serve.geo_fenced");
 }
 
 Status RecommendService::Init() {
@@ -135,6 +186,11 @@ Status RecommendService::Init() {
       user_cells_[e.i].push_back({e.i, e.j, e.k});
     }
   }
+
+  // Geo fence index. The grid keeps a pointer into poi_locations_, which
+  // lives (and stays unmoved) as long as the service.
+  poi_locations_ = data_->PoiLocations();
+  geo_grid_ = std::make_unique<SpatialGrid>(poi_locations_);
 
   initialized_ = true;
   if (watcher_ != nullptr) watcher_->Poll();
@@ -205,11 +261,105 @@ const std::vector<double>* RecommendService::FoldInEmbedding(
   return &it->second;
 }
 
+void RecommendService::EnsureAnnIndex(
+    const std::shared_ptr<const FactorModel>& model) {
+  if (!opts_.ann.enabled || model == nullptr) return;
+  if (ann_model_.get() == model.get() && ann_index_ != nullptr) return;
+  // A generation the index was not built from: rebuild before any
+  // candidate query. Both members swap together on this (the serving)
+  // thread, so no request ever pairs an old index with a new model.
+  ann_index_ = std::make_unique<ann::LshIndex>(*model, opts_.ann.lsh,
+                                               metrics_);
+  ann_model_ = model;
+  ++ann_rebuilds_;
+  ann_rebuild_counter_->Add(1);
+}
+
+void RecommendService::PlanScore(
+    const ServeRequest& req, ServeTier tier,
+    const std::shared_ptr<const FactorModel>& model,
+    const std::vector<double>* fold_emb, ScorePlan* plan) {
+  plan->topts.k = req.k;
+  plan->topts.exclude_visited = req.exclude_visited;
+
+  // The exact restriction: explicit candidates ∩ geo fence. An empty
+  // TopKOptions candidate list means "the whole catalogue", so a
+  // restriction that matched nothing must short-circuit to an empty
+  // answer instead of being passed through.
+  bool restricted = false;
+  std::vector<uint32_t> base;
+  if (!req.candidates.empty()) {
+    base = req.candidates;
+    std::sort(base.begin(), base.end());
+    base.erase(std::unique(base.begin(), base.end()), base.end());
+    restricted = true;
+  }
+  if (req.within_km > 0.0 && geo_grid_ != nullptr) {
+    std::vector<uint32_t> fence =
+        geo_grid_->WithinRadius(req.center, req.within_km);
+    base = restricted ? IntersectSorted(base, fence) : std::move(fence);
+    restricted = true;
+    ++geo_fenced_;
+    geo_fenced_counter_->Add(1);
+  }
+  if (restricted && base.empty()) {
+    plan->empty = true;
+    return;
+  }
+
+  const bool factor_tier =
+      tier == ServeTier::kModel || tier == ServeTier::kFoldIn;
+  if (opts_.ann.enabled && factor_tier && model != nullptr &&
+      (tier != ServeTier::kFoldIn || fold_emb != nullptr)) {
+    EnsureAnnIndex(model);
+    if (ann_index_ != nullptr && ann_index_->rank() == model->rank()) {
+      // The hot-reload pairing invariant: the index in hand was built
+      // from exactly the model this request scores through.
+      TCSS_CHECK(ann_model_.get() == model.get());
+      const size_t r = model->rank();
+      const double* u1row = tier == ServeTier::kModel
+                                ? model->u1.row(req.user)
+                                : fold_emb->data();
+      const double* u3row = model->u3.row(req.time_bin);
+      std::vector<double> q(r);
+      for (size_t t = 0; t < r; ++t) {
+        q[t] = model->h[t] * u1row[t] * u3row[t];
+      }
+      std::vector<uint32_t> cands = ann_index_->Candidates(q.data(), r);
+      if (restricted) cands = IntersectSorted(cands, base);
+      // Too few candidates and the re-rank could starve the answer; fall
+      // back to the exact restriction. A fence smaller than the floor is
+      // fine — the union can never exceed the fence.
+      size_t need = std::max(opts_.ann.lsh.min_candidates, req.k);
+      if (restricted) need = std::min(need, base.size());
+      if (!cands.empty() && cands.size() >= need) {
+        ++ann_served_;
+        ann_served_counter_->Add(1);
+        ann_candidates_hist_->Record(static_cast<double>(cands.size()));
+        if (opts_.ann.audit_every > 0 &&
+            ++ann_tick_ % opts_.ann.audit_every == 0) {
+          plan->audit = true;
+          plan->exact_topts = plan->topts;
+          plan->exact_topts.candidates = base;
+          ++ann_audits_;
+        }
+        plan->ann = true;
+        plan->topts.candidates = std::move(cands);
+        return;
+      }
+      ++ann_fallbacks_;
+      ann_fallback_counter_->Add(1);
+    }
+  }
+  if (restricted) plan->topts.candidates = std::move(base);
+}
+
 RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
   Response resp;
-  if (!initialized_ || req.time_bin >= num_bins_) {
-    // An out-of-range time bin would index past every tier's tables; an
-    // empty answer is the only safe response to that input.
+  if (!initialized_ || req.time_bin >= num_bins_ || !ValidGeoFence(req)) {
+    // An out-of-range time bin would index past every tier's tables, and
+    // a malformed geo fence has no meaningful answer; an empty response
+    // is the only safe reply to either input.
     ++invalid_requests_;
     invalid_counter_->Add(1);
     return resp;
@@ -220,32 +370,41 @@ RecommendService::Response RecommendService::TopK(const ServeRequest& req) {
       watcher_ != nullptr ? watcher_->current() : nullptr;
   ServeTier tier = ApplyDeadlineBudget(req, ChooseTier(req, model));
 
-  TopKOptions topts;
-  topts.k = req.k;
-  topts.exclude_visited = req.exclude_visited;
-  topts.candidates = req.candidates;
-  const size_t num_pois = data_->num_pois();
-
+  const std::vector<double>* emb = nullptr;
   if (tier == ServeTier::kFoldIn) {
-    const std::vector<double>* emb = FoldInEmbedding(req.user, model);
-    if (emb != nullptr) {
+    emb = FoldInEmbedding(req.user, model);
+    if (emb == nullptr) tier = ServeTier::kPopularity;
+  }
+  ScorePlan plan;
+  PlanScore(req, tier, model, emb, &plan);
+
+  const size_t num_pois = data_->num_pois();
+  resp.tier = tier;
+  if (!plan.empty) {
+    if (tier == ServeTier::kModel) {
+      FactorTier scorer(model);
+      resp.recs = TopKRecommendations(scorer, req.user, req.time_bin,
+                                      num_pois, plan.topts, &train_);
+      if (plan.audit) {
+        ann_recall_hist_->Record(RecallAtK(
+            resp.recs, TopKRecommendations(scorer, req.user, req.time_bin,
+                                           num_pois, plan.exact_topts,
+                                           &train_)));
+      }
+    } else if (tier == ServeTier::kFoldIn) {
       FoldInTier scorer(model, emb);
       resp.recs = TopKRecommendations(scorer, req.user, req.time_bin,
-                                      num_pois, topts, &train_);
-      resp.tier = ServeTier::kFoldIn;
+                                      num_pois, plan.topts, &train_);
+      if (plan.audit) {
+        ann_recall_hist_->Record(RecallAtK(
+            resp.recs, TopKRecommendations(scorer, req.user, req.time_bin,
+                                           num_pois, plan.exact_topts,
+                                           &train_)));
+      }
     } else {
-      tier = ServeTier::kPopularity;
+      resp.recs = TopKRecommendations(popularity_, req.user, req.time_bin,
+                                      num_pois, plan.topts, &train_);
     }
-  }
-  if (tier == ServeTier::kModel) {
-    FactorTier scorer(model);
-    resp.recs = TopKRecommendations(scorer, req.user, req.time_bin,
-                                    num_pois, topts, &train_);
-    resp.tier = ServeTier::kModel;
-  } else if (tier == ServeTier::kPopularity) {
-    resp.recs = TopKRecommendations(popularity_, req.user, req.time_bin,
-                                    num_pois, topts, &train_);
-    resp.tier = ServeTier::kPopularity;
   }
 
   resp.latency_ms = sw.ElapsedMillis();
@@ -267,17 +426,20 @@ std::vector<RecommendService::Response> RecommendService::BatchTopK(
     bool factor_scored = false;   ///< participates in the batch gemm
     ServeTier tier = ServeTier::kPopularity;
     const std::vector<double>* fold_emb = nullptr;
-    size_t q_row = 0;  ///< row in the stacked query matrix
+    size_t q_row = 0;   ///< row in the stacked query matrix
+    ScorePlan sp;       ///< candidate set / ANN / audit decision
+    double recall = -1.0;  ///< audit result, recorded serially in phase 4
   };
   std::vector<Plan> plans(reqs.size());
 
   // Phase 1 — serial: validation, tier choice with deadline degradation,
-  // fold-in cache fills. Every service-state mutation happens here, on
-  // the one serving thread.
+  // fold-in cache fills, candidate planning (geo fence, ANN candidate
+  // unions, index rebuilds). Every service-state mutation happens here,
+  // on the one serving thread.
   size_t num_factor = 0;
   for (size_t b = 0; b < reqs.size(); ++b) {
     const ServeRequest& req = reqs[b];
-    if (!initialized_ || req.time_bin >= num_bins_) {
+    if (!initialized_ || req.time_bin >= num_bins_ || !ValidGeoFence(req)) {
       ++invalid_requests_;
       invalid_counter_->Add(1);
       continue;
@@ -290,7 +452,10 @@ std::vector<RecommendService::Response> RecommendService::BatchTopK(
       if (plan.fold_emb == nullptr) tier = ServeTier::kPopularity;
     }
     plan.tier = tier;
-    if (tier != ServeTier::kPopularity) {
+    PlanScore(req, tier, model, plan.fold_emb, &plan.sp);
+    // ANN requests skip the full-catalogue gemm: their candidate unions
+    // are re-ranked directly against the factors in phase 3.
+    if (!plan.sp.empty && !plan.sp.ann && tier != ServeTier::kPopularity) {
       plan.factor_scored = true;
       plan.q_row = num_factor++;
     }
@@ -326,32 +491,59 @@ std::vector<RecommendService::Response> RecommendService::BatchTopK(
   ParallelFor(reqs.size(), 1, [&](size_t begin, size_t end, size_t) {
     for (size_t b = begin; b < end; ++b) {
       if (!plans[b].valid) continue;
-      TopKOptions topts;
-      topts.k = reqs[b].k;
-      topts.exclude_visited = reqs[b].exclude_visited;
-      topts.candidates = reqs[b].candidates;
+      out[b].tier = plans[b].tier;
+      const ScorePlan& sp = plans[b].sp;
+      if (sp.empty) continue;  // restriction matched nothing
       if (plans[b].factor_scored) {
         ColumnScorer scorer(&scores, plans[b].q_row);
         out[b].recs =
             TopKRecommendations(scorer, reqs[b].user, reqs[b].time_bin,
-                                num_pois, topts, &train_);
+                                num_pois, sp.topts, &train_);
+      } else if (sp.ann) {
+        // Candidate re-rank against the factors this batch's index was
+        // built from; audited requests also run the exact oracle here,
+        // into their own plan slot (recorded serially in phase 4).
+        if (plans[b].tier == ServeTier::kModel) {
+          FactorTier scorer(model);
+          out[b].recs =
+              TopKRecommendations(scorer, reqs[b].user, reqs[b].time_bin,
+                                  num_pois, sp.topts, &train_);
+          if (sp.audit) {
+            plans[b].recall = RecallAtK(
+                out[b].recs,
+                TopKRecommendations(scorer, reqs[b].user, reqs[b].time_bin,
+                                    num_pois, sp.exact_topts, &train_));
+          }
+        } else {
+          FoldInTier scorer(model, plans[b].fold_emb);
+          out[b].recs =
+              TopKRecommendations(scorer, reqs[b].user, reqs[b].time_bin,
+                                  num_pois, sp.topts, &train_);
+          if (sp.audit) {
+            plans[b].recall = RecallAtK(
+                out[b].recs,
+                TopKRecommendations(scorer, reqs[b].user, reqs[b].time_bin,
+                                    num_pois, sp.exact_topts, &train_));
+          }
+        }
       } else {
         out[b].recs =
             TopKRecommendations(popularity_, reqs[b].user, reqs[b].time_bin,
-                                num_pois, topts, &train_);
+                                num_pois, sp.topts, &train_);
       }
-      out[b].tier = plans[b].tier;
     }
   });
 
-  // Phase 4 — serial: latency accounting. Each request is charged the
-  // whole batch pass — that is the latency its caller observed, and what
-  // the admission EWMA must predict for the next arrival.
+  // Phase 4 — serial: latency accounting and audit recalls. Each request
+  // is charged the whole batch pass — that is the latency its caller
+  // observed, and what the admission EWMA must predict for the next
+  // arrival.
   const double ms = sw.ElapsedMillis();
   for (size_t b = 0; b < reqs.size(); ++b) {
     if (!plans[b].valid) continue;
     out[b].latency_ms = ms;
     RecordLatency(plans[b].tier, ms);
+    if (plans[b].recall >= 0.0) ann_recall_hist_->Record(plans[b].recall);
   }
   return out;
 }
@@ -395,6 +587,11 @@ ServiceStats RecommendService::Stats() const {
   s.total_queries = total_queries_;
   s.fold_in_cache_hits = fold_in_cache_hits_;
   s.fold_in_cache_misses = fold_in_cache_misses_;
+  s.ann_served = ann_served_;
+  s.ann_fallbacks = ann_fallbacks_;
+  s.ann_rebuilds = ann_rebuilds_;
+  s.ann_audits = ann_audits_;
+  s.geo_fenced = geo_fenced_;
   obs::HistogramSnapshot all;
   for (int t = 0; t < kNumServeTiers; ++t) {
     const obs::HistogramSnapshot snap = tier_latency_[t]->Snapshot();

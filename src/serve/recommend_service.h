@@ -7,11 +7,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ann/lsh_index.h"
 #include "baselines/popularity.h"
 #include "core/fold_in.h"
 #include "core/recommend.h"
 #include "data/dataset.h"
 #include "data/time_binning.h"
+#include "geo/spatial_grid.h"
 #include "obs/metrics.h"
 #include "serve/model_watcher.h"
 #include "serve/request.h"
@@ -37,6 +39,11 @@ struct ServiceStats {
   uint64_t total_queries = 0;
   uint64_t fold_in_cache_hits = 0;
   uint64_t fold_in_cache_misses = 0;
+  uint64_t ann_served = 0;     ///< answered from an LSH candidate union
+  uint64_t ann_fallbacks = 0;  ///< candidate union too small → exact path
+  uint64_t ann_rebuilds = 0;   ///< index rebuilds (one per model generation)
+  uint64_t ann_audits = 0;     ///< requests double-scored by the oracle
+  uint64_t geo_fenced = 0;     ///< requests with a within_km restriction
   double p50_ms = 0.0;  ///< across all tiers
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -63,6 +70,14 @@ struct ServiceStats {
 /// unseen user answers from fold-in while the next answers from the model.
 /// A per-request deadline budget can force the cheap popularity tier when
 /// the chosen tier's recent latency (EWMA) would blow the budget.
+///
+/// With Options::ann enabled, the factor-scored tiers gain a candidate-
+/// generation stage: the request ranks only the LSH candidate union
+/// (re-ranked by the exact scorer) instead of the whole catalogue, with a
+/// per-request fallback to the exact path when the union is too small. A
+/// geo fence (ServeRequest::within_km) restricts any tier — including
+/// ANN, by intersection — to the POIs inside the fence, resolved through
+/// the spatial grid without touching the full catalogue.
 class RecommendService {
  public:
   struct Options {
@@ -76,6 +91,19 @@ class RecommendService {
     /// means the process-global registry (metrics then aggregate across
     /// all services in the process).
     obs::MetricRegistry* metrics = nullptr;
+    /// The ANN candidate-generation tier (DESIGN.md §13). When enabled,
+    /// factor-scored requests rank only the LSH candidate union instead
+    /// of the whole catalogue, falling back to the exact path per request
+    /// when the union is smaller than lsh.min_candidates.
+    struct AnnOptions {
+      bool enabled = false;
+      ann::LshConfig lsh;
+      /// Every Nth ANN-served request is also scored by the exact oracle
+      /// and the top-k overlap recorded into ann.recall_proxy; 0 disables
+      /// auditing.
+      uint64_t audit_every = 64;
+    };
+    AnnOptions ann;
   };
 
   /// `data` must outlive the service. `watcher` may be null (pure
@@ -132,6 +160,21 @@ class RecommendService {
   ServiceStats Stats() const;
 
  private:
+  /// How one request's candidate set is scored: the options handed to
+  /// TopKRecommendations, whether they carry an ANN candidate union, and
+  /// whether this request is an audit (also scored by the exact oracle,
+  /// whose options are `exact_topts`).
+  struct ScorePlan {
+    TopKOptions topts;
+    /// The request's restriction (candidates ∩ geo fence) matched no POI:
+    /// answer empty without scoring (an empty TopKOptions candidate list
+    /// would mean "the whole catalogue").
+    bool empty = false;
+    bool ann = false;
+    bool audit = false;
+    TopKOptions exact_topts;
+  };
+
   ServeTier ChooseTier(const ServeRequest& req,
                        const std::shared_ptr<const FactorModel>& model) const;
   /// Applies the deadline-budget EWMA check to a chosen tier; may degrade
@@ -141,6 +184,19 @@ class RecommendService {
   /// miss), or null when the solve fails. Must run on the serving thread.
   const std::vector<double>* FoldInEmbedding(
       uint32_t user, const std::shared_ptr<const FactorModel>& model);
+  /// Resolves a request's candidate set: explicit candidates ∩ geo fence,
+  /// then the ANN union (intersected with that restriction) when the tier
+  /// is factor-scored, the index is live and the union is large enough —
+  /// otherwise the exact restriction, counting the fallback. Mutates
+  /// service counters: serving thread only.
+  void PlanScore(const ServeRequest& req, ServeTier tier,
+                 const std::shared_ptr<const FactorModel>& model,
+                 const std::vector<double>* fold_emb, ScorePlan* plan);
+  /// Rebuilds the LSH index when `model` is a generation the index was
+  /// not built from. Pointer identity keys the pair: after this call
+  /// ann_model_ == model, so a request scoring through `model` can never
+  /// consult an index built from another generation. Serving thread only.
+  void EnsureAnnIndex(const std::shared_ptr<const FactorModel>& model);
   void RecordLatency(ServeTier tier, double ms);
 
   const Dataset* data_;
@@ -160,12 +216,32 @@ class RecommendService {
   uint64_t fold_in_generation_ = 0;
   std::unordered_map<uint32_t, std::vector<double>> fold_in_cache_;
 
+  /// Geo fence support: the POI coordinates (the grid stores a pointer
+  /// into this vector, so it must live as long as the grid) and the cell
+  /// index over them, built once in Init().
+  std::vector<GeoPoint> poi_locations_;
+  std::unique_ptr<SpatialGrid> geo_grid_;
+
+  /// The ANN tier's (model, index) pair. The two members always change
+  /// together on the serving thread, keyed by model pointer identity —
+  /// the hot-reload atomicity guarantee: a request holding `model` either
+  /// finds ann_model_ == model (index built from exactly that object) or
+  /// triggers a rebuild from it before any candidate query.
+  std::shared_ptr<const FactorModel> ann_model_;
+  std::unique_ptr<ann::LshIndex> ann_index_;
+  uint64_t ann_tick_ = 0;  ///< ANN-served request counter driving audits
+
   uint64_t queries_by_tier_[kNumServeTiers] = {0, 0, 0};
   uint64_t deadline_degrades_ = 0;
   uint64_t invalid_requests_ = 0;
   uint64_t total_queries_ = 0;
   uint64_t fold_in_cache_hits_ = 0;
   uint64_t fold_in_cache_misses_ = 0;
+  uint64_t ann_served_ = 0;
+  uint64_t ann_fallbacks_ = 0;
+  uint64_t ann_rebuilds_ = 0;
+  uint64_t ann_audits_ = 0;
+  uint64_t geo_fenced_ = 0;
   double tier_ewma_ms_[kNumServeTiers] = {0.0, 0.0, 0.0};
   bool tier_ewma_valid_[kNumServeTiers] = {false, false, false};
 
@@ -179,6 +255,12 @@ class RecommendService {
   obs::Counter* degrade_counter_ = nullptr;
   obs::Counter* cache_hit_counter_ = nullptr;
   obs::Counter* cache_miss_counter_ = nullptr;
+  obs::Histogram* ann_candidates_hist_ = nullptr;
+  obs::Histogram* ann_recall_hist_ = nullptr;
+  obs::Counter* ann_served_counter_ = nullptr;
+  obs::Counter* ann_fallback_counter_ = nullptr;
+  obs::Counter* ann_rebuild_counter_ = nullptr;
+  obs::Counter* geo_fenced_counter_ = nullptr;
 };
 
 }  // namespace tcss

@@ -81,6 +81,18 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
         return Status::InvalidArgument("bad deadline '" + tok + "'");
       }
       req.deadline_ms = d;
+    } else if (tok.rfind("within_km=", 0) == 0) {
+      const auto parts = Split(tok.substr(10), ',');
+      double km = 0, lat = 0, lon = 0;
+      if (parts.size() != 3 || !ParseDouble(parts[0], &km) ||
+          !ParseDouble(parts[1], &lat) || !ParseDouble(parts[2], &lon) ||
+          !std::isfinite(km) || km <= 0.0 || km > kMaxRequestWithinKm ||
+          !std::isfinite(lat) || !std::isfinite(lon) ||
+          !IsValid(GeoPoint{lat, lon})) {
+        return Status::InvalidArgument("bad geo fence '" + tok + "'");
+      }
+      req.within_km = km;
+      req.center = {lat, lon};
     } else if (tok.rfind("cand=", 0) == 0) {
       for (const auto& c : Split(tok.substr(5), ',')) {
         uint32_t j = 0;

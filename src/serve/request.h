@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "geo/geo_point.h"
 
 namespace tcss {
 
@@ -48,21 +49,30 @@ struct ServeRequest {
   double deadline_ms = 0.0;
   /// Restrict ranking to these POI ids (empty = the full catalogue).
   std::vector<uint32_t> candidates;
+  /// Geo fence: when > 0, only POIs within `within_km` kilometres of
+  /// `center` are eligible. Composes (intersects) with `candidates`.
+  double within_km = 0.0;
+  GeoPoint center;
 };
 
 /// Hard caps on untrusted request fields, so a hostile request file cannot
 /// trigger huge allocations.
 inline constexpr size_t kMaxRequestK = 100'000;
 inline constexpr size_t kMaxRequestCandidates = 1'000'000;
+/// Largest meaningful geo fence: half the Earth's circumference reaches
+/// every point, anything beyond it is a malformed request.
+inline constexpr double kMaxRequestWithinKm = 20'038.0;
 
 /// Parses one line of the batch request grammar:
 ///
 ///   topk <user> <time_bin> [k=N] [new] [deadline_ms=X] [cand=j1,j2,...]
+///        [within_km=KM,LAT,LON]
 ///
 /// Returns InvalidArgument for anything malformed — unknown directive,
-/// non-numeric fields, values beyond the caps above, non-finite deadline —
-/// never crashes and never allocates proportionally to a corrupt length
-/// field.
+/// non-numeric fields, values beyond the caps above, non-finite deadline,
+/// a non-positive / oversized fence radius or an out-of-range fence
+/// centre — never crashes and never allocates proportionally to a corrupt
+/// length field.
 Result<ServeRequest> ParseRequestLine(std::string_view line);
 
 }  // namespace tcss

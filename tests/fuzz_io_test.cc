@@ -20,6 +20,7 @@
 #include "data/csv_io.h"
 #include "dist/wire.h"
 #include "serve/frontend.h"
+#include "serve/request.h"
 
 namespace tcss {
 namespace {
@@ -305,6 +306,63 @@ TEST(WireFuzz, EveryByteFlipIsDetected) {
           << "flip at " << pos << " mask " << int(mask)
           << " forged a frame";
     }
+  }
+}
+
+// The geo-fenced request grammar over the wire: a valid within_km frame
+// round-trips bit-exactly into a parsed fence, and the flip/truncate
+// sweeps over that frame never forge one — a corrupted fence is rejected
+// at the frame layer (CRC) or the parse layer, never served.
+TEST(WireFuzz, GeoFencedFramesRoundTripAndCorruptionsNeverForge) {
+  const Frame good{0xfeedULL, "topk 3 7 k=5 within_km=12.5,40.75,-74.0"};
+  const std::string bytes = EncodeRequestFrame(good);
+
+  Frame out;
+  size_t consumed = 0;
+  auto r = DecodeFrame(kRequestMagic, bytes, &out, &consumed);
+  ASSERT_TRUE(r.ok() && r.value());
+  ASSERT_EQ(consumed, bytes.size());
+  auto req = ParseRequestLine(out.payload);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_DOUBLE_EQ(req.value().within_km, 12.5);
+  EXPECT_DOUBLE_EQ(req.value().center.lat, 40.75);
+  EXPECT_DOUBLE_EQ(req.value().center.lon, -74.0);
+
+  // Single-byte flips: either the CRC rejects the frame, or (flips that
+  // cancel out to the identical bytes aside) whatever decodes must parse
+  // to the original fence — a *different* fence must never come through.
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (unsigned char mask : {0x01, 0x10, 0xff}) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+      Frame decoded;
+      size_t used = 0;
+      auto res = DecodeFrame(kRequestMagic, bad, &decoded, &used);
+      if (res.ok() && res.value()) {
+        EXPECT_EQ(decoded.payload, good.payload)
+            << "flip at " << pos << " forged a fence";
+      }
+    }
+  }
+  // Truncations: never a decodable frame, so never a half-parsed fence.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Frame decoded;
+    size_t used = 0;
+    auto res = DecodeFrame(kRequestMagic, bytes.substr(0, n), &decoded,
+                           &used);
+    EXPECT_FALSE(res.ok() && res.value()) << "prefix " << n << " decoded";
+  }
+  // A frame that survives CRC but carries a mangled fence string dies at
+  // the parser, not in the service.
+  for (const char* payload :
+       {"topk 3 7 within_km=12.5,40.75", "topk 3 7 within_km=12.5,95.0,0",
+        "topk 3 7 within_km=-1,0,0", "topk 3 7 within_km=nan,0,0"}) {
+    const std::string enc = EncodeRequestFrame(Frame{1, payload});
+    Frame decoded;
+    size_t used = 0;
+    auto res = DecodeFrame(kRequestMagic, enc, &decoded, &used);
+    ASSERT_TRUE(res.ok() && res.value());
+    EXPECT_FALSE(ParseRequestLine(decoded.payload).ok()) << payload;
   }
 }
 

@@ -173,6 +173,60 @@ TEST(SpatialGridTest, WithinRadiusMatchesBruteForce) {
   }
 }
 
+// The adversarial radius-query property: points clustered across the
+// antimeridian and next to both poles (where a fixed-width longitude
+// window and a query-latitude cosine both go wrong) plus a global
+// scatter, queries drawn from the same clusters, radii from metres to
+// quarter-circumference. WithinRadius must equal brute-force haversine
+// exactly — it verifies every candidate, so the only way to fail is an
+// under-sized search window.
+TEST(SpatialGridTest, WithinRadiusMatchesBruteForceAtEdgesOfTheGlobe) {
+  Rng rng(77);
+  std::vector<GeoPoint> pts;
+  auto cluster = [&](double lat, double lon, double spread, int n) {
+    for (int i = 0; i < n; ++i) {
+      double plat = lat + rng.Uniform(-spread, spread);
+      double plon = lon + rng.Uniform(-spread, spread);
+      plat = std::max(-90.0, std::min(90.0, plat));
+      if (plon > 180.0) plon -= 360.0;
+      if (plon < -180.0) plon += 360.0;
+      pts.push_back({plat, plon});
+    }
+  };
+  cluster(10.0, 179.8, 0.5, 60);    // straddles the antimeridian (east)
+  cluster(10.0, -179.8, 0.5, 60);   // straddles it (west)
+  cluster(89.5, 45.0, 0.6, 60);     // pole-adjacent north
+  cluster(-89.5, -120.0, 0.6, 60);  // pole-adjacent south
+  for (int i = 0; i < 120; ++i) {   // global scatter
+    pts.push_back({rng.Uniform(-90, 90), rng.Uniform(-180, 180)});
+  }
+  SpatialGrid grid(pts);
+
+  std::vector<GeoPoint> centers = {
+      {10.0, 179.95},  {10.0, -179.95}, {89.9, 0.0},   {-89.9, 170.0},
+      {90.0, -45.0},   {-90.0, 0.0},    {0.0, 0.0},    {45.0, -180.0},
+  };
+  for (int t = 0; t < 40; ++t) {
+    centers.push_back({rng.Uniform(-90, 90), rng.Uniform(-180, 180)});
+  }
+  int checked = 0;
+  for (const auto& q : centers) {
+    // Log-uniform radii: 100 m up to a quarter of the circumference.
+    for (int s = 0; s < 6; ++s) {
+      const double radius = 0.1 * std::pow(10.0, rng.Uniform(0.0, 5.0));
+      auto got = grid.WithinRadius(q, radius);
+      std::vector<uint32_t> expect;
+      for (uint32_t i = 0; i < pts.size(); ++i) {
+        if (HaversineKm(q, pts[i]) <= radius) expect.push_back(i);
+      }
+      ASSERT_EQ(got, expect)
+          << "center (" << q.lat << ", " << q.lon << ") radius " << radius;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 280);
+}
+
 TEST(SpatialGridTest, EmptyGrid) {
   std::vector<GeoPoint> pts;
   SpatialGrid grid(pts);

@@ -87,6 +87,40 @@ TEST(RequestParseTest, ParsesFullGrammar) {
   EXPECT_EQ(req.value().candidates, (std::vector<uint32_t>{1, 4, 2}));
 }
 
+TEST(RequestParseTest, ParsesGeoFence) {
+  auto req = ParseRequestLine("topk 2 4 k=5 within_km=25.5,40.7,-74.0");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_DOUBLE_EQ(req.value().within_km, 25.5);
+  EXPECT_DOUBLE_EQ(req.value().center.lat, 40.7);
+  EXPECT_DOUBLE_EQ(req.value().center.lon, -74.0);
+  // Composes with the other options.
+  req = ParseRequestLine("topk 1 0 new cand=1,2 within_km=10,0,0");
+  ASSERT_TRUE(req.ok());
+  EXPECT_TRUE(req.value().exclude_visited);
+  EXPECT_DOUBLE_EQ(req.value().within_km, 10.0);
+}
+
+TEST(RequestParseTest, RejectsMalformedGeoFence) {
+  const char* bad[] = {
+      "topk 1 2 within_km=",             // empty
+      "topk 1 2 within_km=10",           // missing centre
+      "topk 1 2 within_km=10,20",        // missing longitude
+      "topk 1 2 within_km=10,20,30,40",  // extra field
+      "topk 1 2 within_km=x,20,30",      // non-numeric radius
+      "topk 1 2 within_km=10,y,30",      // non-numeric latitude
+      "topk 1 2 within_km=0,20,30",      // zero radius
+      "topk 1 2 within_km=-5,20,30",     // negative radius
+      "topk 1 2 within_km=nan,20,30",    // non-finite radius
+      "topk 1 2 within_km=1e9,20,30",    // beyond half the circumference
+      "topk 1 2 within_km=10,91,30",     // latitude out of range
+      "topk 1 2 within_km=10,20,181",    // longitude out of range
+      "topk 1 2 within_km=10,inf,30",    // non-finite centre
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseRequestLine(line).ok()) << "'" << line << "' parsed";
+  }
+}
+
 TEST(RequestParseTest, RejectsMalformedInput) {
   const char* bad[] = {
       "",                          // empty
@@ -395,6 +429,65 @@ TEST_F(ServeTest, ExcludeVisitedAndCandidatesAreHonored) {
   ASSERT_EQ(resp.recs.size(), 2u);
   for (const auto& r : resp.recs) {
     EXPECT_TRUE(r.poi == 2u || r.poi == 4u);
+  }
+}
+
+// The batch path must apply each entry's own options — k, exclusion,
+// candidate list, geo fence — not the first entry's. Heterogeneous batch
+// answers equal the one-at-a-time answers entry for entry. (A Gaussian
+// model makes the ordering non-trivial; ConstantModel would hide an
+// option mix-up behind ties.)
+TEST_F(ServeTest, BatchHonorsPerRequestOptions) {
+  const std::string path = TempPath("batch_options_model.tcss");
+  FactorModel m;
+  Rng rng(99);
+  m.u1 = Matrix::GaussianRandom(3, 2, &rng, 0.5);  // user 3 folds in
+  m.u2 = Matrix::GaussianRandom(5, 2, &rng, 0.5);
+  m.u3 = Matrix::GaussianRandom(12, 2, &rng, 0.5);
+  m.h = {0.7, 1.3};
+  ASSERT_TRUE(SaveFactorModel(m, path).ok());
+  Start(path);
+
+  std::vector<ServeRequest> reqs(6);
+  reqs[0].user = 0;
+  reqs[0].k = 2;
+  reqs[1].user = 1;
+  reqs[1].k = 5;
+  reqs[1].exclude_visited = true;
+  reqs[2].user = 2;
+  reqs[2].k = 3;
+  reqs[2].candidates = {4, 0, 2};
+  reqs[3].user = 3;  // fold-in tier
+  reqs[3].k = 4;
+  reqs[4].user = 42;  // popularity tier
+  reqs[4].k = 1;
+  reqs[5].user = 0;
+  reqs[5].k = 10;
+  reqs[5].within_km = 200.0;  // TinyDataset POIs are ~1 degree apart
+  reqs[5].center = {30.0, -80.0};
+
+  const auto batch = service_->BatchTopK(reqs);
+  ASSERT_EQ(batch.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const auto single = service_->TopK(reqs[i]);
+    EXPECT_EQ(batch[i].tier, single.tier) << "request " << i;
+    ASSERT_EQ(batch[i].recs.size(), single.recs.size()) << "request " << i;
+    for (size_t j = 0; j < single.recs.size(); ++j) {
+      EXPECT_EQ(batch[i].recs[j].poi, single.recs[j].poi)
+          << "request " << i << " slot " << j;
+    }
+  }
+  EXPECT_EQ(batch[0].recs.size(), 2u);
+  for (const auto& r : batch[1].recs) {  // user 1 visited POI 2
+    EXPECT_NE(r.poi, 2u);
+  }
+  for (const auto& r : batch[2].recs) {
+    EXPECT_TRUE(r.poi == 4u || r.poi == 0u || r.poi == 2u);
+  }
+  EXPECT_EQ(batch[4].recs.size(), 1u);
+  ASSERT_FALSE(batch[5].recs.empty());  // POI 0 itself is inside the fence
+  for (const auto& r : batch[5].recs) {
+    EXPECT_LT(r.poi, 2u);  // POIs 2..4 are >200km from (30,-80)
   }
 }
 

@@ -88,9 +88,10 @@ struct World {
 
 // Builds a live world: saved constant model, watcher, Init()ed service,
 // started server. `env` faults the wire when it is a FaultInjectionEnv.
-std::unique_ptr<World> StartWorld(const std::string& tag,
-                                  const ServerOptions& base_opts,
-                                  Env* env = nullptr) {
+std::unique_ptr<World> StartWorld(
+    const std::string& tag, const ServerOptions& base_opts,
+    Env* env = nullptr,
+    const RecommendService::Options& svc_opts = RecommendService::Options()) {
   auto w = std::make_unique<World>();
   w->data = TinyDataset();
   w->model_path = TempPath(tag + ".model");
@@ -104,7 +105,7 @@ std::unique_ptr<World> StartWorld(const std::string& tag,
   wopts.num_bins = 12;
   w->watcher = std::make_unique<ModelWatcher>(w->model_path, wopts);
   w->service = std::make_unique<RecommendService>(
-      &w->data, TimeGranularity::kMonthOfYear, w->watcher.get());
+      &w->data, TimeGranularity::kMonthOfYear, w->watcher.get(), svc_opts);
   EXPECT_TRUE(w->service->Init().ok());
   ServerOptions opts = base_opts;
   opts.env = w->server_env;
@@ -471,6 +472,65 @@ TEST(ServerChaosTest, HotReloadMidStorm) {
   reloader.join();
   EXPECT_TRUE(w->server->Stop().ok());
   ExpectServerLedgerBalanced(w->server->stats());
+  EXPECT_EQ(w->service->health(), ServeHealth::kHealthy);
+}
+
+// The ANN tier under the same reload storm: every reloaded generation
+// changes the model fingerprint, so the dispatcher rebuilds the LSH index
+// mid-traffic while clients flood the socket. The generation invariant
+// (a TCSS_CHECK in the service) crashes the process if a request is ever
+// scored against a (model, index) pair from different generations; the
+// ledger and per-response checks keep the external contract honest.
+TEST(ServerChaosTest, AnnHotReloadMidStormRebuildsAtomically) {
+  ServerOptions opts;
+  opts.poll_every_batches = 1;
+  RecommendService::Options svc;
+  svc.ann.enabled = true;
+  // On the 5-POI catalogue the default floor would always fall back to
+  // exact; a floor of 1 keeps the union serving so the storm actually
+  // exercises rebuilds on the ANN path.
+  svc.ann.lsh.min_candidates = 1;
+  svc.ann.audit_every = 2;
+  auto w = StartWorld("annreload", opts, nullptr, svc);
+
+  std::atomic<bool> storm_done{false};
+  std::thread reloader([&] {
+    double level = 2.0;
+    while (!storm_done.load()) {
+      // Each level rescales h, which perturbs the model fingerprint and
+      // forces an index rebuild on the next ANN-eligible request.
+      ASSERT_TRUE(
+          SaveFactorModel(ConstantModel(3, 5, 12, level), w->model_path)
+              .ok());
+      level += 1.0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  constexpr int kRounds = 8;
+  constexpr int kPerRound = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Frame> reqs;
+    for (int i = 0; i < kPerRound; ++i) {
+      reqs.push_back(TopkFrame(static_cast<uint64_t>(i) + 1,
+                               static_cast<uint32_t>(i % 3), 0, 3));
+    }
+    ClientOutcome out = RunClient(w->env(), w->socket_path, reqs);
+    ExpectAllAnswered(out, reqs);
+    for (const auto& [id, resp] : out.responses) {
+      if (resp.kind == WireResponse::Kind::kOk) {
+        EXPECT_FALSE(resp.recs.empty()) << "id " << id;
+      }
+    }
+  }
+  storm_done.store(true);
+  reloader.join();
+  EXPECT_TRUE(w->server->Stop().ok());
+  ExpectServerLedgerBalanced(w->server->stats());
+
+  const ServiceStats stats = w->service->Stats();
+  EXPECT_GT(stats.ann_served, 0u) << "the storm never served from the union";
+  EXPECT_GE(stats.ann_rebuilds, 2u) << "no mid-traffic rebuild happened";
   EXPECT_EQ(w->service->health(), ServeHealth::kHealthy);
 }
 

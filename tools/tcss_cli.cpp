@@ -16,6 +16,7 @@
 //                  [--granularity G] [--poll-every N] [--metrics-out FILE]
 //                  [--workers N] [--queue N] [--max-batch N] [--max-conns N]
 //                  [--deadline-ms X] [--write-timeout-ms N]
+//                  [--ann-tables N] [--ann-probes N] [--ann-min-candidates N]
 //
 // `generate` writes an LBSN as CSV (pois.csv / checkins.csv / friends.csv);
 // `train` fits TCSS on an 80/20 split of the check-ins and saves the
@@ -136,7 +137,8 @@ int Usage() {
       "(--requests FILE | --listen SOCKET) "
       "[--granularity G] [--poll-every N] [--metrics-out FILE] "
       "[--workers N] [--queue N] [--max-batch N] [--max-conns N] "
-      "[--deadline-ms X] [--write-timeout-ms N]\n"
+      "[--deadline-ms X] [--write-timeout-ms N] "
+      "[--ann-tables N] [--ann-probes N] [--ann-min-candidates N]\n"
       "common flags: [--lenient] [--max-bad-rows N]\n"
       "env: TCSS_LOG_LEVEL=debug|info|warning|error\n");
   return 2;
@@ -644,7 +646,21 @@ int Serve(const Args& args) {
   wopts.num_pois = data.value().num_pois();
   wopts.num_bins = NumBins(g);
   ModelWatcher watcher(model_path, wopts);
-  RecommendService service(&data.value(), g, &watcher);
+  RecommendService::Options svc_opts;
+  // ANN candidate generation (DESIGN.md §13): --ann-tables > 0 enables
+  // the LSH tier; probes and the exact-fallback floor tune the
+  // recall/latency trade-off per deployment.
+  const long ann_tables = args.GetI("ann-tables", 0);
+  if (ann_tables > 0) {
+    svc_opts.ann.enabled = true;
+    svc_opts.ann.lsh.tables = static_cast<size_t>(ann_tables);
+    svc_opts.ann.lsh.probes = static_cast<size_t>(
+        args.GetI("ann-probes", static_cast<long>(svc_opts.ann.lsh.probes)));
+    svc_opts.ann.lsh.min_candidates = static_cast<size_t>(args.GetI(
+        "ann-min-candidates",
+        static_cast<long>(svc_opts.ann.lsh.min_candidates)));
+  }
+  RecommendService service(&data.value(), g, &watcher, svc_opts);
   Status st = service.Init();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
