@@ -201,6 +201,7 @@ LoadResult RunLoad(Env* env, const std::string& path, size_t total,
               ++local.shed;
               break;
             case WireResponse::Kind::kError:
+            case WireResponse::Kind::kIngested:
               ++local.error;
               break;
           }

@@ -217,9 +217,22 @@ Result<FactorModel> TcssTrainer::Train(const TrainOptions& options,
     }
   }
   if (!resumed) {
-    auto init = InitializeFactors(*train_, config_);
-    if (!init.ok()) return init.status();
-    model = init.MoveValue();
+    if (options.warm_start != nullptr) {
+      const FactorModel& warm = *options.warm_start;
+      if (warm.u1.rows() != train_->dim_i() ||
+          warm.u2.rows() != train_->dim_j() ||
+          warm.u3.rows() != train_->dim_k() ||
+          warm.rank() != config_.rank) {
+        return Status::InvalidArgument(
+            "warm-start model shape does not match the training "
+            "tensor/config");
+      }
+      model = warm;
+    } else {
+      auto init = InitializeFactors(*train_, config_);
+      if (!init.ok()) return init.status();
+      model = init.MoveValue();
+    }
     adam = std::make_unique<AdamState>(model);
   }
 

@@ -127,6 +127,15 @@ struct TrainOptions {
   double plateau_min_delta = 1e-4;
   std::function<double(const FactorModel&)> validation_metric;
 
+  /// Warm start: when set (and no checkpoint was resumed), training starts
+  /// from a copy of this model instead of InitializeFactors — the seam the
+  /// streaming refiner uses to continue from the currently served factors
+  /// after a delta merge. Shape must match the training tensor and
+  /// config.rank exactly. A resumed checkpoint always wins over the warm
+  /// start (the checkpoint is the later state). Not owned; must outlive
+  /// Train().
+  const FactorModel* warm_start = nullptr;
+
   /// Cooperative cancellation, checked once per epoch after the step and
   /// callback. When it reads true the trainer writes a final checkpoint
   /// (through the existing atomic path, when `checkpoints` is set) and

@@ -481,4 +481,78 @@ Result<SparseTensor> GenerateStreamedSlice(const StreamedTensorConfig& config,
   return tensor;
 }
 
+Result<Dataset> GenerateDriftStream(const DriftStreamConfig& config) {
+  if (config.num_users == 0 || config.num_pois == 0) {
+    return Status::InvalidArgument("drift stream needs users and POIs");
+  }
+  if (config.popularity_width <= 0.0 || config.home_width <= 0.0) {
+    return Status::InvalidArgument("drift stream widths must be positive");
+  }
+  const double J = static_cast<double>(config.num_pois);
+
+  // POIs on a geographic grid (valid coordinates, cycling categories) so
+  // the stream feeds every downstream consumer unchanged.
+  std::vector<Poi> pois(config.num_pois);
+  const size_t grid = static_cast<size_t>(std::ceil(std::sqrt(J)));
+  for (size_t j = 0; j < config.num_pois; ++j) {
+    Poi& p = pois[j];
+    p.location = {35.0 + 0.01 * static_cast<double>(j / grid),
+                  -100.0 + 0.01 * static_cast<double>(j % grid)};
+    p.category = static_cast<PoiCategory>(j % kNumCategories);
+  }
+  SocialGraph social(config.num_users);  // streams carry no social signal
+  TCSS_RETURN_IF_ERROR(social.Finalize());
+  Dataset data(config.num_users, std::move(pois), std::move(social));
+
+  Rng rng(config.seed);
+  // Home blocks: each user anchors to a block of the catalogue; migrating
+  // users get a second block (offset by half the catalogue) and a
+  // personal migration date in the middle third of the year.
+  std::vector<double> home(config.num_users);
+  std::vector<double> home_after(config.num_users);
+  std::vector<double> migrate_at(config.num_users, 2.0);  // > 1 = never
+  for (size_t u = 0; u < config.num_users; ++u) {
+    home[u] = rng.Uniform() * J;
+    home_after[u] = home[u];
+    if (rng.Bernoulli(config.migration_prob)) {
+      home_after[u] = std::fmod(home[u] + 0.5 * J, J);
+      migrate_at[u] = 0.33 + 0.34 * rng.Uniform();
+    }
+  }
+
+  const int64_t start = FromCivil(config.year, 1, 1);
+  const int64_t end = FromCivil(config.year + 1, 1, 1);
+  const double span = static_cast<double>(end - start);
+  const double pop_w = config.popularity_width * J;
+  const double home_w = config.home_width * J;
+  for (size_t e = 0; e < config.num_events; ++e) {
+    // Monotone timestamps: event e lands in its own slot of the year.
+    const double frac =
+        static_cast<double>(e) / static_cast<double>(config.num_events);
+    const int64_t slot = static_cast<int64_t>(
+        span / static_cast<double>(config.num_events));
+    const int64_t ts = start + static_cast<int64_t>(frac * span) +
+                       (slot > 0 ? static_cast<int64_t>(
+                                       rng.UniformInt(static_cast<uint64_t>(
+                                           slot)))
+                                 : 0);
+    const uint32_t user =
+        static_cast<uint32_t>(rng.UniformInt(config.num_users));
+    double center;
+    if (rng.Bernoulli(config.popular_prob)) {
+      // The drifting popular window: its centre moves linearly through
+      // the catalogue as the year progresses.
+      center = std::fmod(0.2 * J + frac * config.popularity_shift * J, J);
+    } else {
+      center = frac < migrate_at[user] ? home[user] : home_after[user];
+    }
+    const double width = rng.Bernoulli(config.popular_prob) ? pop_w : home_w;
+    double pos = center + rng.Gaussian(0.0, 0.5 * width);
+    pos = std::fmod(std::fmod(pos, J) + J, J);
+    const uint32_t poi = static_cast<uint32_t>(pos);
+    TCSS_RETURN_IF_ERROR(data.AddCheckIn(user, poi, ts));
+  }
+  return data;
+}
+
 }  // namespace tcss

@@ -124,6 +124,48 @@ Result<SparseTensor> GenerateStreamedSlice(const StreamedTensorConfig& config,
                                            size_t user_begin,
                                            size_t user_end);
 
+/// Chronological check-in stream with injected drift, for the streaming-
+/// ingestion scenario (DESIGN.md §14): events come out sorted by
+/// timestamp across one calendar year, and the data-generating process
+/// changes as the year progresses, so a model frozen at any cutoff is
+/// measurably wrong about what follows. Two drift mechanisms:
+///
+///  * POI popularity shift: each event's POI is drawn around a "popular
+///    window" whose centre moves linearly through the catalogue over the
+///    year (by `popularity_shift` x num_pois positions), so the head of
+///    the popularity distribution in December is a different set of POIs
+///    than in January;
+///  * user migration: a `migration_prob` fraction of users abandons
+///    their home POI block mid-year for a new one on the far side of the
+///    catalogue — their post-migration check-ins look nothing like their
+///    history.
+///
+/// Deterministic given the config: one sequential seeded stream in time
+/// order. The returned dataset's POIs sit on a geographic grid (valid
+/// locations, cycling categories) so it feeds every downstream consumer
+/// (tensor builder, geo fences, serving).
+struct DriftStreamConfig {
+  uint64_t seed = 17;
+  size_t num_users = 400;
+  size_t num_pois = 300;
+  size_t num_events = 20000;
+  int year = 2012;
+  /// How far (as a fraction of the catalogue) the popular window's centre
+  /// travels over the year. 0 = stationary popularity.
+  double popularity_shift = 0.6;
+  /// Width of the popular window as a fraction of the catalogue.
+  double popularity_width = 0.15;
+  /// Probability an event draws from the global popular window instead of
+  /// the user's own home block.
+  double popular_prob = 0.45;
+  /// Fraction of users that migrate to a new home block mid-year.
+  double migration_prob = 0.35;
+  /// Width of a user's home block as a fraction of the catalogue.
+  double home_width = 0.08;
+};
+
+Result<Dataset> GenerateDriftStream(const DriftStreamConfig& config);
+
 }  // namespace tcss
 
 #endif  // TCSS_DATA_SYNTHETIC_H_

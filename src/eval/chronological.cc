@@ -1,0 +1,38 @@
+#include "eval/chronological.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcss {
+
+ChronoSplit ChronologicalSplit(std::vector<CheckInEvent> events,
+                               double train_fraction) {
+  ChronoSplit split;
+  if (events.empty()) return split;
+  if (train_fraction < 0.0) train_fraction = 0.0;
+  if (train_fraction > 1.0) train_fraction = 1.0;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CheckInEvent& a, const CheckInEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     if (a.user != b.user) return a.user < b.user;
+                     return a.poi < b.poi;
+                   });
+  size_t cut = static_cast<size_t>(
+      std::floor(train_fraction * static_cast<double>(events.size())));
+  if (cut >= events.size()) cut = events.size();
+  // Pull the cut back to the first event of the cutoff timestamp, so a
+  // run of equal timestamps is never torn across the boundary.
+  while (cut > 0 && cut < events.size() &&
+         events[cut - 1].timestamp == events[cut].timestamp) {
+    --cut;
+  }
+  split.cutoff_ts = cut < events.size() ? events[cut].timestamp
+                                        : events.back().timestamp + 1;
+  split.before.assign(events.begin(), events.begin() + cut);
+  split.after.assign(events.begin() + cut, events.end());
+  return split;
+}
+
+}  // namespace tcss

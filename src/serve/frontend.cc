@@ -169,6 +169,9 @@ std::string EncodeResponsePayload(const WireResponse& resp) {
       }
       return s;
     }
+    case WireResponse::Kind::kIngested:
+      return StrFormat("ingested seq=%llu",
+                       static_cast<unsigned long long>(resp.seq));
     case WireResponse::Kind::kShed:
       return StrFormat("shed reason=%s", ShedReasonName(resp.shed));
     case WireResponse::Kind::kError: {
@@ -187,6 +190,15 @@ Result<WireResponse> ParseResponsePayload(std::string_view payload) {
   if (text.rfind("error ", 0) == 0) {
     resp.kind = WireResponse::Kind::kError;
     resp.message = text.substr(6);
+    return resp;
+  }
+  if (text.rfind("ingested seq=", 0) == 0) {
+    size_t seq = 0;
+    if (!ParseIndex(text.substr(13), &seq)) {
+      return Status::InvalidArgument("bad ingest seq '" + text + "'");
+    }
+    resp.kind = WireResponse::Kind::kIngested;
+    resp.seq = static_cast<uint64_t>(seq);
     return resp;
   }
   if (text.rfind("shed reason=", 0) == 0) {

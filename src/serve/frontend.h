@@ -103,19 +103,23 @@ inline constexpr int kNumShedReasons = 5;
 /// "queue_full" / "deadline" / "expired" / "draining" / "overloaded".
 const char* ShedReasonName(ShedReason r);
 
-/// Typed response payload. Exactly one of these three shapes goes back
+/// Typed response payload. Exactly one of these four shapes goes back
 /// for every accepted request:
-///   ok     — `ok tier=<t> latency_ms=<ms> recs=<j:score,...>`
-///   shed   — `shed reason=<r>`
-///   error  — `error <message>`
+///   ok       — `ok tier=<t> latency_ms=<ms> recs=<j:score,...>`
+///   ingested — `ingested seq=<n>` (ack of one accepted ingest verb; seq
+///              is the engine's monotone accept counter, so a client can
+///              reconcile its ledger against the server's)
+///   shed     — `shed reason=<r>`
+///   error    — `error <message>`
 struct WireResponse {
-  enum class Kind { kOk, kShed, kError };
+  enum class Kind { kOk, kShed, kError, kIngested };
   Kind kind = Kind::kError;
   ServeTier tier = ServeTier::kPopularity;  ///< kOk only
   double latency_ms = 0.0;                  ///< kOk only
   ShedReason shed = ShedReason::kQueueFull; ///< kShed only
   std::string message;                      ///< kError only
   std::vector<Recommendation> recs;         ///< kOk only
+  uint64_t seq = 0;                         ///< kIngested only
 };
 
 /// Encodes the payload, guaranteed to fit kMaxFramePayload so the server

@@ -186,6 +186,16 @@ Status RecommendService::Init() {
       user_cells_[e.i].push_back({e.i, e.j, e.k});
     }
   }
+  // Streaming mode: the incremental solver starts from the same history
+  // the batch path would use, in the same (tensor-entry) order — the
+  // differential contract's replay order.
+  if (opts_.incremental != nullptr) {
+    for (uint32_t u = 0; u < user_cells_.size(); ++u) {
+      if (!user_cells_[u].empty()) {
+        opts_.incremental->Seed(u, user_cells_[u]);
+      }
+    }
+  }
 
   // Geo fence index. The grid keeps a pointer into poi_locations_, which
   // lives (and stays unmoved) as long as the service.
@@ -208,7 +218,12 @@ ServeTier RecommendService::ChooseTier(
     return ServeTier::kModel;
   }
   if (model != nullptr && req.user < user_cells_.size() &&
-      !user_cells_[req.user].empty()) {
+      (!user_cells_[req.user].empty() ||
+       (opts_.incremental != nullptr &&
+        opts_.incremental->HasObservations(req.user)))) {
+    // A user with no training history but streamed check-ins (the
+    // incremental branch) is servable by fold-in too — that is the whole
+    // point of the streaming tier.
     return ServeTier::kFoldIn;
   }
   return ServeTier::kPopularity;
@@ -242,6 +257,22 @@ ServeTier RecommendService::ApplyDeadlineBudget(const ServeRequest& req,
 
 const std::vector<double>* RecommendService::FoldInEmbedding(
     uint32_t user, const std::shared_ptr<const FactorModel>& model) {
+  if (opts_.incremental != nullptr) {
+    // Streaming mode: the incremental solver owns the cache. Binding the
+    // watcher's generation is what keys every piece of its derived state,
+    // so a reload invalidates here exactly like the map-clear below.
+    opts_.incremental->BindModel(model, watcher_->generation());
+    const uint64_t solves_before = opts_.incremental->stats().solves;
+    const std::vector<double>* emb = opts_.incremental->Embedding(user);
+    if (opts_.incremental->stats().solves != solves_before) {
+      ++fold_in_cache_misses_;
+      cache_miss_counter_->Add(1);
+    } else if (emb != nullptr) {
+      ++fold_in_cache_hits_;
+      cache_hit_counter_->Add(1);
+    }
+    return emb;
+  }
   // Re-solve embeddings only when the model generation changed.
   if (watcher_->generation() != fold_in_generation_) {
     fold_in_cache_.clear();

@@ -10,6 +10,7 @@
 #include "ann/lsh_index.h"
 #include "baselines/popularity.h"
 #include "core/fold_in.h"
+#include "core/incremental_fold_in.h"
 #include "core/recommend.h"
 #include "data/dataset.h"
 #include "data/time_binning.h"
@@ -82,6 +83,15 @@ class RecommendService {
  public:
   struct Options {
     FoldInOptions fold_in;
+    /// Streaming mode (DESIGN.md §14): when set, the fold-in tier runs
+    /// through this incremental, generation-keyed solver instead of the
+    /// batch FoldInUser path — appended check-ins become O(r²) rank-1
+    /// updates and a hot reload invalidates exactly the derived state.
+    /// Init() seeds it with the train tensor's per-user cells so the two
+    /// paths agree on history. Not owned; must outlive the service, and
+    /// is touched only from the serving thread (the owner — typically a
+    /// StreamingEngine — appends through that same thread).
+    IncrementalFoldIn* incremental = nullptr;
     /// EWMA smoothing for per-tier latency estimates (0 < a <= 1). The
     /// EWMA is the deadline-budget predictor: it tracks *recent* latency,
     /// which the cumulative histograms cannot, so degradation reacts to a

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "data/csv_io.h"
 
 namespace tcss {
 namespace {
@@ -50,6 +51,30 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
   }
   if (tokens.empty()) {
     return Status::InvalidArgument("empty request line");
+  }
+  if (tokens[0] == "ingest") {
+    // ingest <user> <poi> <timestamp> — one streamed check-in, validated
+    // exactly like a CSV check-in row (exact integer parse, calendar
+    // bounds) so the wire path can never smuggle in what the loader
+    // rejects.
+    if (tokens.size() != 4) {
+      return Status::InvalidArgument(
+          "ingest needs exactly <user> <poi> <timestamp>");
+    }
+    ServeRequest req;
+    req.verb = ServeVerb::kIngest;
+    if (!ParseU32(tokens[1], &req.user)) {
+      return Status::InvalidArgument("bad user id '" + tokens[1] + "'");
+    }
+    if (!ParseU32(tokens[2], &req.poi)) {
+      return Status::InvalidArgument("bad poi id '" + tokens[2] + "'");
+    }
+    if (!ParseInt64(tokens[3], &req.timestamp) ||
+        req.timestamp < kMinCheckinTimestamp ||
+        req.timestamp > kMaxCheckinTimestamp) {
+      return Status::InvalidArgument("bad timestamp '" + tokens[3] + "'");
+    }
+    return req;
   }
   if (tokens[0] != "topk") {
     return Status::InvalidArgument("unknown directive '" + tokens[0] + "'");

@@ -32,14 +32,23 @@ enum class ServeHealth { kHealthy, kDegraded, kFallback };
 /// "healthy" / "degraded" / "fallback".
 const char* ServeHealthName(ServeHealth h);
 
-/// One top-K query against the service. All fields arrive from untrusted
+/// What a request line asks the server to do: rank POIs (topk) or append
+/// one check-in to the streaming delta path (ingest).
+enum class ServeVerb { kTopK = 0, kIngest = 1 };
+
+/// One request against the service. All fields arrive from untrusted
 /// input (a request file or, eventually, the network) and are re-validated
 /// by the service: an out-of-range user degrades to popularity, an
 /// out-of-range time bin yields an empty answer, out-of-range candidate
-/// ids are dropped.
+/// ids are dropped, and an ingest whose ids fall outside the serving
+/// dataset is rejected with an error response.
 struct ServeRequest {
+  ServeVerb verb = ServeVerb::kTopK;
   uint32_t user = 0;
   uint32_t time_bin = 0;
+  /// Ingest fields (verb == kIngest): the check-in being appended.
+  uint32_t poi = 0;
+  int64_t timestamp = 0;
   size_t k = 10;
   bool exclude_visited = false;
   /// Per-request latency budget in milliseconds; 0 = unlimited. When the
@@ -67,7 +76,11 @@ inline constexpr double kMaxRequestWithinKm = 20'038.0;
 ///
 ///   topk <user> <time_bin> [k=N] [new] [deadline_ms=X] [cand=j1,j2,...]
 ///        [within_km=KM,LAT,LON]
+///   ingest <user> <poi> <timestamp>
 ///
+/// The ingest timestamp goes through the CSV loader's hardening: exact
+/// integer parse (ParseInt64 — no float round-trip, no overflow wrap) and
+/// the [kMinCheckinTimestamp, kMaxCheckinTimestamp] calendar bounds.
 /// Returns InvalidArgument for anything malformed — unknown directive,
 /// non-numeric fields, values beyond the caps above, non-finite deadline,
 /// a non-positive / oversized fence radius or an out-of-range fence

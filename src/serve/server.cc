@@ -20,12 +20,13 @@ constexpr int kRejectWriteTimeoutMs = 10;
 std::string ServerStats::ToString() const {
   std::string s = StrFormat(
       "conns=%llu rejected=%llu frames=%llu bad_frames=%llu ok=%llu "
-      "error=%llu shed=%llu batches=%llu write_failures=%llu",
+      "ingested=%llu error=%llu shed=%llu batches=%llu write_failures=%llu",
       static_cast<unsigned long long>(connections_accepted),
       static_cast<unsigned long long>(connections_rejected),
       static_cast<unsigned long long>(frames_received),
       static_cast<unsigned long long>(bad_frames),
       static_cast<unsigned long long>(responses_ok),
+      static_cast<unsigned long long>(responses_ingested),
       static_cast<unsigned long long>(responses_error),
       static_cast<unsigned long long>(shed_total()),
       static_cast<unsigned long long>(batches),
@@ -126,6 +127,7 @@ ServerStats Server::stats() const {
   s.frames_received = frames_received_.load();
   s.bad_frames = bad_frames_.load();
   s.responses_ok = responses_ok_.load();
+  s.responses_ingested = responses_ingested_.load();
   s.responses_error = responses_error_.load();
   for (int r = 0; r < kNumShedReasons; ++r) s.sheds[r] = sheds_[r].load();
   s.batches = batches_.load();
@@ -217,7 +219,13 @@ bool Server::Admit(const std::shared_ptr<Session>& session, uint64_t frame_id,
     return false;
   }
   ServeRequest admitted = req;
-  if (admitted.deadline_ms <= 0.0) {
+  if (admitted.verb == ServeVerb::kIngest) {
+    // Ingests skip deadline admission: they cost microseconds (one
+    // validated append + a rank-1 fold-in update), so the tier-latency
+    // predictor has nothing meaningful to say about them. Backpressure
+    // still applies below — a full queue sheds ingests like any request.
+    admitted.deadline_ms = 0.0;
+  } else if (admitted.deadline_ms <= 0.0) {
     admitted.deadline_ms = opts_.default_deadline_ms;
   }
   if (admitted.deadline_ms > 0.0) {
@@ -311,6 +319,35 @@ void Server::DispatcherLoop() {
     reqs.reserve(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       Pending& p = batch[i];
+      if (p.req.verb == ServeVerb::kIngest) {
+        // Ingest verbs run serially here, before this batch's scoring
+        // pass — the dispatcher is the single mutator of serving state,
+        // so the handler may update the incremental fold-in layer (and
+        // trigger a rollover or refinement publish) without locks, and
+        // queries batched behind an ingest already observe it.
+        queue_wait_ms_hist_->Record(p.age.ElapsedMillis());
+        WireResponse resp;
+        if (opts_.ingest_handler != nullptr) {
+          auto seq = opts_.ingest_handler(p.req);
+          if (seq.ok()) {
+            resp.kind = WireResponse::Kind::kIngested;
+            resp.seq = seq.value();
+            responses_ingested_.fetch_add(1);
+          } else {
+            resp.kind = WireResponse::Kind::kError;
+            resp.message = seq.status().message();
+            responses_error_.fetch_add(1);
+          }
+        } else {
+          resp.kind = WireResponse::Kind::kError;
+          resp.message = "ingest not enabled on this server";
+          responses_error_.fetch_add(1);
+        }
+        WriteResponse(p.session.get(), p.frame_id, resp);
+        p.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        p.session.reset();
+        continue;
+      }
       if (p.deadline_ms > 0.0) {
         const double waited = p.age.ElapsedMillis();
         queue_wait_ms_hist_->Record(waited);

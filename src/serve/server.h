@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,14 @@ struct ServerOptions {
   /// EWMA smoothing for the admission predictors (batch latency, batch
   /// fill); mirrors RecommendService::Options::latency_ewma_alpha.
   double ewma_alpha = 0.2;
+  /// Streaming ingest handler for the `ingest` wire/text verb. Invoked on
+  /// the dispatcher thread only — the same single-mutator discipline as
+  /// BatchTopK, so the handler may touch serving state (the incremental
+  /// fold-in layer) without locking. Returns the engine's monotone accept
+  /// sequence number (echoed as `ingested seq=<n>`) or an error, sent
+  /// back verbatim as an error frame. Null: every ingest request is
+  /// answered with an error response.
+  std::function<Result<uint64_t>(const ServeRequest&)> ingest_handler;
   /// Transport + filesystem source; null = Env::Default().
   /// FaultInjectionEnv here puts faults on the wire.
   Env* env = nullptr;
@@ -59,14 +68,15 @@ struct ServerOptions {
 
 /// Counters published by the server; all monotonically increasing, safe
 /// to read while the server runs. The serving invariant in numbers:
-/// frames_received == responses_ok + responses_error + shed_total()
-/// once the server has drained.
+/// frames_received == responses_ok + responses_ingested + responses_error
+/// + shed_total() once the server has drained.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;  ///< over max_connections
   uint64_t frames_received = 0;       ///< accepted (well-formed) requests
   uint64_t bad_frames = 0;            ///< torn/garbage/CRC-failed streams
   uint64_t responses_ok = 0;          ///< result or degraded result
+  uint64_t responses_ingested = 0;    ///< acknowledged ingest verbs
   uint64_t responses_error = 0;       ///< e.g. unparseable request payload
   uint64_t sheds[kNumShedReasons] = {0, 0, 0, 0, 0};
   uint64_t batches = 0;               ///< batch passes dispatched
@@ -214,6 +224,7 @@ class Server {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> bad_frames_{0};
   std::atomic<uint64_t> responses_ok_{0};
+  std::atomic<uint64_t> responses_ingested_{0};
   std::atomic<uint64_t> responses_error_{0};
   std::atomic<uint64_t> sheds_[kNumShedReasons] = {};
   std::atomic<uint64_t> batches_{0};

@@ -1,0 +1,24 @@
+#include "stream/refiner.h"
+
+namespace tcss {
+
+Result<FactorModel> BackgroundRefiner::Refine(const Dataset& data,
+                                              const SparseTensor& merged,
+                                              const FactorModel* warm) {
+  TcssTrainer trainer(data, merged, opts_.config);
+  TrainOptions train_opts;
+  train_opts.checkpoints = opts_.checkpoints;
+  train_opts.resume = opts_.resume;
+  train_opts.stop = opts_.stop;
+  const size_t r = opts_.config.rank;
+  if (warm != nullptr && warm->rank() == r &&
+      warm->u1.rows() == merged.dim_i() && warm->u2.rows() == merged.dim_j() &&
+      warm->u3.rows() == merged.dim_k()) {
+    train_opts.warm_start = warm;
+  }
+  auto refined = trainer.Train(train_opts, nullptr);
+  if (refined.ok()) ++refinements_;
+  return refined;
+}
+
+}  // namespace tcss

@@ -1,0 +1,61 @@
+#ifndef TCSS_STREAM_REFINER_H_
+#define TCSS_STREAM_REFINER_H_
+
+#include <atomic>
+
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/tcss_config.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tcss {
+
+/// Bounded background refinement (DESIGN.md §14). A streaming system's
+/// fold-in tier keeps new users fresh but never touches U2/U3/h; the
+/// refiner closes that gap by running a *budgeted* number of full
+/// training epochs over the delta-merged tensor, warm-started from the
+/// currently served factors so a handful of epochs is enough to absorb
+/// the delta instead of relearning from scratch.
+struct RefinerOptions {
+  /// Full training configuration; `config.epochs` IS the refinement
+  /// budget (the CLI's --refine-budget). Everything else — rank, loss
+  /// mode, learning rate, lambda — matches the offline trainer so a
+  /// refined model is a valid TCSS model, just a few epochs newer.
+  TcssConfig config;
+
+  /// Crash safety rides the trainer's existing checkpoint machinery: a
+  /// killed refinement resumes from its last snapshot and replays the
+  /// exact floating-point trajectory (kill-and-resume bit-identity is
+  /// locked in by stream_test). Not owned; null disables.
+  CheckpointManager* checkpoints = nullptr;
+  bool resume = false;
+
+  /// Cooperative cancellation, forwarded to TrainOptions::stop.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+class BackgroundRefiner {
+ public:
+  explicit BackgroundRefiner(const RefinerOptions& opts) : opts_(opts) {}
+
+  /// Runs opts_.config.epochs epochs on `merged` (the serving tensor plus
+  /// the delta buffer), warm-started from `warm` when its shape matches
+  /// the tensor and rank (a mismatched or null warm model falls back to
+  /// cold initialization — e.g. after the catalogue grew). Returns the
+  /// refined model; the caller publishes it via SaveFactorModel + the
+  /// ModelWatcher hot-swap path.
+  Result<FactorModel> Refine(const Dataset& data, const SparseTensor& merged,
+                             const FactorModel* warm);
+
+  uint64_t refinements() const { return refinements_; }
+
+ private:
+  RefinerOptions opts_;
+  uint64_t refinements_ = 0;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_STREAM_REFINER_H_

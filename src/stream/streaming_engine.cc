@@ -1,0 +1,143 @@
+#include "stream/streaming_engine.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/model_io.h"
+#include "data/tensor_builder.h"
+
+namespace tcss {
+
+StreamingEngine::StreamingEngine(const Dataset& data, ModelWatcher* watcher,
+                                 const Options& opts)
+    : data_(&data),
+      watcher_(watcher),
+      opts_(opts),
+      env_(opts.env != nullptr ? opts.env : Env::Default()),
+      delta_(data.num_users(), data.num_pois()),
+      fold_in_(opts.fold_in),
+      roller_(NumBins(opts.granularity)),
+      refiner_(opts.refiner),
+      base_poi_counts_(data.num_pois(), 0),
+      delta_poi_counts_(data.num_pois(), 0) {
+  for (const CheckInEvent& e : data.checkins()) {
+    if (e.poi < base_poi_counts_.size()) {
+      ++base_poi_counts_[e.poi];
+      ++base_total_;
+    }
+  }
+  obs::MetricRegistry* reg =
+      opts_.metrics != nullptr ? opts_.metrics : obs::MetricRegistry::Global();
+  ingested_counter_ = reg->GetCounter("stream.ingested");
+  rejected_counter_ = reg->GetCounter("stream.rejected");
+  folded_counter_ = reg->GetCounter("stream.folded");
+  rollover_counter_ = reg->GetCounter("stream.rollovers");
+  refine_counter_ = reg->GetCounter("stream.refines");
+  refine_ms_hist_ = reg->GetHistogram("stream.refine_ms");
+  drift_gauge_ = reg->GetGauge("stream.drift");
+}
+
+Result<uint64_t> StreamingEngine::Ingest(const ServeRequest& req) {
+  if (req.verb != ServeVerb::kIngest) {
+    return Status::InvalidArgument("StreamingEngine::Ingest needs an ingest request");
+  }
+  auto seq = delta_.Append(req.user, req.poi, req.timestamp);
+  if (!seq.ok()) {
+    rejected_counter_->Add(1);
+    return seq;
+  }
+  ingested_counter_->Add(1);
+  if (fold_in_.Append(req.user, req.poi,
+                      TimeBin(req.timestamp, opts_.granularity))) {
+    ++folded_;
+    folded_counter_->Add(1);
+  }
+  ++delta_poi_counts_[req.poi];
+  ++delta_total_;
+  const uint64_t accepted = seq.value();
+  // The drift gauge is O(J) to evaluate, so refresh it on a stride rather
+  // than per event (and at every publish point below).
+  if ((accepted & 0xFF) == 0) UpdateDriftGauge();
+  if (opts_.rollover_every > 0 && accepted % opts_.rollover_every == 0) {
+    TCSS_RETURN_IF_ERROR(Rollover());
+  }
+  if (opts_.refine_every > 0 && accepted % opts_.refine_every == 0) {
+    TCSS_RETURN_IF_ERROR(Refine());
+  }
+  return accepted;
+}
+
+Status StreamingEngine::Rollover() {
+  if (opts_.model_path.empty()) {
+    return Status::FailedPrecondition("rollover needs a model publish path");
+  }
+  std::shared_ptr<const FactorModel> live = watcher_->current();
+  if (live == nullptr) {
+    return Status::FailedPrecondition("rollover needs a live model");
+  }
+  SliceRoller::Rolled rolled = roller_.Roll(*live);
+  TCSS_RETURN_IF_ERROR(SaveFactorModel(rolled.model, opts_.model_path, env_));
+  delta_.DropBin(rolled.retired_bin, opts_.granularity);
+  fold_in_.RetireBin(rolled.retired_bin);
+  // Rebuild the delta histogram from the surviving events (DropBin removed
+  // an unknown per-POI subset).
+  std::fill(delta_poi_counts_.begin(), delta_poi_counts_.end(), 0);
+  delta_total_ = 0;
+  for (const CheckInEvent& e : delta_.Snapshot()) {
+    ++delta_poi_counts_[e.poi];
+    ++delta_total_;
+  }
+  watcher_->Poll();
+  rollover_counter_->Add(1);
+  UpdateDriftGauge();
+  return Status::OK();
+}
+
+Status StreamingEngine::Refine() {
+  if (opts_.model_path.empty()) {
+    return Status::FailedPrecondition("refine needs a model publish path");
+  }
+  Stopwatch timer;
+  std::vector<CheckInEvent> merged = data_->checkins();
+  const std::vector<CheckInEvent> delta = delta_.Snapshot();
+  merged.insert(merged.end(), delta.begin(), delta.end());
+  auto tensor = BuildCheckinTensor(*data_, merged, opts_.granularity);
+  TCSS_RETURN_IF_ERROR(tensor.status());
+  std::shared_ptr<const FactorModel> live = watcher_->current();
+  auto refined = refiner_.Refine(*data_, tensor.value(), live.get());
+  TCSS_RETURN_IF_ERROR(refined.status());
+  TCSS_RETURN_IF_ERROR(SaveFactorModel(refined.value(), opts_.model_path, env_));
+  watcher_->Poll();
+  ++refinements_;
+  refine_counter_->Add(1);
+  refine_ms_hist_->Record(timer.ElapsedMillis());
+  UpdateDriftGauge();
+  return Status::OK();
+}
+
+double StreamingEngine::DriftScore() const {
+  if (base_total_ == 0 || delta_total_ == 0) return 0.0;
+  double l1 = 0.0;
+  for (size_t j = 0; j < base_poi_counts_.size(); ++j) {
+    const double p =
+        static_cast<double>(base_poi_counts_[j]) / static_cast<double>(base_total_);
+    const double q = static_cast<double>(delta_poi_counts_[j]) /
+                     static_cast<double>(delta_total_);
+    l1 += std::fabs(p - q);
+  }
+  return 0.5 * l1;
+}
+
+void StreamingEngine::UpdateDriftGauge() { drift_gauge_->Set(DriftScore()); }
+
+StreamingEngine::Stats StreamingEngine::stats() const {
+  Stats s;
+  s.accepted = delta_.accepted();
+  s.rejected = delta_.rejected();
+  s.folded = folded_;
+  s.rollovers = roller_.rollovers();
+  s.refinements = refinements_;
+  return s;
+}
+
+}  // namespace tcss

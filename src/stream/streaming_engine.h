@@ -1,0 +1,144 @@
+#ifndef TCSS_STREAM_STREAMING_ENGINE_H_
+#define TCSS_STREAM_STREAMING_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "core/incremental_fold_in.h"
+#include "data/dataset.h"
+#include "data/time_binning.h"
+#include "obs/metrics.h"
+#include "serve/model_watcher.h"
+#include "serve/request.h"
+#include "stream/delta_buffer.h"
+#include "stream/refiner.h"
+#include "stream/slice_roller.h"
+
+namespace tcss {
+
+/// Online ingestion engine (DESIGN.md §14): the object behind the serving
+/// front-end's `ingest` verb. It owns the three freshness mechanisms and
+/// keys them off one counter of accepted check-ins:
+///
+///   every ingest      -> DeltaBuffer append + one IncrementalFoldIn
+///                        rank-1 update (the user's next query reflects
+///                        the check-in immediately);
+///   every Nth ingest  -> SliceRoller retires the oldest time slice and
+///                        publishes a model whose retiring U3 row is
+///                        warm-started from its cyclic neighbours;
+///   every Mth ingest  -> BackgroundRefiner runs a bounded number of full
+///                        epochs over the delta-merged tensor and
+///                        publishes the result.
+///
+/// Publishing always goes through SaveFactorModel + ModelWatcher::Poll()
+/// — the same validated hot-swap path an operator's offline retrain uses,
+/// so a crash mid-publish leaves the previous model serving and a corrupt
+/// write is rejected, never swapped.
+///
+/// Threading: like the RecommendService, the engine is single-writer — the
+/// serving dispatcher is the only thread that may call Ingest/Rollover/
+/// Refine (the server routes ingest frames onto the dispatcher). The
+/// DeltaBuffer itself is additionally thread-safe so tests and external
+/// refinement drivers may Snapshot() concurrently.
+class StreamingEngine {
+ public:
+  struct Options {
+    FoldInOptions fold_in;
+    TimeGranularity granularity = TimeGranularity::kMonthOfYear;
+
+    /// Accepted ingests between automatic rollovers / refinements;
+    /// 0 disables the automatic trigger (Rollover()/Refine() still work
+    /// when called explicitly).
+    uint64_t rollover_every = 0;
+    uint64_t refine_every = 0;
+
+    RefinerOptions refiner;
+
+    /// Where rolled/refined models are published (normally the
+    /// ModelWatcher's own path). Empty string: Rollover/Refine fail with
+    /// FailedPrecondition instead of publishing.
+    std::string model_path;
+
+    obs::MetricRegistry* metrics = nullptr;  ///< null: process-global
+    Env* env = nullptr;                      ///< null: Env::Default()
+  };
+
+  /// `data` and `watcher` must outlive the engine. `watcher` may have no
+  /// live model yet; ingestion works regardless (fold-in binds lazily).
+  StreamingEngine(const Dataset& data, ModelWatcher* watcher,
+                  const Options& opts);
+
+  /// The fold-in tier to hand to RecommendService::Options::incremental.
+  IncrementalFoldIn* fold_in() { return &fold_in_; }
+  DeltaBuffer* delta() { return &delta_; }
+
+  /// One validated check-in (req.verb must be kIngest). Appends to the
+  /// delta buffer, folds the cell into the user's incremental sums, and
+  /// fires any due automatic rollover/refinement. Returns the accept
+  /// sequence number; OutOfRange for ids/timestamps the buffer rejects.
+  Result<uint64_t> Ingest(const ServeRequest& req);
+
+  /// Retires the next time slice: publishes a copy of the current model
+  /// whose retiring U3 row is the mean of its cyclic neighbours, then
+  /// drops that bin's events from the delta buffer and the fold-in state.
+  /// FailedPrecondition when no model is live or no model_path is set.
+  Status Rollover();
+
+  /// Bounded refinement over the delta-merged tensor (base check-ins +
+  /// delta snapshot, deduplicated by the tensor builder — the merge is
+  /// canonical no matter how the delta arrived), warm-started from the
+  /// live model, published through the hot-swap path.
+  Status Refine();
+
+  /// Total-variation distance (0.5 * L1) between the POI visit
+  /// distribution of the base dataset and of the delta buffer; 0 when
+  /// either side is empty. The drift signal exported as `stream.drift`.
+  double DriftScore() const;
+
+  struct Stats {
+    uint64_t accepted = 0;   ///< delta appends that validated
+    uint64_t rejected = 0;   ///< appends refused by validation
+    uint64_t folded = 0;     ///< new cells folded into user sums
+    uint64_t rollovers = 0;
+    uint64_t refinements = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void UpdateDriftGauge();
+
+  const Dataset* data_;
+  ModelWatcher* watcher_;
+  Options opts_;
+  Env* env_;
+
+  DeltaBuffer delta_;
+  IncrementalFoldIn fold_in_;
+  SliceRoller roller_;
+  BackgroundRefiner refiner_;
+
+  uint64_t folded_ = 0;
+  uint64_t refinements_ = 0;
+
+  /// POI visit histograms for DriftScore: base is fixed at construction,
+  /// delta is maintained per accepted ingest (and rebuilt after DropBin).
+  std::vector<uint64_t> base_poi_counts_;
+  uint64_t base_total_ = 0;
+  std::vector<uint64_t> delta_poi_counts_;
+  uint64_t delta_total_ = 0;
+
+  obs::Counter* ingested_counter_;
+  obs::Counter* rejected_counter_;
+  obs::Counter* folded_counter_;
+  obs::Counter* rollover_counter_;
+  obs::Counter* refine_counter_;
+  obs::Histogram* refine_ms_hist_;
+  obs::Gauge* drift_gauge_;
+};
+
+}  // namespace tcss
+
+#endif  // TCSS_STREAM_STREAMING_ENGINE_H_

@@ -1,16 +1,22 @@
-// Tests for the fold-in API (new-user embedding) and the extra ranking
-// metrics (NDCG@K, Precision@K).
+// Tests for the fold-in API (new-user embedding), the extra ranking
+// metrics (NDCG@K, Precision@K), and the serving layer's generation-keyed
+// fold-in cache contract.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "common/rng.h"
 #include "core/fold_in.h"
+#include "core/incremental_fold_in.h"
+#include "core/model_io.h"
 #include "core/tcss_model.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "data/tensor_builder.h"
 #include "eval/ranking_protocol.h"
+#include "serve/model_watcher.h"
+#include "serve/recommend_service.h"
 
 namespace tcss {
 namespace {
@@ -144,6 +150,114 @@ TEST(FoldInTest, FoldedEmbeddingApproximatesTrainedEmbedding) {
   }
   const double corr = cov / std::sqrt(va * vb + 1e-30);
   EXPECT_GT(corr, 0.6);
+}
+
+// Regression for the generation-cache staleness bug class: a fold-in
+// embedding solved against model generation N must never be served after
+// a hot reload to generation N+1 — the cache (classic map or incremental
+// solver) has to re-solve against the new factors. Asserted end to end
+// through RecommendService: fill the cache on model A, swap the watched
+// file to a different model B, poll, and require the served scores to
+// match the batch fold-in oracle evaluated on B (a stale cache would
+// reproduce A's scores instead).
+void CheckFoldInCacheInvalidatesOnReload(bool incremental) {
+  Trained t = TrainSmall();
+  // Most active user with index >= 1, so a u1 prefix of `user` rows puts
+  // that user on the fold-in tier while staying a valid model shape.
+  std::vector<size_t> count(t.train.dim_i(), 0);
+  for (const auto& e : t.train.entries()) ++count[e.i];
+  uint32_t user = 1;
+  for (uint32_t i = 1; i < count.size(); ++i) {
+    if (count[i] > count[user]) user = i;
+  }
+  ASSERT_GE(count[user], 3u);
+
+  const size_t r = t.model.rank();
+  FactorModel a = t.model;
+  Matrix prefix(user, r);
+  for (size_t i = 0; i < user; ++i) {
+    for (size_t c = 0; c < r; ++c) prefix(i, c) = t.model.u1(i, c);
+  }
+  a.u1 = prefix;
+  // Model B: same shape, visibly different POI factors (and therefore a
+  // different fold-in system and different scores).
+  FactorModel b = a;
+  for (size_t j = 0; j < b.u2.rows(); ++j) {
+    for (size_t c = 0; c < r; ++c) {
+      b.u2(j, c) = 0.7 * b.u2(j, c) + 0.05 * static_cast<double>((j + c) % 3);
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "/" +
+                           (incremental ? "gen_stale_inc.model"
+                                        : "gen_stale_classic.model");
+  ASSERT_TRUE(SaveFactorModel(a, path).ok());
+
+  ModelWatcher::Options wopts;
+  wopts.num_users = t.data.num_users();
+  wopts.num_pois = t.data.num_pois();
+  wopts.num_bins = NumBins(TimeGranularity::kMonthOfYear);
+  ModelWatcher watcher(path, wopts);
+
+  IncrementalFoldIn inc;
+  RecommendService::Options sopts;
+  if (incremental) sopts.incremental = &inc;
+  RecommendService svc(&t.data, TimeGranularity::kMonthOfYear, &watcher,
+                       sopts);
+  ASSERT_TRUE(svc.Init().ok());
+  ASSERT_NE(watcher.current(), nullptr);
+
+  ServeRequest req;
+  req.user = user;
+  req.time_bin = 0;
+  req.k = 5;
+  auto r1 = svc.TopK(req);
+  ASSERT_EQ(r1.tier, ServeTier::kFoldIn);
+  ASSERT_FALSE(r1.recs.empty());
+  EXPECT_EQ(svc.Stats().fold_in_cache_misses, 1u);
+  // Second query: served from the cache, no re-solve.
+  auto r1b = svc.TopK(req);
+  EXPECT_EQ(svc.Stats().fold_in_cache_hits, 1u);
+  ASSERT_EQ(r1b.recs.size(), r1.recs.size());
+  for (size_t s = 0; s < r1.recs.size(); ++s) {
+    EXPECT_EQ(r1.recs[s].poi, r1b.recs[s].poi);
+    EXPECT_DOUBLE_EQ(r1.recs[s].score, r1b.recs[s].score);
+  }
+
+  // Hot-swap to model B (generation N+1) and query again.
+  ASSERT_TRUE(SaveFactorModel(b, path).ok());
+  svc.PollModel();
+  auto r2 = svc.TopK(req);
+  ASSERT_EQ(r2.tier, ServeTier::kFoldIn);
+  ASSERT_FALSE(r2.recs.empty());
+  EXPECT_EQ(svc.Stats().fold_in_cache_misses, 2u)
+      << "reload to a new generation must force a fold-in re-solve";
+
+  // Oracle: the batch fold-in against B over the same observation list
+  // the service uses — the FULL-dataset tensor's cells for this user, in
+  // tensor-entry order (exactly what Init built/seeded).
+  auto full = BuildCheckinTensor(t.data, TimeGranularity::kMonthOfYear);
+  ASSERT_TRUE(full.ok());
+  std::vector<TensorCell> obs;
+  for (const auto& e : full.value().entries()) {
+    if (e.i == user) obs.push_back({e.i, e.j, e.k});
+  }
+  auto emb = FoldInUser(b, obs);
+  ASSERT_TRUE(emb.ok()) << emb.status().ToString();
+  for (const auto& rec : r2.recs) {
+    EXPECT_NEAR(rec.score,
+                FoldInScore(b, emb.value(), rec.poi, req.time_bin), 1e-9)
+        << "served score at poi " << rec.poi
+        << " does not match the new generation's fold-in";
+  }
+}
+
+TEST(FoldInTest, CacheInvalidatesOnReloadClassic) {
+  CheckFoldInCacheInvalidatesOnReload(/*incremental=*/false);
+}
+
+TEST(FoldInTest, CacheInvalidatesOnReloadIncremental) {
+  CheckFoldInCacheInvalidatesOnReload(/*incremental=*/true);
 }
 
 TEST(FoldInTest, RejectsBadInput) {

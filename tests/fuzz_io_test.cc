@@ -21,6 +21,7 @@
 #include "dist/wire.h"
 #include "serve/frontend.h"
 #include "serve/request.h"
+#include "stream/delta_buffer.h"
 
 namespace tcss {
 namespace {
@@ -364,6 +365,110 @@ TEST(WireFuzz, GeoFencedFramesRoundTripAndCorruptionsNeverForge) {
     ASSERT_TRUE(res.ok() && res.value());
     EXPECT_FALSE(ParseRequestLine(decoded.payload).ok()) << payload;
   }
+}
+
+// The streaming ingest verb over the wire (DESIGN.md §14): an ingest
+// frame mutates serving state, so it is the most attack-worthy payload in
+// the protocol. Contract: a valid frame round-trips bit-exactly into a
+// parsed kIngest request; every single-byte flip is rejected (CRC) or
+// decodes to the identical bytes; no truncation decodes; and a frame that
+// survives CRC with a mangled ingest grammar dies in ParseRequestLine —
+// the DeltaBuffer behind the verb only ever sees exactly-as-sent events.
+TEST(WireFuzz, IngestFramesNeverForgeCheckIns) {
+  const Frame good{0xbeefULL, "ingest 2 3 1300400000"};
+  const std::string bytes = EncodeRequestFrame(good);
+
+  Frame out;
+  size_t consumed = 0;
+  auto r = DecodeFrame(kRequestMagic, bytes, &out, &consumed);
+  ASSERT_TRUE(r.ok() && r.value());
+  auto req = ParseRequestLine(out.payload);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req.value().verb, ServeVerb::kIngest);
+  EXPECT_EQ(req.value().user, 2u);
+  EXPECT_EQ(req.value().poi, 3u);
+  EXPECT_EQ(req.value().timestamp, 1300400000);
+
+  // Flip sweep: anything that decodes must be the original check-in.
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (unsigned char mask : {0x01, 0x10, 0xff}) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+      Frame decoded;
+      size_t used = 0;
+      auto res = DecodeFrame(kRequestMagic, bad, &decoded, &used);
+      if (res.ok() && res.value()) {
+        EXPECT_EQ(decoded.payload, good.payload)
+            << "flip at " << pos << " forged a check-in";
+      }
+    }
+  }
+  // Truncation sweep: a torn ingest frame never decodes.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Frame decoded;
+    size_t used = 0;
+    auto res =
+        DecodeFrame(kRequestMagic, bytes.substr(0, n), &decoded, &used);
+    EXPECT_FALSE(res.ok() && res.value()) << "prefix " << n << " decoded";
+  }
+  // CRC-clean frames with a mangled grammar: rejected at the parse layer
+  // (exact integer parses, calendar bounds, no trailing junk) — these
+  // never reach the engine at all.
+  for (const char* payload :
+       {"ingest", "ingest 2", "ingest 2 3", "ingest 2 3 1.5e9",
+        "ingest -1 3 1300400000", "ingest 2 3 1300400000 extra",
+        "ingest 2 3 99999999999999999999", "ingest 2 3 253402300800",
+        "ingest 2 3 -62135596801", "ingest x 3 1300400000",
+        "ingest 2 3 0x4dcd8500"}) {
+    const std::string enc = EncodeRequestFrame(Frame{1, payload});
+    Frame decoded;
+    size_t used = 0;
+    auto res = DecodeFrame(kRequestMagic, enc, &decoded, &used);
+    ASSERT_TRUE(res.ok() && res.value());
+    EXPECT_FALSE(ParseRequestLine(decoded.payload).ok()) << payload;
+  }
+}
+
+// End-to-end mutation sweep into the delta buffer: run the full untrusted
+// pipeline (decode -> parse -> validate -> append) over hundreds of
+// mutated ingest frames. Every event that lands in the buffer must be
+// byte-identical to the one that was sent — corruption is swallowed by
+// one of the three layers, never stored.
+TEST(WireFuzz, MutatedIngestFramesNeverReachTheDeltaBuffer) {
+  const Frame good{0x5151ULL, "ingest 2 3 1300400000"};
+  const std::string bytes = EncodeRequestFrame(good);
+  DeltaBuffer delta(4, 5);  // user 2 / poi 3 are in range
+  uint64_t intact_deliveries = 0;
+  Rng rng(0xd317a);
+  for (int iter = 0; iter < 600; ++iter) {
+    const std::string bad = Mutate(bytes, &rng);
+    Frame decoded;
+    size_t used = 0;
+    auto res = DecodeFrame(kRequestMagic, bad, &decoded, &used);
+    if (!res.ok() || !res.value()) continue;  // frame layer caught it
+    auto parsed = ParseRequestLine(decoded.payload);
+    if (!parsed.ok() || parsed.value().verb != ServeVerb::kIngest) {
+      continue;  // parse layer caught it
+    }
+    const ServeRequest& q = parsed.value();
+    if (delta.Append(q.user, q.poi, q.timestamp).ok()) {
+      // Stored: must be exactly the check-in that was sent.
+      EXPECT_EQ(q.user, 2u);
+      EXPECT_EQ(q.poi, 3u);
+      EXPECT_EQ(q.timestamp, 1300400000);
+      ++intact_deliveries;
+    }
+  }
+  // Every stored event is the original one.
+  for (const CheckInEvent& e : delta.Snapshot()) {
+    EXPECT_EQ(e.user, 2u);
+    EXPECT_EQ(e.poi, 3u);
+    EXPECT_EQ(e.timestamp, 1300400000);
+  }
+  EXPECT_EQ(delta.accepted(), intact_deliveries);
+  // Some mutations must leave the frame intact (insert/delete past the
+  // end), or the sweep is not exercising the accept path at all.
+  EXPECT_GT(intact_deliveries, 0u);
 }
 
 // Truncation sweep (torn frame at every byte): a prefix is either "need

@@ -19,6 +19,14 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/fold_in.h"
+#include "core/incremental_fold_in.h"
+#include "core/model_io.h"
+#include "data/synthetic.h"
+#include "data/tensor_builder.h"
+#include "data/time_binning.h"
+#include "eval/chronological.h"
+#include "stream/delta_buffer.h"
+#include "stream/refiner.h"
 #include "core/hausdorff_loss.h"
 #include "core/recommend.h"
 #include "core/whole_data_loss.h"
@@ -1061,6 +1069,240 @@ TEST(DifferentialTopK, MatchesFullSortOracle) {
   opts.max_size = 16;
   PropReport report =
       Prop::Check<Case>("top-k-vs-full-sort", 80, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming properties (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+// The seeded drift-stream generator: sound events, reproducible from the
+// seed, and actually drifting — the early and late POI histograms must
+// differ when the popular window shifts, otherwise the chronological
+// evaluation in stream_test would be measuring nothing.
+TEST(StreamProperties, DriftStreamGeneratorIsSoundReproducibleAndDrifting) {
+  auto gen = [](uint64_t seed, uint32_t size) {
+    DriftStreamConfig cfg;
+    cfg.seed = seed;
+    cfg.num_users = 5 + size;
+    cfg.num_pois = 20 + 2 * size;
+    cfg.num_events = 400 + 20 * size;
+    return cfg;
+  };
+  auto pred = [](const DriftStreamConfig& cfg, std::string* msg) {
+    auto a = GenerateDriftStream(cfg);
+    auto b = GenerateDriftStream(cfg);
+    if (!a.ok() || !b.ok()) {
+      *msg = "generator failed on a valid config";
+      return false;
+    }
+    const auto& ea = a.value().checkins();
+    const auto& eb = b.value().checkins();
+    if (ea.size() != cfg.num_events || ea.size() != eb.size()) {
+      *msg = StrFormat("event count %zu (twin %zu) != %zu", ea.size(),
+                       eb.size(), cfg.num_events);
+      return false;
+    }
+    const int64_t start = FromCivil(cfg.year, 1, 1);
+    const int64_t end = FromCivil(cfg.year + 1, 1, 1);
+    std::vector<double> early(cfg.num_pois, 0.0), late(cfg.num_pois, 0.0);
+    for (size_t e = 0; e < ea.size(); ++e) {
+      if (ea[e].user != eb[e].user || ea[e].poi != eb[e].poi ||
+          ea[e].timestamp != eb[e].timestamp) {
+        *msg = StrFormat("event %zu differs between same-seed runs", e);
+        return false;
+      }
+      if (ea[e].user >= cfg.num_users || ea[e].poi >= cfg.num_pois ||
+          ea[e].timestamp < start || ea[e].timestamp >= end) {
+        *msg = StrFormat("event %zu out of bounds (u=%u j=%u ts=%lld)", e,
+                         ea[e].user, ea[e].poi,
+                         static_cast<long long>(ea[e].timestamp));
+        return false;
+      }
+      if (4 * e < ea.size()) early[ea[e].poi] += 1.0;
+      if (4 * e >= 3 * ea.size()) late[ea[e].poi] += 1.0;
+    }
+    double tv = 0.0, ne = 0.0, nl = 0.0;
+    for (double v : early) ne += v;
+    for (double v : late) nl += v;
+    for (size_t j = 0; j < cfg.num_pois; ++j) {
+      tv += std::abs(early[j] / ne - late[j] / nl);
+    }
+    tv *= 0.5;
+    if (tv < 0.05) {
+      *msg = StrFormat("no drift: early/late TV distance %.4f", tv);
+      return false;
+    }
+    // The chronological split partitions the stream at a clean instant.
+    ChronoSplit split = ChronologicalSplit(ea, 0.7);
+    if (split.before.size() + split.after.size() != ea.size()) {
+      *msg = "chronological split lost events";
+      return false;
+    }
+    for (const auto& ev : split.before) {
+      if (ev.timestamp >= split.cutoff_ts) {
+        *msg = "before-side event at or after the cutoff";
+        return false;
+      }
+    }
+    for (const auto& ev : split.after) {
+      if (ev.timestamp < split.cutoff_ts) {
+        *msg = "after-side event before the cutoff";
+        return false;
+      }
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 16;
+  PropReport report = Prop::Check<DriftStreamConfig>(
+      "drift-stream-soundness", 12, gen, pred, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// Metamorphic batching law: delivering the same check-ins as one batch or
+// as many batches (with snapshots, solves and queries interleaved) must
+// not change anything downstream — the delta snapshot, the fold-in
+// embeddings (bitwise), and the refined model bytes are all invariant to
+// how the stream was chunked.
+TEST(StreamProperties, OneBatchVsManyBatchesIsByteIdentical) {
+  struct Case {
+    DriftStreamConfig cfg;
+    std::vector<CheckInEvent> extra;
+    size_t chunks = 1;
+  };
+  auto gen = [](uint64_t seed, uint32_t size) {
+    Case c;
+    c.cfg.seed = seed;
+    c.cfg.num_users = 6 + size / 2;
+    c.cfg.num_pois = 8 + size;
+    c.cfg.num_events = 60 + 5 * size;
+    Rng rng(seed ^ 0xABCDEF);
+    const int64_t start = FromCivil(c.cfg.year, 1, 1);
+    const size_t n = 10 + 3 * size;
+    for (size_t e = 0; e < n; ++e) {
+      c.extra.push_back(
+          {static_cast<uint32_t>(rng.UniformInt(c.cfg.num_users)),
+           static_cast<uint32_t>(rng.UniformInt(c.cfg.num_pois)),
+           start + static_cast<int64_t>(rng.UniformInt(300 * 86400))});
+    }
+    c.chunks = 1 + rng.UniformInt(5);
+    return c;
+  };
+  auto pred = [](const Case& c, std::string* msg) {
+    auto data = GenerateDriftStream(c.cfg);
+    if (!data.ok()) {
+      *msg = "generator failed";
+      return false;
+    }
+    const TimeGranularity g = TimeGranularity::kMonthOfYear;
+    auto model = std::make_shared<const FactorModel>([&] {
+      // Any valid model works for the fold-in half of the law.
+      Rng mr(c.cfg.seed);
+      FactorModel m;
+      m.u2 = Matrix(c.cfg.num_pois, 3);
+      m.u3 = Matrix(12, 3);
+      for (size_t j = 0; j < m.u2.rows(); ++j) {
+        for (size_t t = 0; t < 3; ++t) m.u2(j, t) = mr.Uniform();
+      }
+      for (size_t k = 0; k < 12; ++k) {
+        for (size_t t = 0; t < 3; ++t) m.u3(k, t) = mr.Uniform();
+      }
+      m.h = {1.0, 0.8, 0.6};
+      return m;
+    }());
+
+    // One batch.
+    DeltaBuffer one(c.cfg.num_users, c.cfg.num_pois);
+    IncrementalFoldIn inc_one;
+    inc_one.BindModel(model, 1);
+    for (const auto& ev : c.extra) {
+      if (!one.Append(ev.user, ev.poi, ev.timestamp).ok()) {
+        *msg = "valid event rejected";
+        return false;
+      }
+      inc_one.Append(ev.user, ev.poi, TimeBin(ev.timestamp, g));
+    }
+
+    // Many batches, with snapshots and solves interleaved.
+    DeltaBuffer many(c.cfg.num_users, c.cfg.num_pois);
+    IncrementalFoldIn inc_many;
+    inc_many.BindModel(model, 1);
+    const size_t per = (c.extra.size() + c.chunks - 1) / c.chunks;
+    for (size_t b = 0; b < c.chunks; ++b) {
+      for (size_t e = b * per;
+           e < std::min(c.extra.size(), (b + 1) * per); ++e) {
+        const auto& ev = c.extra[e];
+        if (!many.Append(ev.user, ev.poi, ev.timestamp).ok()) {
+          *msg = "valid event rejected in chunked delivery";
+          return false;
+        }
+        inc_many.Append(ev.user, ev.poi, TimeBin(ev.timestamp, g));
+      }
+      (void)many.Snapshot();                       // observer, not mutator
+      (void)inc_many.Embedding(c.extra[0].user);   // interleaved solve
+    }
+
+    const auto sa = one.Snapshot(), sb = many.Snapshot();
+    if (sa.size() != sb.size()) {
+      *msg = StrFormat("snapshot sizes differ: %zu vs %zu", sa.size(),
+                       sb.size());
+      return false;
+    }
+    for (size_t e = 0; e < sa.size(); ++e) {
+      if (sa[e].user != sb[e].user || sa[e].poi != sb[e].poi ||
+          sa[e].timestamp != sb[e].timestamp) {
+        *msg = StrFormat("snapshot event %zu differs", e);
+        return false;
+      }
+    }
+    for (uint32_t u = 0; u < c.cfg.num_users; ++u) {
+      const std::vector<double>* ea = inc_one.Embedding(u);
+      const std::vector<double>* eb = inc_many.Embedding(u);
+      if ((ea == nullptr) != (eb == nullptr)) {
+        *msg = StrFormat("user %u solvable in one chunking only", u);
+        return false;
+      }
+      if (ea == nullptr) continue;
+      for (size_t t = 0; t < ea->size(); ++t) {
+        if ((*ea)[t] != (*eb)[t]) {  // bitwise, not approximate
+          *msg = StrFormat("user %u embedding differs at [%zu]", u, t);
+          return false;
+        }
+      }
+    }
+
+    // Delta-merged refinement: identical model bytes.
+    std::vector<CheckInEvent> merged_a = data.value().checkins();
+    for (const auto& ev : sa) merged_a.push_back(ev);
+    std::vector<CheckInEvent> merged_b = data.value().checkins();
+    for (const auto& ev : sb) merged_b.push_back(ev);
+    auto ta = BuildCheckinTensor(data.value(), merged_a, g);
+    auto tb = BuildCheckinTensor(data.value(), merged_b, g);
+    if (!ta.ok() || !tb.ok()) {
+      *msg = "merged tensor build failed";
+      return false;
+    }
+    RefinerOptions ropts;
+    ropts.config.rank = 3;
+    ropts.config.epochs = 2;
+    BackgroundRefiner ra(ropts), rb(ropts);
+    auto ma = ra.Refine(data.value(), ta.value(), nullptr);
+    auto mb = rb.Refine(data.value(), tb.value(), nullptr);
+    if (!ma.ok() || !mb.ok()) {
+      *msg = "refinement failed";
+      return false;
+    }
+    if (SerializeFactorModel(ma.value()) != SerializeFactorModel(mb.value())) {
+      *msg = "refined model bytes differ between chunkings";
+      return false;
+    }
+    return true;
+  };
+  PropOptions opts;
+  opts.max_size = 12;
+  PropReport report = Prop::Check<Case>(
+      "stream-batch-split-invariance", 8, gen, pred, opts);
   EXPECT_TRUE(report.ok) << report.message;
 }
 

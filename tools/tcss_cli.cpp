@@ -72,6 +72,7 @@
 #include "serve/recommend_service.h"
 #include "serve/request.h"
 #include "serve/server.h"
+#include "stream/streaming_engine.h"
 
 namespace {
 
@@ -95,6 +96,7 @@ struct Args {
   bool new_only = false;
   bool resume = false;
   bool lenient = false;
+  bool ingest = false;
 
   const char* Get(const std::string& key, const char* dflt = nullptr) const {
     auto it = flags.find(key);
@@ -138,7 +140,9 @@ int Usage() {
       "[--granularity G] [--poll-every N] [--metrics-out FILE] "
       "[--workers N] [--queue N] [--max-batch N] [--max-conns N] "
       "[--deadline-ms X] [--write-timeout-ms N] "
-      "[--ann-tables N] [--ann-probes N] [--ann-min-candidates N]\n"
+      "[--ann-tables N] [--ann-probes N] [--ann-min-candidates N] "
+      "[--ingest [--rollover-every N] [--refine-every N] "
+      "[--refine-budget N]]\n"
       "common flags: [--lenient] [--max-bad-rows N]\n"
       "env: TCSS_LOG_LEVEL=debug|info|warning|error\n");
   return 2;
@@ -586,10 +590,17 @@ int Recommend(const Args& args) {
 // admission control sheds predicted deadline misses, slow clients hit
 // write timeouts.
 int ServeListen(const Args& args, RecommendService* service,
-                const char* listen, const char* metrics_out,
-                long poll_every) {
+                StreamingEngine* engine, const char* listen,
+                const char* metrics_out, long poll_every) {
   InstallStopHandlers();
   ServerOptions sopts;
+  if (engine != nullptr) {
+    // Ingest frames run on the dispatcher thread (the sole mutator of
+    // serving state), interleaved with query batches.
+    sopts.ingest_handler = [engine](const ServeRequest& req) {
+      return engine->Ingest(req);
+    };
+  }
   sopts.num_workers = static_cast<int>(args.GetI("workers", 0));
   sopts.queue_capacity = static_cast<size_t>(args.GetI("queue", 256));
   sopts.max_batch = static_cast<size_t>(args.GetI("max-batch", 32));
@@ -660,6 +671,30 @@ int Serve(const Args& args) {
         "ann-min-candidates",
         static_cast<long>(svc_opts.ann.lsh.min_candidates)));
   }
+  // Streaming ingestion (--ingest, DESIGN.md §14): the engine owns the
+  // delta buffer, the incremental fold-in tier the service delegates to,
+  // and the periodic rollover/refinement publishers. The refinement config
+  // mirrors the train command's flags; --refine-budget is its epoch count.
+  std::unique_ptr<StreamingEngine> engine;
+  if (args.ingest) {
+    StreamingEngine::Options eopts;
+    eopts.granularity = g;
+    eopts.model_path = model_path;
+    eopts.rollover_every =
+        static_cast<uint64_t>(args.GetI("rollover-every", 0));
+    eopts.refine_every = static_cast<uint64_t>(args.GetI("refine-every", 0));
+    TcssConfig rcfg;
+    rcfg.epochs = static_cast<int>(args.GetI("refine-budget", 3));
+    rcfg.rank = static_cast<size_t>(args.GetI("rank", rcfg.rank));
+    rcfg.lambda = args.GetD("lambda", rcfg.lambda);
+    rcfg.num_threads =
+        static_cast<int>(args.GetI("num-threads", rcfg.num_threads));
+    eopts.refiner.config = rcfg;
+    eopts.refiner.stop = &g_stop;
+    engine = std::make_unique<StreamingEngine>(data.value(), &watcher,
+                                               eopts);
+    svc_opts.incremental = engine->fold_in();
+  }
   RecommendService service(&data.value(), g, &watcher, svc_opts);
   Status st = service.Init();
   if (!st.ok()) {
@@ -673,7 +708,8 @@ int Serve(const Args& args) {
   }
 
   if (listen != nullptr) {
-    return ServeListen(args, &service, listen, metrics_out, poll_every);
+    return ServeListen(args, &service, engine.get(), listen, metrics_out,
+                       poll_every);
   }
 
   std::ifstream in(requests_path);
@@ -708,6 +744,22 @@ int Serve(const Args& args) {
       service.PollModel();
       since_poll = 0;
     }
+    if (req.value().verb == ServeVerb::kIngest) {
+      if (engine == nullptr) {
+        std::printf("line %zu error: ingest not enabled (pass --ingest)\n",
+                    lineno);
+        continue;
+      }
+      auto seq = engine->Ingest(req.value());
+      if (!seq.ok()) {
+        std::printf("line %zu error: %s\n", lineno,
+                    seq.status().message().c_str());
+      } else {
+        std::printf("ingested seq=%llu\n",
+                    static_cast<unsigned long long>(seq.value()));
+      }
+      continue;
+    }
     auto resp = service.TopK(req.value());
     std::printf("user=%u time=%u tier=%s :", req.value().user,
                 req.value().time_bin, ServeTierName(resp.tier));
@@ -740,6 +792,8 @@ int main(int argc, char** argv) {
       args.resume = true;
     } else if (flag == "lenient") {
       args.lenient = true;
+    } else if (flag == "ingest") {
+      args.ingest = true;
     } else if (a + 1 < argc) {
       args.flags[flag] = argv[++a];
     } else {
